@@ -1,0 +1,72 @@
+"""Ablation — the cascade parameter K (Premises 3 and 4).
+
+Sweeps K across the premise search space at a fixed evaluation point, both
+on a single GPU and in the multi-node configuration. The single-GPU case is
+nearly K-insensitive at large sizes (the auxiliary array is a rounding
+error next to the 3N payload passes) — which is exactly why the paper's
+Premise 4 re-derives K's role for multi-GPU runs: there K controls the
+number of chunk reductions crossing PCIe/InfiniBand, and the effect is
+measurable."""
+
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.single_gpu import ScanSP
+
+
+def test_regenerate_k_ablation(machine, cluster, report):
+    problem = ProblemConfig.from_sizes(N=1 << 22, G=1 << 6)
+    template = derive_stage_kernel_params(machine.arch, problem.dtype)
+    node = NodeConfig.from_counts(W=4, V=4, M=2)
+
+    lines = ["K ablation (N=2^22, G=2^6):", ""]
+
+    sp_space = k_search_space(problem, template, template, machine.arch)
+    lines.append("Scan-SP (single GPU):")
+    lines.append(f"{'K':>8} {'time (ms)':>12} {'chunks/problem':>16}")
+    sp_rows = []
+    for k in sp_space:
+        t = ScanSP(machine.gpus[0], K=k).estimate(problem).total_time_s
+        sp_rows.append((k, t))
+        lines.append(f"{k:>8} {t * 1e3:>12.4f} {(1 << 22) // (k * 1024):>16}")
+    sp_spread = max(t for _, t in sp_rows) / min(t for _, t in sp_rows)
+    lines.append(f"spread: {sp_spread:.3f}x (K is nearly free on one GPU)")
+    lines.append("")
+
+    mn_space = k_search_space(
+        problem, template, template, machine.arch, node=node, proposal="mps"
+    )
+    lines.append("Scan-MN-MPS (M=2, W=4 — K controls the MPI payload):")
+    lines.append(f"{'K':>8} {'time (ms)':>12} {'aux elems/rank':>16}")
+    mn_rows = []
+    for k in mn_space:
+        t = ScanMultiNodeMPS(cluster, node, K=k).estimate(problem).total_time_s
+        chunks_per_gpu = (1 << 22) // 8 // (k * 1024)
+        mn_rows.append((k, t))
+        lines.append(f"{k:>8} {t * 1e3:>12.4f} {64 * chunks_per_gpu:>16}")
+    best_k, best_t = min(mn_rows, key=lambda r: r[1])
+    worst_k, worst_t = max(mn_rows, key=lambda r: r[1])
+    mn_spread = worst_t / best_t
+    lines.append(
+        f"best K = {best_k} ({best_t * 1e3:.4f} ms); worst K = {worst_k} "
+        f"({worst_t * 1e3:.4f} ms); spread {mn_spread:.2f}x"
+    )
+    report("ablation_k", "\n".join(lines))
+
+    # Premise 4's claim: K materially matters once GPUs communicate, and
+    # the best K is the largest (fewest chunk reductions on the wire).
+    assert mn_spread > 1.05
+    assert best_k == max(k for k, _ in mn_rows)
+    assert sp_spread < 1.05
+
+
+def test_k_sweep_speed(machine, benchmark):
+    problem = ProblemConfig.from_sizes(N=1 << 20, G=4)
+    template = derive_stage_kernel_params(machine.arch, problem.dtype)
+    space = k_search_space(problem, template, template, machine.arch)
+
+    def sweep():
+        for k in space:
+            ScanSP(machine.gpus[0], K=k).estimate(problem)
+
+    benchmark(sweep)

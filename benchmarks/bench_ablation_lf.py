@@ -1,0 +1,47 @@
+"""Ablation — the Ladner-Fischer pattern choice (Section 3's justification).
+
+Compares the LF(k) family and Kogge-Stone at warp width 32: depth, operator
+work, and shuffle counts per warp scan. LF(0) matches Kogge-Stone's minimum
+depth with fewer shuffles — the property that makes it 'match very well to
+GPU architectures'."""
+
+import numpy as np
+
+from repro.gpusim.warp import warp_scan_cost
+from repro.primitives.ladner_fischer import ladner_fischer_schedule
+from repro.primitives.networks import (
+    brent_kung_schedule,
+    kogge_stone_schedule,
+    schedule_depth,
+    schedule_work,
+)
+
+
+def test_regenerate_lf_ablation(report):
+    lines = ["Prefix-network ablation at warp width 32:",
+             f"{'network':>16} {'depth':>6} {'work':>6}"]
+    networks = [
+        ("kogge-stone", kogge_stone_schedule(32)),
+        ("LF(0)/sklansky", ladner_fischer_schedule(32, 0)),
+        ("LF(1)", ladner_fischer_schedule(32, 1)),
+        ("LF(2)", ladner_fischer_schedule(32, 2)),
+        ("brent-kung", brent_kung_schedule(32)),
+    ]
+    for name, sched in networks:
+        lines.append(f"{name:>16} {schedule_depth(sched):>6} {schedule_work(sched):>6}")
+    lf = warp_scan_cost(32, "lf")
+    ks = warp_scan_cost(32, "ks")
+    lines.append("")
+    lines.append(f"warp scan shuffles: LF {lf.shuffles} vs KS {ks.shuffles} "
+                 f"(same depth {lf.steps} = {ks.steps})")
+    report("ablation_lf", "\n".join(lines))
+
+    assert lf.steps == ks.steps
+    assert lf.shuffles < ks.shuffles  # why the paper picks LF
+
+
+def test_warp_scan_simulation_speed(benchmark, rng=np.random.default_rng(0)):
+    from repro.gpusim.warp import warp_exclusive_scan
+
+    lanes = rng.integers(0, 100, (4096, 32)).astype(np.int32)
+    benchmark(lambda: warp_exclusive_scan(lanes, "add"))

@@ -1,0 +1,49 @@
+"""Ablation — communication/computation overlap (Section 2's UVA claim).
+
+"data are copied between these devices asynchronously along the shortest
+PCI-e path, enabling communication-computation overlapping". The overlap
+mode merges the auxiliary transfers into the adjacent kernel phases; this
+ablation quantifies what the overlap is worth for each proposal, and shows
+it cannot rescue the W=8 host-staged configuration (latency, not
+bandwidth, is the cliff)."""
+
+from repro.core.multi_gpu import ScanMPS
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.prioritized import ScanMPPC
+
+
+def test_regenerate_overlap_ablation(machine, report):
+    node = NodeConfig.from_counts(W=8, V=4)
+    lines = ["Communication/computation overlap ablation (W=8, V=4):", ""]
+    cases = [
+        ("MP-PC batch (n=16, G=2^12)", ScanMPPC,
+         ProblemConfig.from_sizes(N=1 << 16, G=1 << 12)),
+        ("MP-PC large (n=26, G=2^2)", ScanMPPC,
+         ProblemConfig.from_sizes(N=1 << 26, G=1 << 2)),
+        ("MPS cliff (n=13, G=2^15)", ScanMPS,
+         ProblemConfig.from_sizes(N=1 << 13, G=1 << 15)),
+    ]
+    gains = {}
+    for label, cls, problem in cases:
+        plain = cls(machine, node).estimate(problem)
+        overlapped = cls(machine, node, overlap=True).estimate(problem)
+        gain = plain.total_time_s / overlapped.total_time_s
+        gains[label] = gain
+        lines.append(
+            f"  {label:>28}: {plain.total_time_s * 1e3:9.3f} ms -> "
+            f"{overlapped.total_time_s * 1e3:9.3f} ms ({gain:.3f}x)"
+        )
+    lines.append("")
+    lines.append("overlap hides P2P aux traffic behind kernels; it cannot "
+                 "hide the per-problem host-staged latency of the W=8 cliff.")
+    report("ablation_overlap", "\n".join(lines))
+
+    assert gains["MP-PC batch (n=16, G=2^12)"] > 1.0
+    assert gains["MPS cliff (n=13, G=2^15)"] < 1.05  # latency-bound: no rescue
+
+
+def test_overlap_estimate_speed(machine, benchmark):
+    node = NodeConfig.from_counts(W=8, V=4)
+    problem = ProblemConfig.from_sizes(N=1 << 20, G=16)
+    executor = ScanMPPC(machine, node, overlap=True)
+    benchmark(executor.estimate, problem)

@@ -1,0 +1,59 @@
+"""Ablation — Premise 1/2 parameter choices against alternatives.
+
+Runs the same workload with a grid of (l, p) block shapes and shows the
+premise-derived tuple (l=7, p=3 on cc 3.7) sits at/near the optimum. This
+is the empirical content of 'a tuning strategy defines different
+performance premises to find the GPU execution parameters that maximize
+performance'."""
+
+import numpy as np
+
+from repro.core.params import KernelParams, ProblemConfig
+from repro.core.premises import derive_stage_kernel_params
+from repro.core.single_gpu import ScanSP
+from repro.errors import ReproError
+
+
+def candidate_params(l, p):
+    warps = max(1, (1 << l) // 32)
+    s = max(0, warps.bit_length() - 1)
+    return KernelParams(s=s, p=p, l=l, lx=l, ly=0)
+
+
+def test_regenerate_premise_ablation(machine, report):
+    problem = ProblemConfig.from_sizes(N=1 << 22, G=1 << 6)
+    derived = derive_stage_kernel_params(machine.arch, problem.dtype)
+    rows = []
+    for l in (5, 6, 7, 8, 9):
+        for p in (1, 2, 3, 4, 5):
+            try:
+                template = candidate_params(l, p)
+                result = ScanSP(machine.gpus[0], stage1_template=template).estimate(problem)
+                rows.append((l, p, result.total_time_s))
+            except ReproError:
+                continue
+    lines = ["Premise-1/2 ablation (Scan-SP, N=2^22, G=2^6):",
+             f"{'l':>4} {'p':>4} {'L':>6} {'P':>4} {'time (ms)':>12}  note"]
+    best = min(rows, key=lambda r: r[2])
+    for l, p, t in rows:
+        note = ""
+        if (l, p) == (derived.l, derived.p):
+            note = "<= premise-derived"
+        if (l, p) == best[:2]:
+            note += " (best)"
+        lines.append(f"{l:>4} {p:>4} {1 << l:>6} {1 << p:>4} {t * 1e3:>12.4f}  {note}")
+    report("ablation_premises", "\n".join(lines))
+
+    derived_time = next(t for l, p, t in rows if (l, p) == (derived.l, derived.p))
+    assert derived_time <= best[2] * 1.10  # within 10% of the grid optimum
+
+
+def test_premise_grid_speed(machine, benchmark):
+    problem = ProblemConfig.from_sizes(N=1 << 20, G=4)
+
+    def grid():
+        for l in (6, 7, 8):
+            for p in (2, 3, 4):
+                ScanSP(machine.gpus[0], stage1_template=candidate_params(l, p)).estimate(problem)
+
+    benchmark(grid)

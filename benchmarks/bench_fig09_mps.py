@@ -1,0 +1,31 @@
+"""Figure 9 — Scan-MPS throughput vs n for W in {1,2,4,8}, G = 2^28/N.
+
+Expected shape (paper Section 5.1): throughput scales along W=1,2,4 (pure
+P2P); W=8 collapses at small n because every problem's auxiliary array is
+written by 8 GPUs through host memory, and recovers as N grows and G
+shrinks."""
+
+from repro.bench.reporting import format_series_table
+from repro.bench.runner import figure9_series
+
+
+def test_regenerate_figure9(machine, report):
+    series = figure9_series(machine)
+    report(
+        "fig09_mps",
+        format_series_table(
+            "Figure 9: Scan-MPS throughput (Gelem/s), G = 2^28/N", series
+        ),
+    )
+    by_label = {s.label: s for s in series}
+    # The cliff: W=8 far below W=4 at n=13; the recovery: W=8 above W=4 at n=28.
+    assert by_label["Scan-MPS W=8"].throughput_at(13) < (
+        0.1 * by_label["Scan-MPS W=4"].throughput_at(13)
+    )
+    assert by_label["Scan-MPS W=8"].throughput_at(28) > (
+        by_label["Scan-MPS W=4"].throughput_at(28)
+    )
+
+
+def test_figure9_sweep_speed(machine, benchmark):
+    benchmark(figure9_series, machine, ws=(1, 4), total_log2=24)

@@ -1,0 +1,30 @@
+"""Figure 10 — Scan-MP-PC for (W=4,V=2) and (W=8,V=4), G = 2^28/N.
+
+Expected shape: flat, high throughput at every n (all traffic P2P inside a
+PCIe network); the W=8/V=4 configuration leads; n=28 omitted because a
+single network solves it (the paper's remark)."""
+
+from repro.bench.reporting import format_series_table
+from repro.bench.runner import figure10_series
+
+
+def test_regenerate_figure10(machine, report):
+    series = figure10_series(machine)
+    report(
+        "fig10_mppc",
+        format_series_table(
+            "Figure 10: Scan-MP-PC throughput (Gelem/s), G = 2^28/N (n=28 omitted)",
+            series,
+        ),
+    )
+    w8 = next(s for s in series if "W=8" in s.label)
+    w4 = next(s for s in series if "W=4" in s.label)
+    for n in (13, 20, 27):
+        assert w8.throughput_at(n) > w4.throughput_at(n)
+    # Flatness: no point deviates far from the series median.
+    tps = [tp for _, tp in w8.points]
+    assert max(tps) / min(tps) < 1.3
+
+
+def test_figure10_sweep_speed(machine, benchmark):
+    benchmark(figure10_series, machine, configs=((8, 4),), total_log2=24)

@@ -1,0 +1,56 @@
+"""Figure 12 — best multi-GPU proposal vs libraries on batches, G = 2^28/N.
+
+Paper aggregates (mean per-point speedups): 9.48x vs CUDPP, 49.81x vs
+Thrust, 33.77x vs ModernGPU, 8.92x vs CUB, 58.44x vs LightScan. Point
+speedups: at n=13/G=32768 — 245.54x ModernGPU, 71.36x Thrust, 14.28x CUB,
+549.79x LightScan; at n=25/G=8 — 6.59x / 18.5x / 5.55x / 5.44x. The
+n=28 point drops (G=1 -> one PCIe network)."""
+
+from repro.bench.reporting import format_series_table
+from repro.bench.runner import figure12_series, mean_speedup
+
+PAPER_MEAN = {"cudpp": 9.48, "thrust": 49.81, "moderngpu": 33.77,
+              "cub": 8.92, "lightscan": 58.44}
+PAPER_N13 = {"thrust": 71.36, "moderngpu": 245.54, "cub": 14.28, "lightscan": 549.79}
+PAPER_N25 = {"thrust": 18.5, "moderngpu": 6.59, "cub": 5.55, "lightscan": 5.44}
+
+
+def test_regenerate_figure12(machine, report):
+    series = figure12_series(machine)
+    ours = series[0]
+    lines = [
+        format_series_table(
+            "Figure 12: batch throughput (Gelem/s), G = 2^28/N", series
+        ),
+        "",
+    ]
+    for s in series[2:]:
+        mean = mean_speedup(ours, s)
+        n13 = ours.throughput_at(13) / s.throughput_at(13)
+        n25 = ours.throughput_at(25) / s.throughput_at(25)
+        line = (
+            f"{s.label:>10}: mean {mean:7.2f}x (paper {PAPER_MEAN[s.label]}) | "
+            f"n=13 {n13:7.2f}x"
+        )
+        if s.label in PAPER_N13:
+            line += f" (paper {PAPER_N13[s.label]})"
+        line += f" | n=25 {n25:6.2f}x"
+        if s.label in PAPER_N25:
+            line += f" (paper {PAPER_N25[s.label]})"
+        lines.append(line)
+
+        # Shape: speedups shrink as N grows (fewer invocations).
+        assert n13 > n25, s.label
+        # Magnitude: endpoint speedups within 2x of the paper's numbers.
+        if s.label in PAPER_N13:
+            assert 0.5 < n13 / PAPER_N13[s.label] < 2.0, s.label
+        if s.label in PAPER_N25:
+            assert 0.5 < n25 / PAPER_N25[s.label] < 2.0, s.label
+    report("fig12_batch", "\n".join(lines))
+
+    # The n=28 drop: G=1 forces a single PCIe network.
+    assert ours.throughput_at(28) < 0.7 * ours.throughput_at(27)
+
+
+def test_figure12_sweep_speed(machine, benchmark):
+    benchmark(figure12_series, machine, total_log2=24)

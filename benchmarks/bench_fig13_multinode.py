@@ -1,0 +1,58 @@
+"""Figure 13 — multi-node Scan-MPS (M=2, W=4) vs libraries, G = 2^28/N,
+plus the M x W = 8 combination study of Section 5.2.
+
+Paper aggregates: 8.51x vs CUDPP, 43.82x vs Thrust, 24.85x vs ModernGPU,
+7.7x vs CUB, 41.2x vs LightScan. Endpoints: n=14 — 50.37x Thrust, 88.31x
+ModernGPU, 10.13x CUB, 109.12x LightScan; n=28 — 8.85x / 3.1x / 3.13x /
+3.22x. Combination study: M=2,W=4 best; 1.48x over M=8,W=1 at 2^13,
+shrinking to 1.03x at 2^28."""
+
+from repro.bench.reporting import format_series_table
+from repro.bench.runner import (
+    figure13_combination_study,
+    figure13_series,
+    mean_speedup,
+)
+
+PAPER_MEAN = {"cudpp": 8.51, "thrust": 43.82, "moderngpu": 24.85,
+              "cub": 7.7, "lightscan": 41.2}
+
+
+def test_regenerate_figure13(cluster, report):
+    series = figure13_series(cluster)
+    ours = series[0]
+    lines = [
+        format_series_table(
+            "Figure 13: multi-node batch throughput (Gelem/s), G = 2^28/N", series
+        ),
+        "",
+    ]
+    for s in series[1:]:
+        mean = mean_speedup(ours, s)
+        lines.append(
+            f"{s.label:>10}: mean {mean:7.2f}x (paper {PAPER_MEAN[s.label]}x)"
+        )
+        assert mean > 1.0
+    report("fig13_multinode", "\n".join(lines))
+
+
+def test_regenerate_figure13_combination_study(cluster, report):
+    study = figure13_combination_study(cluster)
+    lines = ["M x W = 8 combination study (total time, ms):"]
+    for (m, w), times in sorted(study.items()):
+        lines.append(
+            f"  M={m} W={w}: "
+            + "  ".join(f"n={n}: {t * 1e3:10.3f}" for n, t in sorted(times.items()))
+        )
+    r13 = study[(8, 1)][13] / study[(2, 4)][13]
+    r28 = study[(8, 1)][28] / study[(2, 4)][28]
+    lines.append(f"  M=2,W=4 over M=8,W=1 at n=13: {r13:.2f}x (paper 1.48x)")
+    lines.append(f"  M=2,W=4 over M=8,W=1 at n=28: {r28:.2f}x (paper 1.03x)")
+    report("fig13_combination", "\n".join(lines))
+    # Shape: the M=2,W=4 advantage exists at n=13 and shrinks at n=28.
+    assert r13 > 1.0
+    assert r28 < r13
+
+
+def test_figure13_sweep_speed(cluster, benchmark):
+    benchmark(figure13_series, cluster, total_log2=24)

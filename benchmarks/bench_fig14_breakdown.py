@@ -1,0 +1,31 @@
+"""Figure 14 — time breakdown for M=2, W=4, G = 2^28/N.
+
+Expected shape: MPI overhead (barrier + gather + scatter) roughly constant
+across n — shrinking slightly as G decreases ("the time spent on MPI_Gather
+and MPI_Scatter collectives is reduced when G is also decreased") — while
+the Stage 1/3 kernel times track the constant total payload."""
+
+from repro.bench.reporting import format_breakdown_table
+from repro.bench.runner import figure14_breakdown
+
+
+def test_regenerate_figure14(cluster, report):
+    breakdowns = figure14_breakdown(cluster)
+    report(
+        "fig14_breakdown",
+        format_breakdown_table(
+            "Figure 14: per-phase time (ms), M=2 W=4, G = 2^28/N", breakdowns
+        ),
+    )
+    small, large = breakdowns[13], breakdowns[28]
+    mpi_small = small["mpi_gather"] + small["mpi_scatter"]
+    mpi_large = large["mpi_gather"] + large["mpi_scatter"]
+    assert mpi_large <= mpi_small  # fewer aux elements at G=1
+    # Barrier is G-independent.
+    assert large["mpi_barrier"] == small["mpi_barrier"]
+    # Kernel stages carry the same total payload at every n (within 2x).
+    assert 0.5 < large["stage1"] / small["stage1"] < 2.0
+
+
+def test_figure14_sweep_speed(cluster, benchmark):
+    benchmark(figure14_breakdown, cluster, total_log2=24, n_values=(14, 20))

@@ -1,0 +1,88 @@
+"""Full evaluation report: every regenerated artifact in one document.
+
+Writes ``benchmarks/results/REPORT.md`` (tables + speedup summaries +
+calibration anchors) and the per-figure CSVs — the single artifact to
+diff after a recalibration.
+"""
+
+from pathlib import Path
+
+from repro.bench.calibration import check_all_anchors, format_anchor_report
+from repro.bench.reporting import format_breakdown_table, format_series_table, series_to_csv
+from repro.bench.runner import (
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    figure12_series,
+    figure13_combination_study,
+    figure13_series,
+    figure14_breakdown,
+    mean_speedup,
+)
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def test_write_full_report(machine, cluster, report):
+    RESULTS.mkdir(exist_ok=True)
+    sections: list[str] = [
+        "# Regenerated evaluation report",
+        "",
+        "Produced by `pytest benchmarks/bench_full_report.py`. "
+        "Throughput in Gelem/s; see EXPERIMENTS.md for the paper-vs-measured "
+        "discussion.",
+        "",
+    ]
+
+    figures = [
+        ("Figure 9 — Scan-MPS", "fig09", figure9_series(machine)),
+        ("Figure 10 — Scan-MP-PC", "fig10", figure10_series(machine)),
+        ("Figure 11 — G=1 comparison", "fig11", figure11_series(machine)),
+        ("Figure 12 — batch comparison", "fig12", figure12_series(machine)),
+        ("Figure 13 — multi-node comparison", "fig13",
+         figure13_series(cluster)),
+    ]
+    for title, slug, series in figures:
+        sections.append(f"## {title}")
+        sections.append("```")
+        sections.append(format_series_table("", series).lstrip("\n"))
+        sections.append("```")
+        if slug in ("fig11", "fig12", "fig13"):
+            ours = series[0]
+            skip = 2 if slug in ("fig11", "fig12") else 1
+            for s in series[skip:]:
+                sections.append(
+                    f"- mean speedup vs **{s.label}**: "
+                    f"{mean_speedup(ours, s):.2f}x"
+                )
+        sections.append("")
+        (RESULTS / f"{slug}.csv").write_text(series_to_csv(series))
+
+    sections.append("## Figure 14 — breakdown (ms)")
+    sections.append("```")
+    sections.append(
+        format_breakdown_table("", figure14_breakdown(cluster)).lstrip("\n")
+    )
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## M x W combination study (ms)")
+    study = figure13_combination_study(cluster)
+    sections.append("```")
+    for (m, w), times in sorted(study.items()):
+        row = "  ".join(f"n={n}: {t * 1e3:9.3f}" for n, t in sorted(times.items()))
+        sections.append(f"M={m} W={w}: {row}")
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## Calibration anchors")
+    sections.append("```")
+    sections.append(format_anchor_report(check_all_anchors(machine)))
+    sections.append("```")
+
+    text = "\n".join(sections)
+    (RESULTS / "REPORT.md").write_text(text + "\n")
+    report("report_index", f"REPORT.md written ({len(text.splitlines())} lines) "
+           f"+ CSVs: " + ", ".join(s for _, s, _ in figures))
+    assert (RESULTS / "REPORT.md").exists()
+    assert (RESULTS / "fig12.csv").exists()

@@ -1,0 +1,28 @@
+"""Table 3 — performance parameters per SM on cc 3.7.
+
+Regenerates the paper's occupancy table row by row and benchmarks the
+occupancy calculator (it sits on the tuner's hot path)."""
+
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.gpusim.occupancy import occupancy
+from repro.core.occupancy_table import format_occupancy_table, occupancy_table
+
+
+def test_regenerate_table3(report):
+    text = format_occupancy_table(KEPLER_K80)
+    report("table3_occupancy", text)
+    rows = occupancy_table(KEPLER_K80)
+    assert [r.blocks_per_sm for r in rows] == [16, 16, 16, 8, 4, 2]
+
+
+def test_regenerate_table3_maxwell(report):
+    """The Maxwell variant Premise 1 alludes to (32 blocks/SM)."""
+    report("table3_occupancy_maxwell", format_occupancy_table(MAXWELL_GM200))
+
+
+def test_occupancy_calculator_speed(benchmark):
+    def run():
+        for warps in (1, 2, 4, 8, 16, 32):
+            occupancy(KEPLER_K80, warps, 64, 7168)
+
+    benchmark(run)

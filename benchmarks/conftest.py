@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper and
+benchmarks the simulator work behind it. Regenerated outputs (the rows the
+paper reports) are printed to stdout and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Return a callable that prints and archives a regenerated artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def machine():
+    from repro.interconnect.topology import tsubame_kfc
+
+    return tsubame_kfc(1)
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    from repro.interconnect.topology import tsubame_kfc
+
+    return tsubame_kfc(8)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Batch workloads and the premise-driven tuner.
+
+The paper's motivating scenario: an application solves G instances of the
+same scan problem simultaneously ("there are many cases where an
+application solves many instances of the same problem"). This example:
+
+1. derives the (s, p, l) kernel parameters from Premises 1-2,
+2. enumerates the K search space from Eq. 1 (Premise 3),
+3. sweeps K empirically with the tuner (as Section 3.2 prescribes),
+4. compares the tuned batch proposal against the five modelled libraries.
+"""
+
+import numpy as np
+
+from repro import tsubame_kfc
+from repro.baselines import ALL_BASELINES
+from repro.core import (
+    PremiseTuner,
+    ScanMPPC,
+    NodeConfig,
+    ProblemConfig,
+    derive_stage_kernel_params,
+    k_search_space,
+    premise1_block_configuration,
+)
+
+
+def main() -> None:
+    machine = tsubame_kfc()
+    rng = np.random.default_rng(1)
+
+    # --- Premises 1 + 2: the (s, p, l) tuple --------------------------------
+    p1 = premise1_block_configuration(machine.arch)
+    params = derive_stage_kernel_params(machine.arch, np.int32)
+    print("Premise 1 (balance block/warp parallelism):")
+    print(f"  {p1.warps_per_block} warps/block (L = {1 << p1.l}), "
+          f"<= {p1.reg_budget_per_thread} regs/thread, "
+          f"<= {p1.smem_budget_per_block} B smem/block "
+          f"-> {p1.blocks_per_sm} blocks/SM at {p1.warp_occupancy:.0%} occupancy")
+    print(f"Premise 2 (registers per thread): p = {params.p} (P = {params.P})")
+
+    # --- Premise 3: the K search space --------------------------------------
+    G, N = 256, 1 << 15
+    problem = ProblemConfig.from_sizes(N=N, G=G, dtype=np.int32)
+    space = k_search_space(problem, params, params, machine.arch)
+    print(f"\nPremise 3 search space for K (N=2^15, G=2^8): {space}")
+
+    # --- Empirical sweep (the paper tests every admissible K) ---------------
+    data = rng.integers(0, 100, (G, N)).astype(np.int32)
+    tuner = PremiseTuner(machine)
+    node = NodeConfig.from_counts(W=8, V=4)
+    outcome = tuner.tune_mppc(node, data)
+    print("\nEmpirical K sweep (Scan-MP-PC, W=8, V=4):")
+    for cand in outcome.candidates:
+        marker = "  <= best" if cand.K == outcome.best_k else ""
+        print(f"  K={cand.K:>4}: {cand.time_s * 1e3:8.4f} ms "
+              f"({cand.throughput_gelems:6.2f} Gelem/s){marker}")
+
+    # --- Comparison with the libraries (Figure 12's scenario) ---------------
+    ours = ScanMPPC(machine, node, K=outcome.best_k).run(data)
+    np.testing.assert_array_equal(ours.output, np.cumsum(data, axis=1, dtype=np.int32))
+    print(f"\nBatch of G={G} problems, N={N} each (single invocation):")
+    print(f"  {'scan-mp-pc (ours)':>22}: {ours.total_time_s * 1e3:9.3f} ms")
+    for lib in ALL_BASELINES:
+        time_s, mode = lib.time_batch(N, G, machine.arch)
+        print(f"  {lib.name + ' [' + mode + ']':>22}: {time_s * 1e3:9.3f} ms "
+              f"({time_s / ours.total_time_s:6.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

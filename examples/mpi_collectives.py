@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Building other multi-GPU algorithms on the substrate's MPI surface.
+
+The simulator is a general multi-GPU development substrate, not just the
+scan's engine: this example implements a distributed dot product and a
+distributed matrix transpose directly on the CUDA-aware collectives
+(reduce/allreduce/alltoall), with costs traced exactly like the scan's.
+"""
+
+import numpy as np
+
+from repro.gpusim.events import Trace
+from repro.interconnect.topology import tsubame_kfc
+from repro.mpisim.communicator import Communicator
+
+
+def distributed_dot(comm, trace, a_parts, b_parts):
+    """dot(a, b) with a and b sharded across the communicator's GPUs."""
+    partials = []
+    for gpu, a_buf, b_buf in zip(comm.gpus, a_parts, b_parts):
+        # Device-side partial reduction (one number per GPU).
+        partial = gpu.upload(
+            np.array([np.dot(a_buf.to_host(), b_buf.to_host())], dtype=np.int64)
+        )
+        partials.append(partial)
+    recvs = [gpu.alloc((1,), np.int64, fill=0) for gpu in comm.gpus]
+    comm.allreduce(trace, "dot_allreduce", partials, recvs)
+    return int(recvs[0].to_host()[0])
+
+
+def distributed_transpose(comm, trace, row_blocks):
+    """Block transpose: rank i holds row-block i; after the alltoall each
+    rank holds column-block i (the index-digit exchange pattern)."""
+    size = comm.size
+    rows_per_rank = row_blocks[0].shape[0]
+    block = row_blocks[0].shape[1] // size
+    sends, recvs = [], []
+    for gpu, rows in zip(comm.gpus, row_blocks):
+        # send[i][j] = this rank's rows restricted to column block j.
+        host = rows.to_host().reshape(rows_per_rank, size, block).transpose(1, 0, 2)
+        sends.append(gpu.upload(np.ascontiguousarray(host)))
+        recvs.append(gpu.alloc(host.shape, host.dtype, fill=0))
+    comm.alltoall(trace, "transpose_a2a", sends, recvs)
+    # recv[j][i] = M[rows_i, cols_j]: stacking over i rebuilds the full
+    # column block, whose transpose is M.T's row block j.
+    return [
+        buf.to_host().reshape(size * rows_per_rank, block).T for buf in recvs
+    ]
+
+
+def main() -> None:
+    cluster = tsubame_kfc(2)
+    groups = cluster.select_gpus(4, 4, 2)
+    comm = Communicator(cluster, [g for grp in groups for g in grp])
+    rng = np.random.default_rng(11)
+    trace = Trace()
+
+    # --- distributed dot product ------------------------------------------
+    n_local = 1 << 12
+    a = rng.integers(-10, 10, (comm.size, n_local)).astype(np.int64)
+    b = rng.integers(-10, 10, (comm.size, n_local)).astype(np.int64)
+    a_parts = [g.upload(a[i]) for i, g in enumerate(comm.gpus)]
+    b_parts = [g.upload(b[i]) for i, g in enumerate(comm.gpus)]
+    got = distributed_dot(comm, trace, a_parts, b_parts)
+    assert got == int(np.dot(a.reshape(-1), b.reshape(-1)))
+    print(f"distributed dot over {comm.size} GPUs on 2 nodes: {got} (verified)")
+
+    # --- distributed transpose --------------------------------------------
+    rows_per_rank, cols = 8, comm.size * 16
+    matrix = rng.integers(0, 100, (comm.size * rows_per_rank, cols)).astype(np.int32)
+    row_blocks = [
+        g.upload(matrix[i * rows_per_rank : (i + 1) * rows_per_rank])
+        for i, g in enumerate(comm.gpus)
+    ]
+    col_blocks = distributed_transpose(comm, trace, row_blocks)
+    rebuilt = np.concatenate(col_blocks, axis=0)
+    np.testing.assert_array_equal(rebuilt, matrix.T)
+    print(f"distributed {matrix.shape} transpose via alltoall (verified)")
+
+    print("\nsimulated communication costs:")
+    for phase, seconds in trace.breakdown().items():
+        print(f"  {phase:>16}: {seconds * 1e6:9.1f} us")
+    lanes = {r.lane for r in trace.mpi_records()}
+    print(f"lanes used: {sorted(lanes)}")
+
+
+if __name__ == "__main__":
+    main()

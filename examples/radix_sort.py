@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Radix sort built on the batched scan: another classic scan application.
+
+Each pass of a binary (LSB) radix sort is a *split* operation: elements
+with bit=0 keep their relative order at the front, bit=1 elements follow.
+The split's scatter addresses come from an exclusive scan of the inverted
+bit flags — so a b-bit sort is b batched scans. This is exactly the
+composition pattern (sort inside a larger pipeline of G instances) that
+motivates the paper's batch interface.
+"""
+
+import numpy as np
+
+from repro import scan, tsubame_kfc
+
+
+def split_by_bit(keys: np.ndarray, bit: int, machine) -> np.ndarray:
+    """One radix pass over a (G, N) batch, stable within each row."""
+    bits = ((keys >> bit) & 1).astype(np.int32)
+    zeros = (1 - bits).astype(np.int32)
+    # Exclusive scan of the zero-flags: address of every bit=0 element.
+    result = scan(zeros, topology=machine, proposal="sp", inclusive=False)
+    zero_addr = result.output
+    total_zeros = zero_addr[:, -1:] + zeros[:, -1:]
+    # bit=1 elements go after all zeros, in encounter order.
+    one_addr = np.arange(keys.shape[1])[None, :] - zero_addr + total_zeros - zeros * 0
+    addresses = np.where(bits == 0, zero_addr, one_addr)
+
+    out = np.empty_like(keys)
+    rows = np.repeat(np.arange(keys.shape[0]), keys.shape[1])
+    out[rows, addresses.reshape(-1)] = keys.reshape(-1)
+    return out
+
+
+def radix_sort(keys: np.ndarray, bits: int, machine) -> np.ndarray:
+    for bit in range(bits):
+        keys = split_by_bit(keys, bit, machine)
+    return keys
+
+
+def main() -> None:
+    machine = tsubame_kfc()
+    rng = np.random.default_rng(5)
+
+    G, N, BITS = 16, 1 << 12, 10
+    keys = rng.integers(0, 1 << BITS, (G, N)).astype(np.int32)
+
+    sorted_keys = radix_sort(keys, BITS, machine)
+    np.testing.assert_array_equal(sorted_keys, np.sort(keys, axis=1))
+
+    print(f"radix-sorted a batch of {G} arrays of {N} {BITS}-bit keys")
+    print(f"used {BITS} batched exclusive scans (one per bit)")
+    print("verified against numpy.sort for every row")
+
+
+if __name__ == "__main__":
+    main()

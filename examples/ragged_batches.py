@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Ragged batches: scanning many differently-sized problems at once.
+
+The paper's interface takes uniform 2^g x 2^n batches. Real workloads —
+per-query postings lists, variable-length event streams, adjacency rows —
+are ragged. The `scan_ragged` extension pads each problem with the
+operator identity to the next power of two, groups equal padded sizes, and
+runs one batched scan per group, preserving the amortisation story.
+"""
+
+import numpy as np
+
+from repro import scan_ragged, scan_segments, tsubame_kfc
+
+
+def main() -> None:
+    machine = tsubame_kfc()
+    rng = np.random.default_rng(6)
+
+    # A ragged collection: 500 event streams with sizes drawn log-uniformly.
+    sizes = (2.0 ** rng.uniform(3, 12, 500)).astype(int)
+    streams = [rng.integers(0, 100, s).astype(np.int32) for s in sizes]
+
+    scanned, results = scan_ragged(streams, machine)
+
+    for src, out in zip(streams, scanned):
+        np.testing.assert_array_equal(out, np.cumsum(src, dtype=np.int32))
+
+    total_elements = int(sizes.sum())
+    padded_elements = sum(r.problem.total_elements for r in results)
+    total_time = sum(r.total_time_s for r in results)
+    print(f"scanned {len(streams)} ragged problems "
+          f"({total_elements} real elements) in {len(results)} batch invocations")
+    print(f"padding overhead: {padded_elements / total_elements:.2f}x elements")
+    print(f"simulated time: {total_time * 1e3:.3f} ms")
+    for r in results:
+        print(f"  group N={r.problem.N:>6} G={r.problem.G:>4}: "
+              f"{r.total_time_s * 1e6:9.1f} us ({r.proposal})")
+
+    # The flat-segments variant: one concatenated buffer + lengths.
+    lengths = [3, 300, 17, 2000]
+    flat = rng.integers(0, 50, sum(lengths)).astype(np.int64)
+    flat_scanned, _ = scan_segments(flat, lengths, machine)
+    offset = 0
+    for l in lengths:
+        np.testing.assert_array_equal(
+            flat_scanned[offset:offset + l], np.cumsum(flat[offset:offset + l])
+        )
+        offset += l
+    print("\nscan_segments verified on a concatenated 4-segment buffer")
+
+
+if __name__ == "__main__":
+    main()

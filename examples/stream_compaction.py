@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Stream compaction: the classic scan application (the intro's use case).
+
+Scan "is the building block of different application[s]"; stream
+compaction (filtering elements that satisfy a predicate while preserving
+order) is the canonical one: an exclusive scan of the predicate flags
+yields each surviving element's output address.
+
+This example compacts a batch of G sensor streams on the simulated
+multi-GPU node with ONE batched exclusive scan — the exact scenario where
+a per-problem library would pay G invocations.
+"""
+
+import numpy as np
+
+from repro import scan, tsubame_kfc
+
+
+def compact_batch(streams: np.ndarray, predicate, machine) -> list[np.ndarray]:
+    """Compact each row of ``streams``, keeping elements where ``predicate``.
+
+    Uses one batched exclusive scan for all G streams' scatter addresses.
+    """
+    flags = predicate(streams).astype(np.int32)
+    result = scan(flags, topology=machine, proposal="auto", W=8, V=4,
+                  inclusive=False)
+    addresses = result.output  # exclusive scan: output slot per survivor
+    counts = addresses[:, -1] + flags[:, -1]
+
+    compacted = []
+    for row, addr, flag, count in zip(streams, addresses, flags, counts):
+        out = np.empty(int(count), dtype=row.dtype)
+        mask = flag.astype(bool)
+        out[addr[mask]] = row[mask]
+        compacted.append(out)
+    return compacted, result
+
+
+def main() -> None:
+    machine = tsubame_kfc()
+    rng = np.random.default_rng(4)
+
+    G, N = 32, 1 << 14
+    # Sensor readings with dropouts encoded as negative values.
+    streams = rng.normal(50, 20, (G, N)).astype(np.int32)
+
+    compacted, scan_result = compact_batch(streams, lambda x: x >= 0, machine)
+
+    # Verify against the straightforward numpy filter.
+    for row, out in zip(streams, compacted):
+        np.testing.assert_array_equal(out, row[row >= 0])
+
+    kept = sum(len(c) for c in compacted)
+    print(f"compacted {G} streams of {N} readings in one batched scan")
+    print(f"kept {kept} of {G * N} readings "
+          f"({kept / (G * N):.1%} pass the predicate)")
+    print(f"scan proposal: {scan_result.proposal}, "
+          f"simulated time {scan_result.total_time_s * 1e3:.3f} ms "
+          f"({scan_result.throughput_gelems:.2f} Gelem/s)")
+    print("all streams verified against the numpy reference filter")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Trace analysis: timelines, derived metrics and JSON export.
+
+Every simulated run yields a structured trace; this example shows the
+analysis surface: the lane/phase ASCII timeline (how GPUs, PCIe switches
+and hosts overlap), roofline metrics per kernel, the communication share,
+and the JSON export for external tooling.
+"""
+
+import json
+
+import numpy as np
+
+from repro import scan, tsubame_kfc
+from repro.gpusim.metrics import (
+    ascii_timeline,
+    communication_share,
+    kernel_metrics,
+    summarize,
+)
+
+
+def main() -> None:
+    machine = tsubame_kfc()
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 100, (32, 1 << 15)).astype(np.int32)
+
+    result = scan(data, topology=machine, proposal="mppc", W=8, V=4,
+                  include_distribution=True)
+    np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    print("=== timeline (lanes x phases) ===")
+    print(ascii_timeline(result.trace))
+
+    print("\n=== per-kernel roofline metrics ===")
+    print(f"{'kernel':>18} {'gpu':>4} {'time (us)':>10} {'GB/s':>8} "
+          f"{'%achievable':>12} {'ops/byte':>9}")
+    for km in kernel_metrics(result.trace, machine.arch)[:10]:
+        print(f"{km.name:>18} {km.gpu_id:>4} {km.time_s * 1e6:>10.1f} "
+              f"{km.achieved_bandwidth_gbs:>8.1f} {km.bandwidth_fraction:>11.0%} "
+              f"{km.arithmetic_intensity:>9.3f}")
+
+    print("\n=== summary ===")
+    for key, value in summarize(result.trace, machine.arch).items():
+        print(f"  {key}: {value}")
+    print(f"  communication share: {communication_share(result.trace):.1%}")
+
+    payload = json.loads(result.trace.to_json())
+    print(f"\nJSON export: {len(payload['records'])} records, "
+          f"phases {payload['phases']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: reproduction of "Efficient Solving of Scan Primitive on Multi-GPU
+Systems" (Diéguez, Amor, Doallo, Nukada, Matsuoka — IPPS 2018).
+
+A batch scan (prefix-sum) library with the paper's premise-driven tuning
+strategy and its execution proposals (Scan-SP, problem-parallel, Scan-MPS,
+Scan-MP-PC, multi-node MPS), running on a simulated CUDA-like
+multi-GPU/multi-node substrate (see DESIGN.md for the substitutions).
+
+Quickstart::
+
+    import numpy as np
+    from repro import scan, tsubame_kfc
+
+    machine = tsubame_kfc()                      # 2 PCIe nets x 4 K80s
+    data = np.random.randint(0, 100, (64, 4096)).astype(np.int32)
+    result = scan(data, topology=machine, W=4, V=4)
+    np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1))
+    print(result.summary())
+"""
+
+from repro.core.api import batch_scan, recommend_proposal, scan
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.ragged import scan_ragged, scan_segments
+from repro.core.results import ScanResult
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200, PASCAL_P100, get_architecture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "batch_scan",
+    "recommend_proposal",
+    "scan",
+    "scan_ragged",
+    "scan_segments",
+    "NodeConfig",
+    "ProblemConfig",
+    "ScanResult",
+    "SystemTopology",
+    "tsubame_kfc",
+    "KEPLER_K80",
+    "MAXWELL_GM200",
+    "PASCAL_P100",
+    "get_architecture",
+    "__version__",
+]

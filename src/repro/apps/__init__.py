@@ -1,0 +1,35 @@
+"""Scan applications: the building-block uses the paper's introduction cites.
+
+"The scan operator is widely used in different scientific disciplines and
+is the building block of different application[s]" — this package provides
+the classic ones as library functions over the batched scan API:
+
+- :mod:`repro.apps.compaction` — stream compaction / select / partition,
+- :mod:`repro.apps.sorting` — split-based LSB radix sort,
+- :mod:`repro.apps.sat` — summed-area tables (2-D scan),
+- :mod:`repro.apps.histogram` — cumulative histograms / CDFs / quantiles.
+
+All of them operate on batches (G instances in one scan invocation), which
+is exactly the workload pattern the paper's batch interface exists for.
+"""
+
+from repro.apps.compaction import compact, partition_stable, select_indices
+from repro.apps.histogram import batched_cdf, cumulative_histogram, quantiles
+from repro.apps.sat import integral_of_region, summed_area_table
+from repro.apps.sorting import radix_sort, split_by_bit
+from repro.apps.windowed import moving_average, windowed_sums
+
+__all__ = [
+    "compact",
+    "partition_stable",
+    "select_indices",
+    "batched_cdf",
+    "cumulative_histogram",
+    "quantiles",
+    "integral_of_region",
+    "summed_area_table",
+    "radix_sort",
+    "split_by_bit",
+    "moving_average",
+    "windowed_sums",
+]

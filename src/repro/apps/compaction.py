@@ -1,0 +1,105 @@
+"""Stream compaction on the batched scan.
+
+Compaction (keep the elements satisfying a predicate, preserving order) is
+the canonical scan application: an exclusive scan of the 0/1 predicate
+flags yields each survivor's output address. The batched variant compacts
+G independent streams with ONE scan invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.core.api import scan
+from repro.core.results import ScanResult
+
+
+def _scan_flags(
+    flags: np.ndarray,
+    topology: SystemTopology | None,
+    **scan_kwargs,
+) -> ScanResult:
+    topology = topology or tsubame_kfc()
+    scan_kwargs.setdefault("proposal", "auto")
+    scan_kwargs.setdefault("W", min(topology.gpus_per_node, topology.total_gpus))
+    scan_kwargs.setdefault("V", topology.gpus_per_network)
+    return scan(flags, topology=topology, inclusive=False, **scan_kwargs)
+
+
+def select_indices(
+    mask: np.ndarray,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, np.ndarray, ScanResult]:
+    """Scatter addresses for a batched boolean mask.
+
+    Returns ``(addresses, counts, scan_result)``: for each row,
+    ``addresses[g, i]`` is the output slot of element ``i`` if
+    ``mask[g, i]`` is set, and ``counts[g]`` the number of survivors.
+    """
+    mask = np.atleast_2d(np.asarray(mask))
+    if mask.dtype != bool and not np.issubdtype(mask.dtype, np.integer):
+        raise ConfigurationError(f"mask must be boolean or integer, got {mask.dtype}")
+    flags = mask.astype(np.int32)
+    result = _scan_flags(flags, topology, **scan_kwargs)
+    addresses = result.output
+    counts = addresses[:, -1] + flags[:, -1]
+    return addresses, counts, result
+
+
+def compact(
+    streams: np.ndarray,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[list[np.ndarray], ScanResult]:
+    """Compact each row of a (G, N) batch, keeping ``predicate`` elements.
+
+    Returns the list of per-stream compacted arrays (ragged lengths) and
+    the scan result (for its simulated timing).
+    """
+    streams = np.atleast_2d(np.asarray(streams))
+    mask = np.asarray(predicate(streams), dtype=bool)
+    if mask.shape != streams.shape:
+        raise ConfigurationError(
+            f"predicate produced shape {mask.shape}, expected {streams.shape}"
+        )
+    addresses, counts, result = select_indices(mask, topology, **scan_kwargs)
+    compacted: list[np.ndarray] = []
+    for row, addr, m, count in zip(streams, addresses, mask, counts):
+        out = np.empty(int(count), dtype=row.dtype)
+        out[addr[m]] = row[m]
+        compacted.append(out)
+    return compacted, result
+
+
+def partition_stable(
+    streams: np.ndarray,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, np.ndarray, ScanResult]:
+    """Stable partition of each row: predicate-true elements first.
+
+    Returns ``(partitioned, split_points, scan_result)`` where
+    ``split_points[g]`` is the index where the false-group starts. The
+    order inside both groups is preserved (the split primitive underlying
+    radix sort).
+    """
+    streams = np.atleast_2d(np.asarray(streams))
+    mask = np.asarray(predicate(streams), dtype=bool)
+    true_addr, counts, result = select_indices(mask, topology, **scan_kwargs)
+    g, n = streams.shape
+    positions = np.arange(n)[None, :]
+    # False elements go after all true ones, keeping encounter order:
+    # their address is (position - true_elements_before) + count_true.
+    false_addr = positions - true_addr + counts[:, None]
+    addresses = np.where(mask, true_addr, false_addr)
+    out = np.empty_like(streams)
+    rows = np.repeat(np.arange(g), n)
+    out[rows, addresses.reshape(-1)] = streams.reshape(-1)
+    return out, counts, result

@@ -1,0 +1,68 @@
+"""Cumulative histograms, CDFs and quantiles via the batched scan.
+
+Turning a batch of per-bin counts into cumulative distributions is a
+direct scan; it is the core of histogram equalisation, radix-sort digit
+offsets and sampling from discrete distributions (the paper cites Steele &
+Tristan's butterfly partial sums for exactly this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import SystemTopology
+from repro.core.api import scan
+from repro.core.results import ScanResult
+from repro.util.ints import is_power_of_two
+
+
+def cumulative_histogram(
+    counts: np.ndarray,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, ScanResult]:
+    """Inclusive scan of per-bin counts: ``out[g, b] = sum(counts[g, :b+1])``."""
+    counts = np.atleast_2d(np.asarray(counts))
+    if not is_power_of_two(counts.shape[1]):
+        raise ConfigurationError(
+            f"bin count must be a power of two, got {counts.shape[1]}"
+        )
+    scan_kwargs.setdefault("proposal", "sp")
+    result = scan(counts, topology=topology, inclusive=True, **scan_kwargs)
+    return result.output, result
+
+
+def batched_cdf(
+    counts: np.ndarray,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, ScanResult]:
+    """Normalised CDFs for a (G, bins) batch of histograms."""
+    cumulative, result = cumulative_histogram(counts, topology, **scan_kwargs)
+    totals = cumulative[:, -1:].astype(np.float64)
+    if np.any(totals == 0):
+        raise ConfigurationError("every histogram needs at least one count")
+    return cumulative / totals, result
+
+
+def quantiles(
+    counts: np.ndarray,
+    qs: np.ndarray,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, ScanResult]:
+    """Per-histogram quantile bin indices from the batched CDF.
+
+    ``qs`` are quantile levels in (0, 1]; returns shape (G, len(qs)) of
+    the smallest bin whose CDF reaches each level.
+    """
+    qs = np.asarray(qs, dtype=np.float64)
+    if qs.ndim != 1 or np.any(qs <= 0) or np.any(qs > 1):
+        raise ConfigurationError("quantile levels must be a 1-D array in (0, 1]")
+    cdf, result = batched_cdf(counts, topology, **scan_kwargs)
+    # searchsorted per row: the first bin with cdf >= q.
+    idx = np.empty((cdf.shape[0], qs.size), dtype=np.int64)
+    for g in range(cdf.shape[0]):
+        idx[g] = np.searchsorted(cdf[g], qs, side="left")
+    return idx, result

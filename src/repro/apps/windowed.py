@@ -1,0 +1,62 @@
+"""Sliding-window aggregations from prefix sums.
+
+A windowed sum over a stream is two prefix sums apart:
+``window_sum[i] = S[i] - S[i - w]`` where ``S`` is the inclusive prefix
+sum (with ``S[-1] = 0``). One batched scan therefore turns G streams into
+G sliding-window series — moving averages, rate counters, rolling
+integrals — which is the streaming-analytics face of the paper's Big Data
+motivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import SystemTopology
+from repro.core.api import scan
+from repro.core.results import ScanResult
+
+
+def windowed_sums(
+    streams: np.ndarray,
+    window: int,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, ScanResult]:
+    """Sliding-window sums of each row of a (G, N) batch.
+
+    ``out[g, i]`` is the sum of the last ``min(i+1, window)`` elements —
+    the leading ``window-1`` positions hold the partial (growing) window,
+    as streaming systems report it.
+
+    The accumulation runs in int64 internally so windows of int32 inputs
+    cannot overflow on the prefix array.
+    """
+    streams = np.atleast_2d(np.asarray(streams))
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if window > streams.shape[1]:
+        raise ConfigurationError(
+            f"window {window} exceeds the stream length {streams.shape[1]}"
+        )
+    scan_kwargs.setdefault("proposal", "sp")
+    wide = streams.astype(np.int64) if streams.dtype.kind in "iu" else streams
+    result = scan(wide, topology=topology, inclusive=True, **scan_kwargs)
+    prefix = result.output
+    out = prefix.copy()
+    out[:, window:] = prefix[:, window:] - prefix[:, :-window]
+    return out, result
+
+
+def moving_average(
+    streams: np.ndarray,
+    window: int,
+    topology: SystemTopology | None = None,
+    **scan_kwargs,
+) -> tuple[np.ndarray, ScanResult]:
+    """Sliding-window means (float64) of each row of a (G, N) batch."""
+    sums, result = windowed_sums(streams, window, topology, **scan_kwargs)
+    n = streams.shape[-1] if streams.ndim > 1 else len(streams)
+    counts = np.minimum(np.arange(1, n + 1), window)
+    return sums / counts, result

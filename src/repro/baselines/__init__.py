@@ -1,0 +1,38 @@
+"""Modelled competitor libraries (Section 5's comparison set)."""
+
+from repro.baselines.base import (
+    BaselineLibrary,
+    BaselineResult,
+    LibraryMode,
+)
+from repro.baselines.cub import CUB
+from repro.baselines.cudpp import CUDPP
+from repro.baselines.lightscan import LIGHTSCAN
+from repro.baselines.moderngpu import MODERNGPU
+from repro.baselines.thrust import THRUST
+
+#: All five baselines, in the paper's citation order.
+ALL_BASELINES: tuple[BaselineLibrary, ...] = (CUDPP, THRUST, MODERNGPU, CUB, LIGHTSCAN)
+
+
+def get_baseline(name: str) -> BaselineLibrary:
+    """Resolve a baseline by name (case-insensitive)."""
+    for lib in ALL_BASELINES:
+        if lib.name == name.lower():
+            return lib
+    known = ", ".join(lib.name for lib in ALL_BASELINES)
+    raise KeyError(f"unknown baseline {name!r}; known: {known}")
+
+
+__all__ = [
+    "BaselineLibrary",
+    "BaselineResult",
+    "LibraryMode",
+    "CUB",
+    "CUDPP",
+    "LIGHTSCAN",
+    "MODERNGPU",
+    "THRUST",
+    "ALL_BASELINES",
+    "get_baseline",
+]

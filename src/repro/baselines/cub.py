@@ -1,0 +1,36 @@
+"""CUB DeviceScan model.
+
+CUB's decoupled-lookback single-pass scan "already runs at nearly the
+maximum theoretical rate for a single GPU" (the paper, citing Merrill &
+Garland): ~2 payload passes plus lookback descriptor traffic, minimal
+per-call overhead (an init kernel + the scan kernel). No batch interface;
+a segmented scan can be built "following [20], modifying the datatype and
+extending the sum operator with an additional condition" — the (flag,
+value) pair doubles the element and costs efficiency. The paper found the
+per-call route faster for n >= 17, the segmented route below that; the
+mode-selection model reproduces that switch.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineLibrary, LibraryMode
+
+CUB = BaselineLibrary(
+    name="cub",
+    per_call=LibraryMode(
+        name="per_call",
+        bytes_per_element=8.8,  # 2 passes of int32 + lookback descriptors
+        efficiency=0.69,
+        kernel_launches=2,  # DeviceScan init + scan kernel
+        host_overhead_s=1e-6,
+        elements_per_block=2048,
+    ),
+    segmented=LibraryMode(
+        name="segmented",
+        bytes_per_element=17.6,  # (flag, value) pairs double the element size
+        efficiency=0.51,  # extended operator + divergence on flags
+        kernel_launches=2,
+        host_overhead_s=1e-6,
+        elements_per_block=2048,
+    ),
+)

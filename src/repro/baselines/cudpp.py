@@ -1,0 +1,34 @@
+"""CUDPP model.
+
+CUDPP's scan is the classical recursive three-phase (reduce / scan /
+fixup) implementation; its per-level kernel count grows with problem size.
+Crucially, CUDPP is the only competitor with a native batch interface —
+``multiScan`` scans many rows in one invocation ("only CUDPP supports this
+feature with its multiScan function") — but the batched code path is much
+less efficient than modern single-problem scans, which is how the paper can
+be 9.48x faster on batches while CUDPP still beats per-call libraries.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineLibrary, LibraryMode
+
+CUDPP = BaselineLibrary(
+    name="cudpp",
+    per_call=LibraryMode(
+        name="per_call",
+        bytes_per_element=12.0,  # 3 passes (reduce + scan + fixup)
+        efficiency=0.82,
+        kernel_launches=5,  # recursive levels at large N
+        host_overhead_s=4e-6,
+        elements_per_block=1024,
+    ),
+    multiscan=LibraryMode(
+        name="multiscan",
+        bytes_per_element=14.0,  # batched rows add index/descriptor traffic
+        efficiency=0.48,  # row-per-block layout underuses wide rows
+        kernel_launches=5,
+        host_overhead_s=6e-6,
+        elements_per_block=1024,
+    ),
+)

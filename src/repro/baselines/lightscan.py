@@ -1,0 +1,27 @@
+"""LightScan model.
+
+LightScan (Liu & Aluru) is a single-pass chained scan tuned for very large
+single problems: near-CUB streaming rate at large N, but each invocation
+must reset its inter-block status descriptors (a device-wide memset) and
+spin up its persistent-block machinery, giving it the largest per-call
+fixed cost of the five competitors. On batches this is ruinous — the
+paper's largest speedup anywhere is 549.79x against LightScan at n=13,
+G=32768 — while at a single large problem it is competitive (5.44x with
+8 GPUs at n=25 is close to the pure GPU-count ratio).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineLibrary, LibraryMode
+
+LIGHTSCAN = BaselineLibrary(
+    name="lightscan",
+    per_call=LibraryMode(
+        name="per_call",
+        bytes_per_element=8.0,  # single pass: read + write only
+        efficiency=0.63,  # chained-lookback serialisation
+        kernel_launches=2,  # status memset + scan kernel
+        host_overhead_s=53e-6,  # descriptor reset + persistent-block setup
+        elements_per_block=4096,
+    ),
+)

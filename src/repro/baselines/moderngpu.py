@@ -1,0 +1,25 @@
+"""ModernGPU model.
+
+ModernGPU's scan is a clean three-kernel (upsweep / spine / downsweep)
+implementation with good large-N efficiency, but it has neither a batch
+nor a segmented-scan escape hatch usable here, so a G-problem batch costs
+G full invocations — including ModernGPU's per-call context/temp setup.
+This is why it shows the second-largest batch speedups in Figure 12
+(245.54x at n=13, G=32768).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineLibrary, LibraryMode
+
+MODERNGPU = BaselineLibrary(
+    name="moderngpu",
+    per_call=LibraryMode(
+        name="per_call",
+        bytes_per_element=12.0,  # 3 passes
+        efficiency=0.77,
+        kernel_launches=3,
+        host_overhead_s=17e-6,  # context + temp allocation per call
+        elements_per_block=3072,
+    ),
+)

@@ -1,0 +1,42 @@
+"""Benchmark harness: workload generators, sweep runners and reporting used
+by the ``benchmarks/`` suite to regenerate every table and figure of the
+paper's evaluation (see DESIGN.md's per-experiment index)."""
+
+from repro.bench.workloads import (
+    SweepPoint,
+    batch_points,
+    make_batch,
+    single_problem_points,
+)
+from repro.bench.runner import (
+    FigureSeries,
+    best_estimate_over_k,
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    figure12_series,
+    figure13_series,
+    figure13_combination_study,
+    figure14_breakdown,
+    mean_speedup,
+)
+from repro.bench.reporting import format_series_table, format_breakdown_table
+
+__all__ = [
+    "SweepPoint",
+    "batch_points",
+    "make_batch",
+    "single_problem_points",
+    "FigureSeries",
+    "best_estimate_over_k",
+    "figure9_series",
+    "figure10_series",
+    "figure11_series",
+    "figure12_series",
+    "figure13_series",
+    "figure13_combination_study",
+    "figure14_breakdown",
+    "mean_speedup",
+    "format_series_table",
+    "format_breakdown_table",
+]

@@ -1,0 +1,111 @@
+"""Calibration anchors: the numeric targets the simulator was fit against.
+
+DESIGN.md/EXPERIMENTS.md describe the calibration discipline in prose; this
+module encodes it as data so tests (and future re-calibrations) can check
+every anchor mechanically. The *only* fitted quantities are the baseline
+library constants (anchored at the paper's Figure-12 endpoint speedups)
+and three multi-GPU overhead constants; everything else is emergent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import get_baseline
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.prioritized import ScanMPPC
+from repro.core.single_gpu import ScanSP
+
+
+@dataclass(frozen=True)
+class SpeedupAnchor:
+    """One paper-reported speedup the model is expected to land near."""
+
+    figure: str
+    library: str
+    n: int
+    g: int
+    paper_speedup: float
+    #: Accepted measured/paper ratio window.
+    low: float = 0.5
+    high: float = 2.0
+
+
+#: The paper's Figure-12 endpoint speedups (Section 5.1's quoted points).
+FIGURE12_ANCHORS: tuple[SpeedupAnchor, ...] = (
+    SpeedupAnchor("fig12", "moderngpu", 13, 15, 245.54),
+    SpeedupAnchor("fig12", "thrust", 13, 15, 71.36),
+    SpeedupAnchor("fig12", "cub", 13, 15, 14.28),
+    SpeedupAnchor("fig12", "lightscan", 13, 15, 549.79),
+    SpeedupAnchor("fig12", "moderngpu", 25, 3, 6.59),
+    SpeedupAnchor("fig12", "thrust", 25, 3, 18.5),
+    SpeedupAnchor("fig12", "cub", 25, 3, 5.55),
+    SpeedupAnchor("fig12", "lightscan", 25, 3, 5.44),
+)
+
+#: Single-GPU sanity anchors: our Scan-SP should sit in CUB's class at
+#: large N (the paper's 1.04x average vs CUB at G=1).
+SP_VS_CUB_WINDOW = (0.8, 1.5)
+
+
+def measure_anchor(
+    anchor: SpeedupAnchor, topology: SystemTopology | None = None
+) -> float:
+    """Measured speedup for one anchor (best Scan-MP-PC vs the library)."""
+    topology = topology or tsubame_kfc()
+    problem = ProblemConfig.from_sizes(N=1 << anchor.n, G=1 << anchor.g)
+    node = NodeConfig.from_counts(
+        W=topology.gpus_per_node, V=topology.gpus_per_network
+    )
+    ours = ScanMPPC(topology, node).estimate(problem)
+    lib = get_baseline(anchor.library)
+    lib_time, _mode = lib.time_batch(problem.N, problem.G, topology.arch)
+    return lib_time / ours.total_time_s
+
+
+def check_all_anchors(topology: SystemTopology | None = None) -> list[dict]:
+    """Evaluate every anchor; returns one report row per anchor."""
+    topology = topology or tsubame_kfc()
+    rows = []
+    for anchor in FIGURE12_ANCHORS:
+        measured = measure_anchor(anchor, topology)
+        ratio = measured / anchor.paper_speedup
+        rows.append({
+            "figure": anchor.figure,
+            "library": anchor.library,
+            "n": anchor.n,
+            "paper": anchor.paper_speedup,
+            "measured": measured,
+            "ratio": ratio,
+            "ok": anchor.low <= ratio <= anchor.high,
+        })
+    # The single-GPU class check.
+    problem = ProblemConfig.from_sizes(N=1 << 28, G=1)
+    sp = ScanSP(topology.gpus[0]).estimate(problem)
+    cub = get_baseline("cub")
+    ratio = cub.time_single(problem.N, topology.arch) / sp.total_time_s
+    rows.append({
+        "figure": "fig11",
+        "library": "cub",
+        "n": 28,
+        "paper": 1.04,
+        "measured": ratio,
+        "ratio": ratio / 1.04,
+        "ok": SP_VS_CUB_WINDOW[0] <= ratio <= SP_VS_CUB_WINDOW[1],
+    })
+    return rows
+
+
+def format_anchor_report(rows: list[dict]) -> str:
+    lines = [
+        "Calibration anchors (measured vs paper):",
+        f"{'figure':>7} {'library':>10} {'n':>3} {'paper':>8} "
+        f"{'measured':>9} {'ratio':>6}  ok",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['figure']:>7} {r['library']:>10} {r['n']:>3} {r['paper']:>8.2f} "
+            f"{r['measured']:>9.2f} {r['ratio']:>6.2f}  {'yes' if r['ok'] else 'NO'}"
+        )
+    return "\n".join(lines)

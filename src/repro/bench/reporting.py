@@ -1,0 +1,125 @@
+"""Text rendering of the regenerated evaluation series.
+
+The benchmarks print rows in the same orientation as the paper's figures:
+one column per series, one row per n, throughput in Gelem/s. An ASCII
+line-chart renderer approximates the figures' visual shape in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.runner import FigureSeries
+
+
+def format_series_table(title: str, series: list[FigureSeries]) -> str:
+    """Render figure series as an aligned text table."""
+    if not series:
+        return title
+    xs = sorted({n for s in series for n, _ in s.points})
+    col_width = max(12, *(len(s.label) + 2 for s in series))
+    header = f"{'n':>4}" + "".join(f"{s.label:>{col_width}}" for s in series)
+    lines = [title, header]
+    for n in xs:
+        cells = []
+        for s in series:
+            try:
+                cells.append(f"{s.throughput_at(n):>{col_width}.3f}")
+            except KeyError:
+                cells.append(" " * (col_width - 1) + "-")
+        lines.append(f"{n:>4}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    title: str,
+    series: list[FigureSeries],
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render figure series as an ASCII line chart (one marker per series).
+
+    ``log_y`` reproduces the paper's Figure-12 "Log10 performance scale ...
+    adopted for readability".
+    """
+    if not series:
+        return title
+    markers = "ox*+#@%&"
+    xs = sorted({n for s in series for n, _ in s.points})
+    values = [tp for s in series for _, tp in s.points if tp > 0]
+    if not values:
+        return title
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * len(xs) for _ in range(height)]
+    # Draw in reverse so the first (usually "ours") series wins collisions.
+    for si, s in reversed(list(enumerate(series))):
+        marker = markers[si % len(markers)]
+        for n, tp in s.points:
+            if tp <= 0:
+                continue
+            col = xs.index(n)
+            row = height - 1 - round((transform(tp) - lo) / span * (height - 1))
+            grid[int(row)][col] = marker
+
+    def axis_label(level: float) -> str:
+        value = 10**level if log_y else level
+        return f"{value:9.2f}"
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        level = hi - (r / (height - 1)) * span if height > 1 else hi
+        lines.append(f"{axis_label(level)} |" + " ".join(row))
+    lines.append(" " * 10 + "+" + "--" * len(xs))
+    lines.append(" " * 11 + " ".join(f"{n % 100:>1}" if n < 10 else str(n)[-1] for n in xs)
+                 + f"   (n = {xs[0]}..{xs[-1]})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(series: list[FigureSeries]) -> str:
+    """Serialise figure series as CSV (columns: n, one per series label)."""
+    if not series:
+        return "n\n"
+    xs = sorted({n for s in series for n, _ in s.points})
+    header = "n," + ",".join(s.label.replace(",", ";") for s in series)
+    rows = [header]
+    for n in xs:
+        cells = [str(n)]
+        for s in series:
+            try:
+                cells.append(f"{s.throughput_at(n):.6f}")
+            except KeyError:
+                cells.append("")
+        rows.append(",".join(cells))
+    return "\n".join(rows) + "\n"
+
+
+def format_breakdown_table(
+    title: str, breakdowns: dict[int, dict[str, float]]
+) -> str:
+    """Render Figure-14-style per-phase breakdowns (times in ms)."""
+    if not breakdowns:
+        return title
+    phases: list[str] = []
+    for bd in breakdowns.values():
+        for phase in bd:
+            if phase not in phases:
+                phases.append(phase)
+    header = f"{'n':>4}" + "".join(f"{p:>14}" for p in phases) + f"{'total':>14}"
+    lines = [title, header]
+    for n in sorted(breakdowns):
+        bd = breakdowns[n]
+        cells = "".join(f"{bd.get(p, 0.0) * 1e3:>14.4f}" for p in phases)
+        total = sum(bd.values()) * 1e3
+        lines.append(f"{n:>4}{cells}{total:>14.4f}")
+    return "\n".join(lines)

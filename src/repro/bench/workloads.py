@@ -1,0 +1,94 @@
+"""Workload generators for the evaluation sweeps.
+
+The paper's batch scenario (Figures 9, 10, 12, 13, 14) fixes the total
+payload at 2^28 integers and sweeps the problem size: ``G = 2^28 / N``
+problems of ``N = 2^n`` elements for n = 13..28. The G=1 scenario
+(Figure 11) sweeps N alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The paper's total payload exponent: 2^28 int32 elements (1 GiB).
+PAPER_TOTAL_LOG2 = 28
+#: The paper's smallest problem exponent in the batch sweep.
+PAPER_MIN_N_LOG2 = 13
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of an evaluation figure."""
+
+    n: int  # log2(problem size)
+    g: int  # log2(batch size)
+
+    @property
+    def N(self) -> int:
+        return 1 << self.n
+
+    @property
+    def G(self) -> int:
+        return 1 << self.g
+
+    @property
+    def total_elements(self) -> int:
+        return self.N * self.G
+
+    def __str__(self) -> str:
+        return f"n={self.n} (N={self.N}, G={self.G})"
+
+
+def batch_points(
+    total_log2: int = PAPER_TOTAL_LOG2,
+    n_min: int = PAPER_MIN_N_LOG2,
+    n_max: int | None = None,
+) -> list[SweepPoint]:
+    """The G = 2^total/N sweep (Figures 9, 10, 12, 13, 14)."""
+    n_max = total_log2 if n_max is None else n_max
+    if not (0 <= n_min <= n_max <= total_log2):
+        raise ConfigurationError(
+            f"need 0 <= n_min <= n_max <= total_log2, got {n_min}, {n_max}, {total_log2}"
+        )
+    return [SweepPoint(n=n, g=total_log2 - n) for n in range(n_min, n_max + 1)]
+
+
+def single_problem_points(
+    n_min: int = PAPER_MIN_N_LOG2, n_max: int = PAPER_TOTAL_LOG2
+) -> list[SweepPoint]:
+    """The G = 1 sweep (Figure 11)."""
+    return [SweepPoint(n=n, g=0) for n in range(n_min, n_max + 1)]
+
+
+def make_batch(
+    n: int,
+    g: int = 0,
+    dtype=np.int32,
+    seed: int = 0,
+    distribution: str = "uniform",
+    low: int = 0,
+    high: int = 100,
+) -> np.ndarray:
+    """Generate a (G, N) batch of test data.
+
+    ``distribution`` is ``"uniform"`` (default, the paper's integer
+    payloads), ``"ones"`` (so the scan result is arange — handy for eyeball
+    checks) or ``"zipf"`` (skewed values, for operator stress tests).
+    """
+    rng = np.random.default_rng(seed)
+    shape = (1 << g, 1 << n)
+    if distribution == "uniform":
+        data = rng.integers(low, high, shape)
+    elif distribution == "ones":
+        data = np.ones(shape, dtype=np.int64)
+    elif distribution == "zipf":
+        data = np.minimum(rng.zipf(1.5, shape), high)
+    else:
+        raise ConfigurationError(
+            f"unknown distribution {distribution!r}; use uniform/ones/zipf"
+        )
+    return data.astype(dtype)

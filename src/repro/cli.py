@@ -1,0 +1,300 @@
+"""Command-line interface: run scans and regenerate the paper's evaluation.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info
+    python -m repro table3 [--arch maxwell]
+    python -m repro scan --n 20 --g 8 --proposal mps --w 4 --v 4 [--tune]
+    python -m repro figure 12 [--chart] [--total 28]
+    python -m repro breakdown [--total 28]
+
+Everything runs on the simulated machine (default: TSUBAME-KFC-like nodes);
+``scan`` executes functionally and verifies against numpy, the figure
+commands use the analytic estimate path at full paper scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.reporting import ascii_chart, format_breakdown_table, format_series_table
+from repro.bench.runner import (
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    figure12_series,
+    figure13_combination_study,
+    figure13_series,
+    figure14_breakdown,
+    mean_speedup,
+)
+from repro.core.api import scan
+from repro.core.occupancy_table import format_occupancy_table
+from repro.core.premises import premise1_block_configuration
+from repro.gpusim.arch import get_architecture
+from repro.interconnect.topology import tsubame_kfc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch scan on a simulated multi-GPU system "
+        "(reproduction of Dieguez et al., IPPS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the simulated machine and premises")
+
+    t3 = sub.add_parser("table3", help="regenerate Table 3 (occupancy)")
+    t3.add_argument("--arch", default="k80", help="architecture preset (k80/maxwell/pascal)")
+
+    sc = sub.add_parser("scan", help="run one batch scan functionally")
+    sc.add_argument("--n", type=int, default=16, help="log2 problem size")
+    sc.add_argument("--g", type=int, default=4, help="log2 batch size")
+    sc.add_argument("--proposal", default="auto",
+                    choices=["auto", "sp", "pp", "mps", "mppc", "mn-mps"])
+    sc.add_argument("--w", type=int, default=1, help="GPUs per node (W)")
+    sc.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
+    sc.add_argument("--m", type=int, default=1, help="nodes (M)")
+    sc.add_argument("--operator", default="add",
+                    choices=["add", "mul", "max", "min", "or", "xor"])
+    sc.add_argument("--exclusive", action="store_true")
+    sc.add_argument("--tune", action="store_true", help="sweep K empirically")
+    sc.add_argument("--timeline", action="store_true",
+                    help="draw the lane/phase ASCII timeline")
+    sc.add_argument("--metrics", action="store_true",
+                    help="print derived kernel/communication metrics")
+    sc.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("figure", help="regenerate an evaluation figure")
+    fig.add_argument("number", type=int, choices=[9, 10, 11, 12, 13])
+    fig.add_argument("--total", type=int, default=28,
+                     help="log2 of the total payload (paper: 28)")
+    fig.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    fig.add_argument("--csv", default=None, help="also write the series as CSV")
+
+    bd = sub.add_parser("breakdown", help="regenerate Figure 14 (time breakdown)")
+    bd.add_argument("--total", type=int, default=28)
+
+    sub.add_parser(
+        "selfcheck",
+        help="quick functional cross-validation of every proposal vs numpy",
+    )
+
+    cp = sub.add_parser("compare",
+                        help="rank every strategy at one (N, G) point")
+    cp.add_argument("--n", type=int, default=16, help="log2 problem size")
+    cp.add_argument("--g", type=int, default=6, help="log2 batch size")
+    cp.add_argument("--nodes", type=int, default=1)
+    cp.add_argument("--no-baselines", action="store_true")
+
+    return parser
+
+
+def _cmd_info() -> int:
+    machine = tsubame_kfc()
+    arch = machine.arch
+    p1 = premise1_block_configuration(arch)
+    print(f"simulated machine: {machine.num_nodes} node(s) x "
+          f"{machine.networks_per_node} PCIe networks x "
+          f"{machine.gpus_per_network} GPUs")
+    print(f"GPU: {arch.name}, cc {arch.compute_capability[0]}.{arch.compute_capability[1]}, "
+          f"{arch.sm_count} SMs, {arch.memory_bandwidth_gbs:.0f} GB/s peak, "
+          f"{arch.global_memory_bytes / 2**30:.0f} GiB")
+    print(f"Premise 1: {p1.warps_per_block} warps/block, "
+          f"<= {p1.reg_budget_per_thread} regs/thread, "
+          f"<= {p1.smem_budget_per_block} B smem "
+          f"-> {p1.blocks_per_sm} blocks/SM @ {p1.warp_occupancy:.0%}")
+    print("proposals: sp (single GPU), pp (problem parallel), "
+          "mps (problem scattering), mppc (prioritized comms), mn-mps (MPI)")
+    print()
+    print(machine.describe())
+    return 0
+
+
+def _cmd_table3(arch_name: str) -> int:
+    print(format_occupancy_table(get_architecture(arch_name)))
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    machine = tsubame_kfc(max(1, args.m))
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
+    t0 = time.perf_counter()
+    result = scan(
+        data,
+        topology=machine,
+        proposal=args.proposal,
+        W=args.w,
+        V=args.v,
+        M=args.m,
+        operator=args.operator,
+        inclusive=not args.exclusive,
+        K="tune" if args.tune else None,
+    )
+    wall = time.perf_counter() - t0
+    reference = result.problem.operator.accumulate(data, axis=-1)
+    if not args.exclusive:
+        np.testing.assert_array_equal(result.output, reference)
+        print("verified against numpy reference")
+    print(result.summary())
+    print("breakdown:")
+    for phase, seconds in result.breakdown.items():
+        print(f"  {phase:>12}: {seconds * 1e6:10.1f} us")
+    if args.timeline:
+        from repro.gpusim.metrics import ascii_timeline
+
+        print()
+        print(ascii_timeline(result.trace))
+    if args.metrics:
+        from repro.gpusim.metrics import summarize
+
+        print()
+        for key, value in summarize(result.trace, machine.arch).items():
+            print(f"  {key}: {value}")
+    print(f"(simulation wall-clock: {wall:.3f} s)")
+    return 0
+
+
+def _cmd_selfcheck() -> int:
+    """Functional cross-validation battery: every proposal, several shapes."""
+    from repro.core.chained import ScanChained
+    from repro.core.ragged import scan_ragged
+
+    machine = tsubame_kfc(2)
+    rng = np.random.default_rng(123)
+    checks = 0
+    for g, n in ((1, 1 << 12), (8, 1 << 13), (32, 1 << 10)):
+        data = rng.integers(-500, 500, (g, n)).astype(np.int64)
+        expected = np.cumsum(data, axis=1)
+        for proposal, kwargs in (
+            ("sp", {}),
+            ("pp", {"W": 4}),
+            ("mps", {"W": 4, "V": 4}),
+            ("mppc", {"W": 8, "V": 4}),
+            ("mn-mps", {"W": 4, "V": 4, "M": 2}),
+        ):
+            result = scan(data, topology=machine, proposal=proposal, **kwargs)
+            np.testing.assert_array_equal(result.output, expected)
+            checks += 1
+            print(f"  ok {proposal:>7} G={g:<3} N={n:<6} "
+                  f"{result.total_time_s * 1e3:8.3f} ms")
+    chained = ScanChained(machine.gpus[0]).run(
+        rng.integers(0, 100, (4, 1 << 12)).astype(np.int32)
+    )
+    assert chained.output is not None
+    checks += 1
+    print(f"  ok chained scan ({chained.total_time_s * 1e3:.3f} ms)")
+    ragged, _ = scan_ragged(
+        [rng.integers(0, 9, s).astype(np.int32) for s in (7, 100, 1000)],
+        machine,
+    )
+    checks += 1
+    print("  ok ragged batch")
+    print(f"selfcheck passed ({checks} checks, all verified against numpy)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_proposals, format_comparison
+    from repro.core.params import ProblemConfig
+
+    machine = tsubame_kfc(max(1, args.nodes))
+    problem = ProblemConfig.from_sizes(N=1 << args.n, G=1 << args.g)
+    rows = compare_proposals(
+        machine, problem, include_baselines=not args.no_baselines
+    )
+    print(f"comparison at N=2^{args.n}, G=2^{args.g} "
+          f"({problem.total_bytes / 2**20:.0f} MiB payload):")
+    print(format_comparison(rows))
+    return 0
+
+
+def _cmd_figure(number: int, total: int, chart: bool, csv_path: str | None) -> int:
+    machine = tsubame_kfc()
+    if number == 9:
+        series = figure9_series(machine, total_log2=total)
+        title = f"Figure 9: Scan-MPS (Gelem/s), G = 2^{total}/N"
+    elif number == 10:
+        series = figure10_series(machine, total_log2=total)
+        title = f"Figure 10: Scan-MP-PC (Gelem/s), G = 2^{total}/N"
+    elif number == 11:
+        series = figure11_series(machine, n_max=total)
+        title = "Figure 11: G=1 comparison (Gelem/s)"
+    elif number == 12:
+        series = figure12_series(machine, total_log2=total)
+        title = f"Figure 12: batch comparison (Gelem/s), G = 2^{total}/N"
+    else:
+        cluster = tsubame_kfc(2)
+        series = figure13_series(cluster, total_log2=total)
+        title = f"Figure 13: multi-node comparison (Gelem/s), G = 2^{total}/N"
+        study = figure13_combination_study(tsubame_kfc(8), total_log2=total)
+        print(format_series_table(title, series))
+        print("\nM x W combination study (ms):")
+        for (m, w), times in sorted(study.items()):
+            row = "  ".join(f"n={n}: {t * 1e3:9.3f}" for n, t in sorted(times.items()))
+            print(f"  M={m} W={w}: {row}")
+        if chart:
+            print()
+            print(ascii_chart(title, series, log_y=True))
+        if csv_path:
+            from repro.bench.reporting import series_to_csv
+
+            with open(csv_path, "w") as fh:
+                fh.write(series_to_csv(series))
+            print(f"\nCSV written to {csv_path}")
+        return 0
+
+    print(format_series_table(title, series))
+    if number in (11, 12, 13):
+        ours = series[0]
+        print()
+        for s in series[2:]:
+            print(f"mean speedup vs {s.label:>10}: {mean_speedup(ours, s):7.2f}x")
+    if chart:
+        print()
+        print(ascii_chart(title, series, log_y=number in (11, 12)))
+    if csv_path:
+        from repro.bench.reporting import series_to_csv
+
+        with open(csv_path, "w") as fh:
+            fh.write(series_to_csv(series))
+        print(f"\nCSV written to {csv_path}")
+    return 0
+
+
+def _cmd_breakdown(total: int) -> int:
+    cluster = tsubame_kfc(2)
+    breakdowns = figure14_breakdown(cluster, total_log2=total)
+    print(format_breakdown_table(
+        f"Figure 14: per-phase time (ms), M=2 W=4, G = 2^{total}/N", breakdowns
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "table3":
+        return _cmd_table3(args.arch)
+    if args.command == "scan":
+        return _cmd_scan(args)
+    if args.command == "figure":
+        return _cmd_figure(args.number, args.total, args.chart, args.csv)
+    if args.command == "breakdown":
+        return _cmd_breakdown(args.total)
+    if args.command == "selfcheck":
+        return _cmd_selfcheck()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Public facade: one entry point over all proposals.
+
+``scan(...)`` scans a host batch on a simulated machine, picking the
+proposal with the Premise-4 decision rules unless told otherwise, and
+optionally sweeping K empirically. Lower-level control lives in the
+executor classes (:class:`~repro.core.single_gpu.ScanSP`,
+:class:`~repro.core.multi_gpu.ScanMPS`,
+:class:`~repro.core.prioritized.ScanMPPC`,
+:class:`~repro.core.multi_node.ScanMultiNodeMPS`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.events import Trace
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.prioritized import ScanMPPC
+from repro.core.results import ScanResult
+from repro.core.single_gpu import ScanSP, coerce_batch
+from repro.core.tuner import PremiseTuner
+
+
+def recommend_proposal(
+    topology: SystemTopology, node: NodeConfig, problem: ProblemConfig
+) -> str:
+    """Premise 4's decision rules, as stated in Sections 4.2 and 5.
+
+    - one GPU -> Scan-SP;
+    - several nodes with enough problems to give every PCIe network its
+      own subset (G >= M*Y) -> multi-node Scan-MP-PC: "each node solves
+      several problems ... There is no MPI communication in this
+      proposal" — strictly cheaper than gathering over InfiniBand;
+    - several nodes otherwise -> multi-node Scan-MPS (MPI gather/scatter);
+    - W GPUs all on one PCIe network -> Scan-MPS ("the communication
+      overhead is very low ... since the computation is performed inside
+      the same node" with pure P2P);
+    - W spanning several networks with enough problems to split
+      (G >= networks) -> Scan-MP-PC (avoid host-staged copies);
+    - otherwise -> Scan-MPS (a single problem cannot be partitioned by
+      network, so scattering through the host is the only way to use all
+      GPUs).
+    """
+    if node.total_gpus == 1:
+        return "sp"
+    if node.M > 1:
+        if problem.G >= node.M * node.Y:
+            return "mppc"
+        return "mn-mps"
+    if node.W <= topology.gpus_per_network and node.V == node.W:
+        return "mps"
+    if problem.G >= node.Y:
+        return "mppc"
+    return "mps"
+
+
+def scan(
+    data: np.ndarray,
+    topology: SystemTopology | None = None,
+    proposal: str = "auto",
+    W: int = 1,
+    V: int | None = None,
+    M: int = 1,
+    operator="add",
+    inclusive: bool = True,
+    K: int | str | None = None,
+    collect: bool = True,
+    include_distribution: bool = False,
+) -> ScanResult:
+    """Scan a batch of problems on a simulated multi-GPU machine.
+
+    Parameters
+    ----------
+    data:
+        Host array, shape ``(G, N)`` or ``(N,)``; N and G powers of two.
+    topology:
+        The machine. Defaults to one TSUBAME-KFC-like node (2 PCIe
+        networks x 4 K80 GPUs); pass ``tsubame_kfc(m)`` for multi-node.
+    proposal:
+        ``"auto"`` (Premise 4), ``"sp"``, ``"pp"``, ``"mps"``, ``"mppc"``
+        or ``"mn-mps"``.
+    W, V, M:
+        GPUs per node, GPUs per PCIe network, nodes. ``V`` defaults to
+        ``min(W, gpus per network)``.
+    K:
+        Cascade depth: an int pins it, ``None`` uses the premise default
+        (the largest admissible K), ``"tune"`` sweeps the whole premise
+        search space and keeps the fastest.
+    include_distribution:
+        The paper times only the on-GPU region ("data ... were in GPUs
+        memory prior to the GPU execution"). Set True to additionally
+        account the host->device distribution and device->host collection
+        over PCIe (phases ``distribute`` / ``collect`` in the breakdown) —
+        an extension for end-to-end studies.
+    """
+    if topology is None:
+        topology = tsubame_kfc(max(1, M))
+    if V is None:
+        V = min(W, topology.gpus_per_network)
+    node = NodeConfig.from_counts(W=W, V=V, M=M)
+    batch = coerce_batch(data)
+    problem = ProblemConfig.from_sizes(
+        N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype,
+        operator=operator, inclusive=inclusive,
+    )
+    if proposal == "auto":
+        proposal = recommend_proposal(topology, node, problem)
+
+    k_value: int | None
+    if K == "tune":
+        tuner = PremiseTuner(topology)
+        if proposal == "sp":
+            k_value = tuner.tune_sp(batch, operator=operator).best_k
+        elif proposal in ("mps", "mn-mps"):
+            k_value = tuner.tune_mps(node, batch, operator=operator).best_k
+        elif proposal == "mppc":
+            k_value = tuner.tune_mppc(node, batch, operator=operator).best_k
+        else:
+            k_value = None
+    elif K is None or isinstance(K, int):
+        k_value = K
+    else:
+        raise ConfigurationError(f"K must be an int, None or 'tune', got {K!r}")
+
+    if proposal == "sp":
+        executor = ScanSP(topology.gpus[0], K=k_value)
+        result = executor.run(
+            batch, operator=operator, inclusive=inclusive, collect=collect
+        )
+    elif proposal == "pp":
+        result = ScanProblemParallel(topology, node, K=k_value).run(
+            batch, operator=operator, inclusive=inclusive, collect=collect
+        )
+    elif proposal == "mps":
+        result = ScanMPS(topology, node, K=k_value).run(
+            batch, operator=operator, inclusive=inclusive, collect=collect
+        )
+    elif proposal == "mppc":
+        result = ScanMPPC(topology, node, K=k_value).run(
+            batch, operator=operator, inclusive=inclusive, collect=collect
+        )
+    elif proposal == "mn-mps":
+        result = ScanMultiNodeMPS(topology, node, K=k_value).run(
+            batch, operator=operator, inclusive=inclusive, collect=collect
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown proposal {proposal!r}; use auto/sp/pp/mps/mppc/mn-mps"
+        )
+    if include_distribution:
+        add_distribution_records(result, topology)
+    return result
+
+
+def add_distribution_records(result: ScanResult, topology: SystemTopology) -> None:
+    """Append host<->device transfer records around a result's timed region.
+
+    Every participating GPU uploads its portion (phase ``distribute``,
+    prepended) and downloads it back (phase ``collect``, appended); copies
+    within one node share its host-memory lane and therefore serialise.
+    """
+    from repro.interconnect.transfer import TransferEngine
+
+    gpu_ids = result.config.get("gpu_ids")
+    if not gpu_ids:
+        raise ConfigurationError("result does not record its participating GPUs")
+    engine = TransferEngine(topology)
+    portion_bytes = result.problem.total_bytes // len(gpu_ids)
+    upload = Trace()
+    for gid in gpu_ids:
+        engine.host_to_device(upload, "distribute", topology.gpu(gid), portion_bytes)
+    for gid in gpu_ids:
+        engine.device_to_host(
+            result.trace, "collect", topology.gpu(gid), portion_bytes
+        )
+    result.trace.records[:0] = upload.records
+
+
+def batch_scan(
+    data: np.ndarray,
+    topology: SystemTopology | None = None,
+    **kwargs,
+) -> ScanResult:
+    """Alias of :func:`scan` emphasising the G>1 batch use case."""
+    return scan(data, topology=topology, **kwargs)

@@ -1,0 +1,153 @@
+"""Persistent autotuning cache for the empirical K sweeps.
+
+Real autotuned libraries (FFTW's wisdom, cuDNN's heuristics cache,
+clBLAS's kernel DBs) persist tuning outcomes keyed by the problem and the
+machine; the paper's strategy — "all K values from the corresponding
+search space are empirically tested" per (W, V, M, N, G) point — begs for
+the same. The cache is a small JSON file keyed by everything that affects
+the winner: architecture, dtype, proposal, (N, G) and (W, V, M).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.gpusim.arch import GPUArchitecture
+from repro.interconnect.topology import SystemTopology
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.tuner import PremiseTuner, TuningOutcome
+
+
+def cache_key(
+    arch: GPUArchitecture,
+    problem: ProblemConfig,
+    proposal: str,
+    node: NodeConfig | None,
+) -> str:
+    """A stable string key capturing everything that decides the best K."""
+    node_part = (
+        f"W{node.W}V{node.V}M{node.M}" if node is not None else "W1V1M1"
+    )
+    return "|".join(
+        [
+            arch.name,
+            str(np.dtype(problem.dtype)),
+            problem.operator.name,
+            proposal,
+            f"n{problem.n}g{problem.g}",
+            node_part,
+        ]
+    )
+
+
+@dataclass
+class CacheEntry:
+    best_k: int
+    best_time_s: float
+    candidates: int
+
+
+class AutotuneCache:
+    """JSON-backed memo of tuning outcomes.
+
+    The cache never *replaces* the premise bounds — a hit is validated
+    against the current search space, so stale entries (e.g. after a
+    premise change) fall back to a fresh sweep.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TuningError(f"unreadable autotune cache {self.path}: {exc}") from exc
+        for key, entry in raw.items():
+            self._entries[key] = CacheEntry(
+                best_k=int(entry["best_k"]),
+                best_time_s=float(entry["best_time_s"]),
+                candidates=int(entry["candidates"]),
+            )
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            key: {
+                "best_k": e.best_k,
+                "best_time_s": e.best_time_s,
+                "candidates": e.candidates,
+            }
+            for key, e in self._entries.items()
+        }
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> CacheEntry | None:
+        return self._entries.get(key)
+
+    def put(self, key: str, outcome: TuningOutcome) -> None:
+        self._entries[key] = CacheEntry(
+            best_k=outcome.best_k,
+            best_time_s=outcome.best.time_s,
+            candidates=len(outcome.candidates),
+        )
+
+
+class CachedTuner:
+    """A :class:`PremiseTuner` front-end that memoises best-K per config."""
+
+    def __init__(self, topology: SystemTopology, cache: AutotuneCache | None = None):
+        self.topology = topology
+        self.tuner = PremiseTuner(topology)
+        # `is None` check, not truthiness: an empty cache has len() == 0
+        # and must still be used (it carries the persistence path).
+        self.cache = cache if cache is not None else AutotuneCache()
+
+    def best_k(
+        self,
+        problem: ProblemConfig,
+        proposal: str = "sp",
+        node: NodeConfig | None = None,
+        data: np.ndarray | None = None,
+    ) -> int:
+        """The tuned K for a configuration, from cache when valid.
+
+        A cached K outside the *current* premise search space is treated
+        as stale and re-tuned (the premises may have changed since the
+        cache was written).
+        """
+        key = cache_key(self.topology.arch, problem, proposal, node)
+        space = self.tuner.search_space(problem, proposal, node)
+        hit = self.cache.get(key)
+        if hit is not None and hit.best_k in space:
+            self.cache.hits += 1
+            return hit.best_k
+        self.cache.misses += 1
+        if data is None:
+            rng = np.random.default_rng(0)
+            data = rng.integers(0, 100, (problem.G, problem.N)).astype(problem.dtype)
+        if proposal == "sp":
+            outcome = self.tuner.tune_sp(data, operator=problem.operator)
+        elif proposal in ("mps", "mn-mps"):
+            outcome = self.tuner.tune_mps(node, data, operator=problem.operator)
+        elif proposal == "mppc":
+            outcome = self.tuner.tune_mppc(node, data, operator=problem.operator)
+        else:
+            raise TuningError(f"unknown proposal {proposal!r}")
+        self.cache.put(key, outcome)
+        self.cache.save()
+        return outcome.best_k

@@ -1,0 +1,256 @@
+"""Single-pass chained scan: the StreamScan / decoupled-lookback family.
+
+The paper's related work cites StreamScan (Yan et al. [25]) — "fast scan
+algorithms for GPUs without global barrier synchronization" — and CUB's
+production scan uses the same idea (decoupled lookback): ONE kernel whose
+blocks publish their aggregates through global-memory descriptors, each
+block resolving its exclusive prefix by looking back at its predecessors.
+Traffic drops from the three-kernel approach's ~3N bytes to ~2N.
+
+This module implements a *batched* chained scan inside the simulator as a
+design-space extension: the paper's proposals never explore combining the
+single-pass structure with their batch interface. The chain introduces a
+forward inter-block dependency, so the kernel is launched ``ordered=True``
+(see :meth:`repro.gpusim.kernel.ExecutionEngine.run` for the semantics —
+on hardware the dependency resolves dynamically; the simulator executes
+blocks in dependency order).
+
+Within the roofline model the chained scan beats the three-kernel plan by
+roughly the 3N/2N byte ratio on one GPU; real implementations give part of
+that bound back to lookback polling stalls (compare CUB's calibrated rate
+in ``repro.baselines.cub``). The comparison bench
+(``benchmarks/bench_chained_vs_threekernel.py``) reports both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GPU
+from repro.gpusim.events import KernelRecord, Trace
+from repro.gpusim.kernel import KernelContext, LaunchStats
+from repro.gpusim.memory import AllocationScope, DeviceArray
+from repro.gpusim.warp import warp_scan_cost
+from repro.core.kernels import _BlockScanCore, _launch_config
+from repro.core.params import ExecutionPlan, KernelParams, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.results import ScanResult
+from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
+
+#: Descriptor reads a block performs while resolving its prefix (the
+#: published aggregate of its predecessor plus lookback polling traffic).
+LOOKBACK_READS_PER_BLOCK = 6
+#: Descriptor writes a block performs (aggregate, then inclusive prefix).
+DESCRIPTOR_WRITES_PER_BLOCK = 2
+
+
+def chained_scan_stats(plan: ExecutionPlan, warp_size: int) -> LaunchStats:
+    """Closed-form counters of the single-pass kernel (exact, like Stage 1/3)."""
+    kp = plan.stage1.params
+    itemsize = plan.problem.itemsize
+    nb = plan.stage1.blocks
+    width = min(kp.Lx, warp_size)
+    nw = kp.Lx // width
+    warp_cost = warp_scan_cost(width, "lf", exclusive=True)
+    if nw > 1:
+        cross = warp_scan_cost(nw, "lf", exclusive=True)
+        cross_shuffles, cross_ops = cross.shuffles, cross.operator_applications
+    else:
+        cross_shuffles = cross_ops = 0
+    stats = LaunchStats()
+    stats.read_global(
+        nb * kp.chunk_size * itemsize + nb * LOOKBACK_READS_PER_BLOCK * itemsize
+    )
+    stats.write_global(
+        nb * kp.chunk_size * itemsize + nb * DESCRIPTOR_WRITES_PER_BLOCK * itemsize
+    )
+    stats.shuffles(nb * kp.K * (nw * warp_cost.shuffles + cross_shuffles))
+    stats.apply_operator(
+        nb * kp.K * kp.Lx * max(0, kp.P - 1)
+        + nb * kp.K * (nw * warp_cost.operator_applications + cross_ops)
+        + nb * kp.K * nw
+        + nb * max(0, kp.K - 1)
+        + nb * kp.K * kp.Lx * kp.P  # prefix application
+        + nb  # chain combine
+    )
+    stats.write_smem(nb * kp.K * nw * itemsize)
+    stats.read_smem(nb * kp.K * nw * itemsize)
+    stats.address_math(nb * kp.K * kp.Lx * 6)
+    return stats
+
+
+def launch_chained_scan(
+    trace: Trace,
+    gpu: GPU,
+    data: DeviceArray,
+    descriptors: DeviceArray,
+    plan: ExecutionPlan,
+    phase: str = "chained",
+    functional: bool = True,
+) -> KernelRecord:
+    """The single launch: local scan + lookback prefix + write, in one pass.
+
+    ``descriptors`` is the (g_local, Bx) global-memory chain state (each
+    block's published inclusive prefix).
+    """
+    data.require_on(gpu)
+    descriptors.require_on(gpu)
+    kp = plan.stage1.params
+    op = plan.problem.operator
+    g_local, n_local = data.shape
+    bx_total = plan.stage1.bx
+    itemsize = plan.problem.itemsize
+    inclusive_out = plan.problem.inclusive
+    if descriptors.shape != (g_local, bx_total):
+        raise ConfigurationError(
+            f"descriptor array must be {(g_local, bx_total)}, got {descriptors.shape}"
+        )
+    config = _launch_config(kp, bx_total, g_local, itemsize)
+    if not functional:
+        return gpu.launch(
+            trace, "chained_scan", phase, config, None, ordered=True,
+            precomputed_stats=chained_scan_stats(plan, gpu.arch.warp_size),
+        )
+
+    arr = data.data.reshape(g_local, bx_total, kp.K, kp.Lx, kp.P)
+    desc = descriptors.data
+    identity = op.identity(plan.problem.dtype)
+    core = _BlockScanCore(kp, op, gpu.arch.warp_size, plan.problem.dtype)
+    width, nw = core.width, core.num_warps
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        bx, g = ctx.block_xy(block_ids)
+        nb = len(block_ids)
+        chunks = arr[g, bx]
+        partials = core.run(chunks)
+        carries = core.cascade_carries(partials["iteration_totals"])
+        totals = core.chunk_totals(partials["iteration_totals"])  # (nb,)
+
+        # Lookback: resolve each block's exclusive prefix from its
+        # predecessor's published inclusive prefix, publishing our own.
+        # Blocks arrive in dependency order (ordered launch), so within
+        # this call a simple sequential resolution is exact.
+        prefixes = np.empty(nb, dtype=arr.dtype)
+        for i in range(nb):
+            prev = identity if bx[i] == 0 else desc[g[i], bx[i] - 1]
+            prefixes[i] = prev
+            desc[g[i], bx[i]] = op.combine(prev, totals[i])
+
+        local = partials["local"]
+        if not inclusive_out:
+            shifted = np.empty_like(local)
+            shifted[..., 0] = identity
+            shifted[..., 1:] = local[..., :-1]
+            local = shifted
+        offset = op.combine(
+            prefixes[:, None, None],
+            op.combine(carries[:, :, None], partials["warp_offsets"]),
+        )
+        offset = op.combine(offset[..., None], partials["thread_offsets"])
+        result = op.combine(offset[..., None], local)
+        arr[g, bx] = result.reshape(nb, kp.K, kp.Lx, kp.P)
+
+        ctx.stats.read_global(
+            nb * kp.chunk_size * itemsize + nb * LOOKBACK_READS_PER_BLOCK * itemsize
+        )
+        ctx.stats.write_global(
+            nb * kp.chunk_size * itemsize + nb * DESCRIPTOR_WRITES_PER_BLOCK * itemsize
+        )
+        ctx.stats.shuffles(partials["shuffles"])
+        ctx.stats.apply_operator(
+            partials["operator_applications"]
+            + nb * max(0, kp.K - 1)
+            + nb * kp.K * kp.Lx * kp.P
+            + nb
+        )
+        ctx.stats.write_smem(partials["smem_bytes"] // 2)
+        ctx.stats.read_smem(partials["smem_bytes"] // 2)
+        ctx.stats.address_math(nb * kp.K * kp.Lx * 6)
+
+    return gpu.launch(trace, "chained_scan", phase, config, body, ordered=True)
+
+
+class ScanChained:
+    """Single-GPU batched chained (single-pass) scan executor."""
+
+    def __init__(
+        self,
+        gpu: GPU,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+    ):
+        self.gpu = gpu
+        self.K = K
+        self.stage1_template = stage1_template
+
+    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        template = self.stage1_template or derive_stage_kernel_params(
+            self.gpu.arch, problem.dtype
+        )
+        template = shrink_template_to_fit(template, problem.N)
+        if self.K is not None:
+            k = self.K
+        else:
+            # A chained scan wants many blocks in flight to pipeline the
+            # lookback: keep K at 1 unless the block count explodes.
+            space = k_search_space(problem, template, template, self.gpu.arch)
+            k = space[0]
+        k = min(k, problem.N // template.elements_per_iteration)
+        return build_execution_plan(
+            self.gpu.arch, problem, K=k, gpus_sharing_problem=1,
+            stage1_template=template,
+        )
+
+    def run(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        collect: bool = True,
+    ) -> ScanResult:
+        batch = coerce_batch(data)
+        g, n = batch.shape
+        problem = ProblemConfig.from_sizes(
+            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+        )
+        plan = self.plan_for(problem)
+        with AllocationScope() as scope:
+            device_data = scope.upload(self.gpu, batch)
+            descriptors = scope.alloc(self.gpu, (g, plan.stage1.bx), problem.dtype)
+            trace = Trace()
+            launch_chained_scan(trace, self.gpu, device_data, descriptors, plan)
+            output = device_data.to_host() if collect else None
+        return ScanResult(
+            problem=problem,
+            proposal="scan-chained",
+            trace=trace,
+            plan=plan,
+            output=output,
+            config={"K": plan.stage1.params.K, "single_pass": True,
+                    "gpu_ids": [self.gpu.id]},
+        )
+
+    def estimate(self, problem: ProblemConfig) -> ScanResult:
+        plan = self.plan_for(problem)
+        with AllocationScope() as scope:
+            device_data = scope.alloc(
+                self.gpu, (problem.G, problem.N), problem.dtype, virtual=True
+            )
+            descriptors = scope.alloc(
+                self.gpu, (problem.G, plan.stage1.bx), problem.dtype, virtual=True
+            )
+            trace = Trace()
+            launch_chained_scan(
+                trace, self.gpu, device_data, descriptors, plan, functional=False
+            )
+        return ScanResult(
+            problem=problem,
+            proposal="scan-chained",
+            trace=trace,
+            plan=plan,
+            output=None,
+            config={"K": plan.stage1.params.K, "single_pass": True,
+                    "estimated": True, "gpu_ids": [self.gpu.id]},
+        )

@@ -1,0 +1,494 @@
+"""The three CUDA kernels of the proposal, simulated warp-accurately.
+
+Section 3.1 / Figures 3-5 of the paper. Each kernel body follows the exact
+computational flow of the CUDA implementation:
+
+1. every thread loads ``P`` elements with int4 vector loads and scans them
+   in registers (one step, the red values of Figure 4);
+2. the per-thread totals are scanned inside each warp with shuffle
+   instructions using the Ladner-Fischer access pattern; the *exclusive*
+   variant is used so each thread can add the incoming offset directly
+   ("Using the exclusive scan saves an extra communication step");
+3. the last lane of each warp deposits the warp total in shared memory
+   (at most 32 entries, hence ``s <= 5``) and a single warp scans those;
+4. the block iterates this ``K`` times (the cascade, Figure 5), passing
+   the running total of each iteration into the next;
+5. Stage 1 writes only the chunk reduction to the auxiliary array; Stage 3
+   writes all ``K*Lx*P`` scanned elements, combined with the chunk's
+   offset from the scanned auxiliary array.
+
+The bodies are vectorised over the blocks they are asked to process, which
+is legitimate because blocks are independent; the ``blockwise`` execution
+mode of :class:`~repro.gpusim.kernel.ExecutionEngine` re-runs them one
+block at a time in random order to prove that independence in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GPU
+from repro.gpusim.events import KernelRecord, Trace
+from repro.gpusim.kernel import KernelContext, LaunchConfig
+from repro.gpusim.memory import DeviceArray
+from repro.gpusim.kernel import LaunchStats
+from repro.gpusim.warp import warp_exclusive_scan, warp_scan_cost
+from repro.core.params import ExecutionPlan, KernelParams
+from repro.primitives.operators import Operator
+from repro.util.ints import ceil_div
+
+
+def _launch_config(params: KernelParams, bx: int, by: int, itemsize: int) -> LaunchConfig:
+    return LaunchConfig(
+        grid_x=bx,
+        grid_y=by,
+        block_x=params.Lx,
+        block_y=params.Ly,
+        regs_per_thread=params.estimated_regs_per_thread(),
+        smem_per_block=params.smem_bytes(itemsize),
+    )
+
+
+def _identity_like(op: Operator, shape: tuple[int, ...], dtype) -> np.ndarray:
+    return np.full(shape, op.identity(np.dtype(dtype)), dtype=dtype)
+
+
+class _BlockScanCore:
+    """Shared register/warp/smem flow of Stage 1 and Stage 3 blocks.
+
+    Operates on chunk data laid out ``(nb, K, nw, width, P)`` where ``nb``
+    is however many blocks execute together, ``nw`` the warps per block and
+    ``width`` the warp width. Produces every partial the two kernels need.
+    """
+
+    def __init__(self, params: KernelParams, op: Operator, warp_size: int, dtype):
+        self.params = params
+        self.op = op
+        self.dtype = np.dtype(dtype)
+        self.width = min(params.Lx, warp_size)
+        if params.Lx % self.width != 0:
+            raise ConfigurationError(
+                f"Lx={params.Lx} must be a multiple of the warp width {self.width}"
+            )
+        self.num_warps = params.Lx // self.width
+        if self.num_warps > params.S and self.num_warps > 1:
+            raise ConfigurationError(
+                f"{self.num_warps} warps need {self.num_warps} shared-memory "
+                f"slots but S={params.S}"
+            )
+
+    def run(self, chunks: np.ndarray) -> dict[str, np.ndarray]:
+        """Execute the block flow over ``chunks`` of shape (nb, K, Lx, P).
+
+        Returns the partial results keyed by name:
+
+        - ``local``: per-thread inclusive scans of the P register elements,
+        - ``thread_offsets``: exclusive intra-warp prefix of thread totals,
+        - ``warp_offsets``: exclusive prefix of warp totals (via smem),
+        - ``iteration_totals``: the block-wide total of each cascade
+          iteration, shape (nb, K),
+        - ``shuffles`` / ``operator_applications`` / ``smem_bytes``:
+          per-call instruction accounting (already multiplied out).
+        """
+        op = self.op
+        kp = self.params
+        nb, K, Lx, P = chunks.shape
+        width, nw = self.width, self.num_warps
+        lanes = chunks.reshape(nb, K, nw, width, P)
+
+        # (1) thread-local scan of the P register elements.
+        local = op.accumulate(lanes, axis=-1)
+        thread_totals = local[..., -1]  # (nb, K, nw, width)
+
+        # (2) intra-warp exclusive shuffle scan of the thread totals.
+        thread_offsets, warp_cost = warp_exclusive_scan(
+            thread_totals, op, width=width, pattern="lf"
+        )
+        warp_totals = op.combine(thread_offsets[..., -1], thread_totals[..., -1])
+
+        # (3) cross-warp exchange through shared memory: one warp scans the
+        # nw partial sums (nw <= 32 = S's bound).
+        if nw > 1:
+            warp_offsets, cross_cost = warp_exclusive_scan(
+                warp_totals, op, width=nw, pattern="lf"
+            )
+            iteration_totals = op.combine(warp_offsets[..., -1], warp_totals[..., -1])
+            cross_shuffles = cross_cost.shuffles
+            cross_ops = cross_cost.operator_applications
+        else:
+            warp_offsets = _identity_like(op, warp_totals.shape, self.dtype)
+            iteration_totals = warp_totals[..., -1]
+            cross_shuffles = 0
+            cross_ops = 0
+
+        shuffles = nb * K * (nw * warp_cost.shuffles + cross_shuffles)
+        operator_applications = (
+            nb * K * Lx * max(0, P - 1)  # thread-local scans
+            + nb * K * (nw * warp_cost.operator_applications + cross_ops)
+            + nb * K * nw  # warp-total composition
+        )
+        smem_bytes = 2 * nb * K * nw * self.dtype.itemsize  # write + read partials
+
+        return {
+            "local": local,
+            "thread_offsets": thread_offsets,
+            "warp_offsets": warp_offsets,
+            "iteration_totals": iteration_totals,
+            "shuffles": shuffles,
+            "operator_applications": operator_applications,
+            "smem_bytes": smem_bytes,
+        }
+
+    def cascade_carries(self, iteration_totals: np.ndarray) -> np.ndarray:
+        """Exclusive prefix of the K iteration totals (the cascade hand-off)."""
+        op = self.op
+        nb, K = iteration_totals.shape
+        inclusive = op.accumulate(iteration_totals, axis=-1)
+        carries = np.empty_like(inclusive)
+        carries[:, 0] = op.identity(self.dtype)
+        carries[:, 1:] = inclusive[:, :-1]
+        return carries
+
+    def chunk_totals(self, iteration_totals: np.ndarray) -> np.ndarray:
+        """Reduction of the whole chunk: combine of the K iteration totals."""
+        return self.op.reduce(iteration_totals, axis=-1)
+
+
+def _warp_geometry(kp: KernelParams, warp_size: int) -> tuple[int, int]:
+    """(warp width, warps per block) for a Stage-1/3 block."""
+    width = min(kp.Lx, warp_size)
+    return width, kp.Lx // width
+
+
+def chunk_reduce_stats(plan: ExecutionPlan, warp_size: int) -> LaunchStats:
+    """Closed-form Stage-1 launch counters (identical to a functional run).
+
+    Every counter in the kernel bodies is data-independent (a function of
+    the plan geometry only), so the analytic estimate path can reproduce
+    the functional trace exactly — the tests assert byte-for-byte equality.
+    """
+    kp = plan.stage1.params
+    itemsize = plan.problem.itemsize
+    nb = plan.stage1.blocks
+    width, nw = _warp_geometry(kp, warp_size)
+    warp_cost = warp_scan_cost(width, "lf", exclusive=True)
+    if nw > 1:
+        cross = warp_scan_cost(nw, "lf", exclusive=True)
+        cross_shuffles, cross_ops = cross.shuffles, cross.operator_applications
+    else:
+        cross_shuffles = cross_ops = 0
+    stats = LaunchStats()
+    stats.read_global(nb * kp.chunk_size * itemsize)
+    stats.write_global(nb * itemsize)
+    stats.shuffles(nb * kp.K * (nw * warp_cost.shuffles + cross_shuffles))
+    stats.apply_operator(
+        nb * kp.K * kp.Lx * max(0, kp.P - 1)
+        + nb * kp.K * (nw * warp_cost.operator_applications + cross_ops)
+        + nb * kp.K * nw
+        + nb * max(0, kp.K - 1)
+    )
+    stats.write_smem(nb * kp.K * nw * itemsize)
+    stats.read_smem(nb * kp.K * nw * itemsize)
+    stats.address_math(nb * kp.K * kp.Lx * 4)
+    return stats
+
+
+def _stage2_row_params(kp2: KernelParams) -> KernelParams:
+    """A Stage-2 problem-row viewed as a Stage-1-style block of Lx^2 threads.
+
+    The shared-memory exponent is capped by the row's own capacity: a row
+    of few threads has correspondingly few warps, so it needs (and may
+    hold, per Table 2's S <= P*L) fewer partial slots than the full block.
+    """
+    s = min(kp2.s, kp2.lx + kp2.p)
+    return KernelParams(s=s, p=kp2.p, l=kp2.lx, lx=kp2.lx, ly=0, K=1)
+
+
+def intermediate_scan_stats(plan: ExecutionPlan, warp_size: int) -> LaunchStats:
+    """Closed-form Stage-2 launch counters (identical to a functional run).
+
+    Each of the block's ``Ly^2`` problem rows runs the same
+    register/warp/smem flow as Stage 1 over ``rounds`` serial iterations
+    (the Lx^2 threads cover ``P*Lx`` elements per round), so the counters
+    are the Stage-1 formulas with (rounds, Lx^2, P^2) geometry plus the
+    exclusive-output assembly. Reads/writes count only the real ``cx``
+    elements; instruction counts use the padded round geometry (idle lanes
+    still execute).
+    """
+    kp2 = plan.stage2.params
+    itemsize = plan.problem.itemsize
+    cx = plan.chunks_total
+    problems = plan.stage2.by * kp2.Ly
+    rounds = ceil_div(cx, kp2.P * kp2.Lx)
+    width = min(kp2.Lx, warp_size)
+    nw = kp2.Lx // width
+    warp_cost = warp_scan_cost(width, "lf", exclusive=True)
+    if nw > 1:
+        cross = warp_scan_cost(nw, "lf", exclusive=True)
+        cross_shuffles, cross_ops = cross.shuffles, cross.operator_applications
+    else:
+        cross_shuffles = cross_ops = 0
+    stats = LaunchStats()
+    stats.read_global(problems * cx * itemsize)
+    stats.write_global(problems * cx * itemsize)
+    stats.shuffles(problems * rounds * (nw * warp_cost.shuffles + cross_shuffles))
+    stats.apply_operator(
+        problems * rounds * kp2.Lx * max(0, kp2.P - 1)
+        + problems * rounds * (nw * warp_cost.operator_applications + cross_ops)
+        + problems * rounds * nw
+        + problems * max(0, rounds - 1)
+        + problems * rounds * kp2.Lx * kp2.P  # offset application
+    )
+    stats.write_smem(problems * rounds * nw * itemsize)
+    stats.read_smem(problems * rounds * nw * itemsize)
+    stats.address_math(problems * rounds * kp2.Lx * 4)
+    return stats
+
+
+def scan_add_stats(plan: ExecutionPlan, warp_size: int) -> LaunchStats:
+    """Closed-form Stage-3 launch counters."""
+    kp = plan.stage3.params
+    itemsize = plan.problem.itemsize
+    nb = plan.stage3.blocks
+    width, nw = _warp_geometry(kp, warp_size)
+    warp_cost = warp_scan_cost(width, "lf", exclusive=True)
+    if nw > 1:
+        cross = warp_scan_cost(nw, "lf", exclusive=True)
+        cross_shuffles, cross_ops = cross.shuffles, cross.operator_applications
+    else:
+        cross_shuffles = cross_ops = 0
+    stats = LaunchStats()
+    stats.read_global(nb * kp.chunk_size * itemsize + nb * itemsize)
+    stats.write_global(nb * kp.chunk_size * itemsize)
+    stats.shuffles(nb * kp.K * (nw * warp_cost.shuffles + cross_shuffles))
+    stats.apply_operator(
+        nb * kp.K * kp.Lx * max(0, kp.P - 1)
+        + nb * kp.K * (nw * warp_cost.operator_applications + cross_ops)
+        + nb * kp.K * nw
+        + nb * max(0, kp.K - 1)
+        + nb * kp.K * kp.Lx * kp.P
+    )
+    stats.write_smem(nb * kp.K * nw * itemsize)
+    stats.read_smem(nb * kp.K * nw * itemsize)
+    stats.address_math(nb * kp.K * kp.Lx * 6)
+    return stats
+
+
+def launch_chunk_reduce(
+    trace: Trace,
+    gpu: GPU,
+    data: DeviceArray,
+    aux: DeviceArray,
+    plan: ExecutionPlan,
+    chunk_column_offset: int = 0,
+    phase: str = "stage1",
+    functional: bool = True,
+    vector_loads: bool = True,
+) -> KernelRecord:
+    """Stage 1 (Chunk Reduce): one reduction value per chunk into ``aux``.
+
+    ``data`` is this GPU's portion, shape ``(g_local, n_local)``; ``aux``
+    is the auxiliary array it writes, shape ``(g_local, chunks_total)``
+    resident on the *same* GPU (multi-GPU proposals transfer it afterwards
+    or pre-offset ``chunk_column_offset`` when writing a shared array).
+
+    ``functional=False`` skips the data computation and prices the launch
+    from the closed-form counters (exact — they are data-independent).
+    """
+    data.require_on(gpu)
+    aux.require_on(gpu)
+    kp = plan.stage1.params
+    op = plan.problem.operator
+    g_local, n_local = data.shape
+    bx_total = plan.stage1.bx
+    itemsize = plan.problem.itemsize
+    if n_local != plan.n_local:
+        raise ConfigurationError(
+            f"data has {n_local} elements per problem, plan expects {plan.n_local}"
+        )
+    config = _launch_config(kp, bx_total, g_local, itemsize)
+    if not functional:
+        return gpu.launch(
+            trace, "chunk_reduce", phase, config, None,
+            coalesced=vector_loads,
+            precomputed_stats=chunk_reduce_stats(plan, gpu.arch.warp_size),
+        )
+    arr = data.data.reshape(g_local, bx_total, kp.K, kp.Lx, kp.P)
+    aux_mat = aux.data
+    core = _BlockScanCore(kp, op, gpu.arch.warp_size, plan.problem.dtype)
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        bx, g = ctx.block_xy(block_ids)
+        chunks = arr[g, bx]  # (nb, K, Lx, P) gather-copy
+        partials = core.run(chunks)
+        totals = core.chunk_totals(partials["iteration_totals"])
+        aux_mat[g, chunk_column_offset + bx] = totals
+        nb = len(block_ids)
+        ctx.stats.read_global(nb * kp.chunk_size * itemsize)
+        ctx.stats.write_global(nb * itemsize)
+        ctx.stats.shuffles(partials["shuffles"])
+        ctx.stats.apply_operator(
+            partials["operator_applications"] + nb * max(0, kp.K - 1)
+        )
+        ctx.stats.write_smem(partials["smem_bytes"] // 2)
+        ctx.stats.read_smem(partials["smem_bytes"] // 2)
+        ctx.stats.address_math(nb * kp.K * kp.Lx * 4)
+
+    return gpu.launch(trace, "chunk_reduce", phase, config, body, coalesced=vector_loads)
+
+
+def launch_intermediate_scan(
+    trace: Trace,
+    gpu: GPU,
+    aux: DeviceArray,
+    plan: ExecutionPlan,
+    phase: str = "stage2",
+    functional: bool = True,
+) -> KernelRecord:
+    """Stage 2 (Intermediate Scan): exclusive scan of each problem's chunk sums.
+
+    In-place over ``aux`` (shape ``(g_local, chunks_total)``). A block packs
+    ``Ly^2`` problems; when ``chunks_total`` exceeds one block round
+    (``P^2 * Lx^2`` elements) the block iterates serially with a running
+    carry, which the instruction accounting reflects.
+    """
+    aux.require_on(gpu)
+    kp2 = plan.stage2.params
+    op = plan.problem.operator
+    g_local, cx = aux.shape
+    itemsize = plan.problem.itemsize
+    if cx != plan.chunks_total:
+        raise ConfigurationError(
+            f"aux has {cx} chunk columns, plan expects {plan.chunks_total}"
+        )
+    config = _launch_config(kp2, plan.stage2.bx, plan.stage2.by, itemsize)
+    if not functional:
+        return gpu.launch(
+            trace, "intermediate_scan", phase, config, None,
+            precomputed_stats=intermediate_scan_stats(plan, gpu.arch.warp_size),
+        )
+    arr = aux.data
+    identity = op.identity(plan.problem.dtype)
+    rounds = ceil_div(cx, kp2.P * kp2.Lx)
+    padded = rounds * kp2.P * kp2.Lx
+    core = _BlockScanCore(
+        _stage2_row_params(kp2), op, gpu.arch.warp_size, plan.problem.dtype
+    )
+    width, nw = core.width, core.num_warps
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        _, by = ctx.block_xy(block_ids)
+        problems = (by[:, None] * kp2.Ly + np.arange(kp2.Ly)).reshape(-1)
+        npb = len(problems)
+        rows = arr[problems]  # (npb, cx) gather-copy
+        # Identity-pad up to whole rounds; idle lanes execute but cannot
+        # perturb any real element's prefix.
+        staged = np.full((npb, padded), identity, dtype=rows.dtype)
+        staged[:, :cx] = rows
+        view = staged.reshape(npb, rounds, kp2.Lx, kp2.P)
+
+        partials = core.run(view)
+        carries = core.cascade_carries(partials["iteration_totals"])  # (npb, rounds)
+        local = partials["local"]  # (npb, rounds, nw, width, P)
+        shifted = np.empty_like(local)
+        shifted[..., 0] = identity
+        shifted[..., 1:] = local[..., :-1]
+        offset = op.combine(carries[:, :, None], partials["warp_offsets"])
+        offset = op.combine(offset[..., None], partials["thread_offsets"])
+        result = op.combine(offset[..., None], shifted)
+        arr[problems] = result.reshape(npb, padded)[:, :cx]
+
+        ctx.stats.read_global(npb * cx * itemsize)
+        ctx.stats.write_global(npb * cx * itemsize)
+        ctx.stats.shuffles(partials["shuffles"])
+        ctx.stats.apply_operator(
+            partials["operator_applications"]
+            + npb * max(0, rounds - 1)
+            + npb * rounds * kp2.Lx * kp2.P
+        )
+        ctx.stats.write_smem(partials["smem_bytes"] // 2)
+        ctx.stats.read_smem(partials["smem_bytes"] // 2)
+        ctx.stats.address_math(npb * rounds * kp2.Lx * 4)
+
+    return gpu.launch(trace, "intermediate_scan", phase, config, body)
+
+
+def launch_scan_add(
+    trace: Trace,
+    gpu: GPU,
+    data: DeviceArray,
+    aux_scanned: DeviceArray,
+    plan: ExecutionPlan,
+    chunk_column_offset: int = 0,
+    phase: str = "stage3",
+    functional: bool = True,
+    vector_loads: bool = True,
+) -> KernelRecord:
+    """Stage 3 (Scan+Addition): local scan of every chunk plus its aux offset.
+
+    ``aux_scanned`` holds the *exclusive* per-chunk offsets produced by
+    Stage 2 (``(g_local, chunks_total)`` columns; this GPU reads columns
+    ``chunk_column_offset + [0, Bx)``). Writes the final scan in place over
+    ``data``. Inclusive vs exclusive output follows the problem config.
+    """
+    data.require_on(gpu)
+    aux_scanned.require_on(gpu)
+    kp = plan.stage3.params
+    op = plan.problem.operator
+    g_local, n_local = data.shape
+    bx_total = plan.stage3.bx
+    itemsize = plan.problem.itemsize
+    inclusive_out = plan.problem.inclusive
+    config = _launch_config(kp, bx_total, g_local, itemsize)
+    if not functional:
+        return gpu.launch(
+            trace, "scan_add", phase, config, None,
+            coalesced=vector_loads,
+            precomputed_stats=scan_add_stats(plan, gpu.arch.warp_size),
+        )
+    arr = data.data.reshape(g_local, bx_total, kp.K, kp.Lx, kp.P)
+    aux_mat = aux_scanned.data
+    core = _BlockScanCore(kp, op, gpu.arch.warp_size, plan.problem.dtype)
+    width, nw = core.width, core.num_warps
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        bx, g = ctx.block_xy(block_ids)
+        chunks = arr[g, bx]  # (nb, K, Lx, P)
+        nb = len(block_ids)
+        partials = core.run(chunks)
+        carries = core.cascade_carries(partials["iteration_totals"])  # (nb, K)
+        base = aux_mat[g, chunk_column_offset + bx]  # (nb,) exclusive offsets
+
+        local = partials["local"].reshape(nb, kp.K, nw, width, kp.P)
+        if not inclusive_out:
+            shifted = np.empty_like(local)
+            shifted[..., 0] = op.identity(plan.problem.dtype)
+            shifted[..., 1:] = local[..., :-1]
+            local = shifted
+
+        # offset = base . carry(k) . warp_offset . thread_offset, combined
+        # left-to-right so non-commutative operators would still be correct.
+        offset = op.combine(
+            base[:, None, None],
+            op.combine(carries[:, :, None], partials["warp_offsets"]),
+        )  # (nb, K, nw)
+        offset = op.combine(
+            offset[..., None], partials["thread_offsets"]
+        )  # (nb, K, nw, width)
+        result = op.combine(offset[..., None], local)
+        arr[g, bx] = result.reshape(nb, kp.K, kp.Lx, kp.P)
+
+        ctx.stats.read_global(nb * kp.chunk_size * itemsize + nb * itemsize)
+        ctx.stats.write_global(nb * kp.chunk_size * itemsize)
+        ctx.stats.shuffles(partials["shuffles"])
+        ctx.stats.apply_operator(
+            partials["operator_applications"]
+            + nb * max(0, kp.K - 1)  # cascade carry chain
+            + nb * kp.K * kp.Lx * kp.P  # offset application to every element
+        )
+        ctx.stats.write_smem(partials["smem_bytes"] // 2)
+        ctx.stats.read_smem(partials["smem_bytes"] // 2)
+        ctx.stats.address_math(nb * kp.K * kp.Lx * 6)
+
+    return gpu.launch(trace, "scan_add", phase, config, body, coalesced=vector_loads)

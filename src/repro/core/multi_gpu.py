@@ -1,0 +1,386 @@
+"""Scan-MPS: Multi-GPU Problem Scattering (Section 4.1, Figures 6-7).
+
+Every problem is split across all ``W`` participating GPUs of one node;
+each GPU computes Stage 1 over its ``N/W``-element portion, the chunk
+reductions are collected into GPU 0's auxiliary array (P2P inside a PCIe
+network, host-staged across networks), GPU 0 runs Stage 2 alone
+("empirically, executing this second kernel on a single GPU has better
+performance than splitting its execution"), the scanned offsets travel
+back, and every GPU finishes with Stage 3 on its portion.
+
+Also implements the paper's *Case 1* (problem parallelism): G problems
+distributed across GPUs with no inter-GPU communication at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GPU
+from repro.gpusim.events import Trace
+from repro.gpusim.memory import AllocationScope, DeviceArray
+from repro.interconnect.topology import SystemTopology
+from repro.interconnect.transfer import TransferCostParams, TransferEngine
+from repro.core.kernels import (
+    launch_chunk_reduce,
+    launch_intermediate_scan,
+    launch_scan_add,
+)
+from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.results import ScanResult
+from repro.core.single_gpu import ScanSP, coerce_batch, shrink_template_to_fit
+
+
+def upload_portions(
+    gpus: list[GPU],
+    batch: np.ndarray,
+    parts: int,
+    scope: AllocationScope | None = None,
+) -> list[DeviceArray]:
+    """Slice each problem into ``parts`` contiguous portions, one per GPU.
+
+    When a ``scope`` is given the uploads are tracked for exception-safe
+    release.
+    """
+    g, n = batch.shape
+    if n % parts != 0:
+        raise ConfigurationError(f"N={n} not divisible into {parts} portions")
+    n_local = n // parts
+    portions = []
+    for w, gpu in enumerate(gpus):
+        chunk = np.ascontiguousarray(batch[:, w * n_local : (w + 1) * n_local])
+        buf = scope.upload(gpu, chunk) if scope is not None else gpu.upload(chunk)
+        portions.append(buf)
+    return portions
+
+
+def collect_portions(portions: list[DeviceArray]) -> np.ndarray:
+    """Concatenate per-GPU portions back into a host (G, N) batch."""
+    return np.concatenate([p.to_host() for p in portions], axis=1)
+
+
+def problem_scattering_flow(
+    trace: Trace,
+    engine: TransferEngine,
+    topology: SystemTopology,
+    gpus: list[GPU],
+    portions: list[DeviceArray],
+    plan: ExecutionPlan,
+    functional: bool = True,
+    dispatch_counter: dict | None = None,
+    overlap: bool = False,
+) -> None:
+    """The three-stage scattering flow over one GPU group (Figure 7).
+
+    ``gpus[0]`` acts as the group master holding the shared auxiliary
+    array; every GPU holds one ``(g_local, n_local)`` portion of every
+    problem the group works on. Records all kernels/transfers into
+    ``trace`` under the phases ``stage1``/``aux_gather``/``stage2``/
+    ``aux_scatter``/``stage3``. Used by both Scan-MPS (group = all W GPUs)
+    and Scan-MP-PC (one group per PCIe network).
+
+    ``overlap=True`` models the paper's communication/computation overlap
+    ("data are copied between these devices asynchronously along the
+    shortest PCI-e path, enabling communication-computation overlapping"):
+    the auxiliary gather shares Stage 1's phase (UVA direct writes stream
+    out while blocks compute) and the scatter shares Stage 3's (each GPU
+    starts as its slice lands). Off by default to keep the Figure-14
+    phase accounting comparable to the paper's.
+    """
+    if len(gpus) != len(portions):
+        raise ConfigurationError(
+            f"{len(gpus)} GPUs but {len(portions)} portions"
+        )
+    if len(gpus) != plan.gpus_sharing_problem:
+        raise ConfigurationError(
+            f"plan shares each problem among {plan.gpus_sharing_problem} GPUs "
+            f"but the group has {len(gpus)}"
+        )
+    g_local = portions[0].shape[0]
+    bx = plan.chunks_per_gpu
+    w = len(gpus)
+    root = gpus[0]
+    gather_phase = "stage1" if overlap else "aux_gather"
+    scatter_phase = "stage3" if overlap else "aux_scatter"
+    # Serial dispatch ordinals, shared across groups driven by one host
+    # (the MP-PC executor passes one counter for all its groups).
+    counter = {} if dispatch_counter is None else dispatch_counter
+
+    def dispatch(phase, gpu):
+        key = (topology.slot(gpu).node, phase)
+        counter[key] = counter.get(key, 0) + 1
+        engine.record_dispatch(trace, phase, gpu, ordinal=counter[key])
+    scope = AllocationScope()
+    virtual = not functional
+    aux_global = scope.alloc(
+        root, (g_local, plan.chunks_total), plan.problem.dtype, virtual=virtual
+    )
+    aux_locals: dict[int, DeviceArray] = {
+        i: scope.alloc(gpu, (g_local, bx), plan.problem.dtype, virtual=virtual)
+        for i, gpu in enumerate(gpus)
+        if i != 0
+    }
+    try:
+        # Stage 1: all GPUs reduce their chunks concurrently. The master
+        # writes straight into the shared auxiliary array (it owns it).
+        launch_chunk_reduce(
+            trace, root, portions[0], aux_global, plan,
+            chunk_column_offset=0, phase="stage1", functional=functional,
+        )
+        dispatch("stage1", root)
+        for i in range(1, w):
+            launch_chunk_reduce(
+                trace, gpus[i], portions[i], aux_locals[i], plan,
+                chunk_column_offset=0, phase="stage1", functional=functional,
+            )
+            dispatch("stage1", gpus[i])
+
+        # Collect chunk reductions into the master's auxiliary array. P2P
+        # routes are written directly by the kernel (UVA) — one bulk
+        # message; host-staged routes need one explicit copy per problem's
+        # auxiliary row (the Figure-9 W=8 cliff).
+        for i in range(1, w):
+            src = aux_locals[i]
+            dst = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
+            messages = 1 if topology.p2p_capable(gpus[i], root) else g_local
+            engine.copy(trace, gather_phase, src, dst, messages=messages,
+                        functional=functional)
+
+        # Stage 2 on the master alone.
+        launch_intermediate_scan(
+            trace, root, aux_global, plan, phase="stage2", functional=functional
+        )
+        dispatch("stage2", root)
+
+        # Return each GPU's slice of the scanned offsets.
+        for i in range(1, w):
+            src = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
+            dst = aux_locals[i]
+            messages = 1 if topology.p2p_capable(root, gpus[i]) else g_local
+            engine.copy(trace, scatter_phase, src, dst, messages=messages,
+                        functional=functional)
+
+        # Stage 3 everywhere.
+        launch_scan_add(
+            trace, root, portions[0], aux_global, plan,
+            chunk_column_offset=0, phase="stage3", functional=functional,
+        )
+        dispatch("stage3", root)
+        for i in range(1, w):
+            launch_scan_add(
+                trace, gpus[i], portions[i], aux_locals[i], plan,
+                chunk_column_offset=0, phase="stage3", functional=functional,
+            )
+            dispatch("stage3", gpus[i])
+    finally:
+        scope.release()
+
+
+class ScanMPS:
+    """Multi-GPU Problem Scattering executor (single node)."""
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        node: NodeConfig,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+        transfer_params: TransferCostParams | None = None,
+        node_index: int = 0,
+        overlap: bool = False,
+    ):
+        if node.M != 1:
+            raise ConfigurationError(
+                "ScanMPS is the single-node executor; use ScanMultiNodeMPS for M > 1"
+            )
+        self.topology = topology
+        self.node = node
+        self.K = K
+        self.stage1_template = stage1_template
+        self.engine = TransferEngine(topology, transfer_params)
+        self.overlap = overlap
+        self.gpus = topology.select_gpus(node.W, node.V, 1)[0]
+        # Re-home the group on the requested node (select_gpus picks node 0).
+        if node_index != 0:
+            offset = node_index * topology.gpus_per_node
+            self.gpus = [topology.gpu(g.id + offset) for g in self.gpus]
+
+    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        w = self.node.W
+        n_local = problem.N // w
+        template = self.stage1_template or derive_stage_kernel_params(
+            self.topology.arch, problem.dtype
+        )
+        template = shrink_template_to_fit(template, n_local)
+        if self.K is not None:
+            k = self.K
+        else:
+            space = k_search_space(
+                problem, template, template, self.topology.arch,
+                node=self.node, proposal="mps",
+            )
+            k = space[-1]
+        return build_execution_plan(
+            self.topology.arch,
+            problem,
+            K=k,
+            gpus_sharing_problem=w,
+            stage1_template=template,
+        )
+
+    def run(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        collect: bool = True,
+    ) -> ScanResult:
+        batch = coerce_batch(data)
+        g, n = batch.shape
+        problem = ProblemConfig.from_sizes(
+            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+        )
+        plan = self.plan_for(problem)
+        w = self.node.W
+        with AllocationScope() as scope:
+            portions = upload_portions(self.gpus, batch, w, scope)
+            trace = self.run_on_device(portions, plan)
+            output = collect_portions(portions) if collect else None
+        return ScanResult(
+            problem=problem,
+            proposal="scan-mps",
+            trace=trace,
+            plan=plan,
+            output=output,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": 1,
+                "gpu_ids": [g.id for g in self.gpus],
+            },
+        )
+
+    def run_on_device(
+        self, portions: list[DeviceArray], plan: ExecutionPlan
+    ) -> Trace:
+        """The timed region over resident per-GPU portions."""
+        if len(portions) != self.node.W:
+            raise ConfigurationError(
+                f"expected {self.node.W} portions, got {len(portions)}"
+            )
+        trace = Trace()
+        with self.topology.activate(self.gpus):
+            problem_scattering_flow(
+                trace, self.engine, self.topology, self.gpus, portions, plan,
+                overlap=self.overlap,
+            )
+        return trace
+
+    def estimate(self, problem: ProblemConfig) -> ScanResult:
+        """Analytic run at full problem scale (exact trace, no data arrays)."""
+        plan = self.plan_for(problem)
+        n_local = problem.N // self.node.W
+        trace = Trace()
+        with AllocationScope() as scope:
+            portions = [
+                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
+                for gpu in self.gpus
+            ]
+            with self.topology.activate(self.gpus):
+                problem_scattering_flow(
+                    trace, self.engine, self.topology, self.gpus, portions, plan,
+                    functional=False, overlap=self.overlap,
+                )
+        return ScanResult(
+            problem=problem,
+            proposal="scan-mps",
+            trace=trace,
+            plan=plan,
+            output=None,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": 1,
+                "estimated": True,
+                "gpu_ids": [g.id for g in self.gpus],
+            },
+        )
+
+
+class ScanProblemParallel:
+    """The paper's Case 1: independent problems, one Scan-SP per GPU.
+
+    "Solving the Case 1 is trivial, simply executing the strategy analyzed
+    in Section 3 through several GPUs, since there is no communication
+    among GPUs." G problems are dealt round-robin-free (contiguous slabs)
+    onto W GPUs; per-GPU batches run concurrently.
+    """
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        node: NodeConfig,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+    ):
+        self.topology = topology
+        self.node = node
+        self.K = K
+        self.stage1_template = stage1_template
+        self.gpus = topology.select_gpus(node.W, node.V, 1)[0]
+
+    def run(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        collect: bool = True,
+    ) -> ScanResult:
+        batch = coerce_batch(data)
+        g, n = batch.shape
+        w = min(self.node.W, g)  # never more GPUs than problems
+        if g % w != 0:
+            raise ConfigurationError(f"G={g} must divide among {w} GPUs")
+        g_per_gpu = g // w
+        problem = ProblemConfig.from_sizes(
+            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+        )
+
+        trace = Trace()
+        outputs: list[np.ndarray] = []
+        plan = None
+        activation = self.topology.activate(self.gpus[:w])
+        activation.__enter__()
+        for i in range(w):
+            gpu = self.gpus[i]
+            sub = np.ascontiguousarray(batch[i * g_per_gpu : (i + 1) * g_per_gpu])
+            executor = ScanSP(gpu, K=self.K, stage1_template=self.stage1_template)
+            sub_problem = ProblemConfig.from_sizes(
+                N=n, G=g_per_gpu, dtype=batch.dtype,
+                operator=operator, inclusive=inclusive,
+            )
+            plan = executor.plan_for(sub_problem)
+            with AllocationScope() as scope:
+                device_data = scope.upload(gpu, sub)
+                aux = scope.alloc(gpu, (g_per_gpu, plan.chunks_total), sub_problem.dtype)
+                trace.merge(executor.run_on_device(device_data, aux, plan))
+                if collect:
+                    outputs.append(device_data.to_host())
+        activation.__exit__(None, None, None)
+        output = np.concatenate(outputs, axis=0) if collect else None
+        return ScanResult(
+            problem=problem,
+            proposal="scan-pp",
+            trace=trace,
+            plan=plan,
+            output=output,
+            config={"W": w, "G_per_gpu": g_per_gpu,
+                    "gpu_ids": [g.id for g in self.gpus[:w]]},
+        )

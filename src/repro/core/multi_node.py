@@ -1,0 +1,257 @@
+"""Multi-Node Scan-MPS: problem scattering across nodes via MPI (§4.1, §5.2).
+
+All ``M * W`` GPUs cooperate on every problem: each holds ``N/(M*W)``
+elements of each of the ``G`` problems. The flow mirrors the paper's
+description exactly:
+
+1. every GPU runs Stage 1 (chunk reduce) on its portion;
+2. all MPI processes synchronise (MPI_Barrier);
+3. the chunk reductions are collected on the master (GPU 0 of node 0,
+   which "allocat[es] an additional array for processing the second stage
+   on its device memory") with MPI_Gather;
+4. the master runs Stage 2;
+5. the scanned offsets return with MPI_Scatter;
+6. every GPU runs Stage 3.
+
+Intra-node legs of the collectives automatically ride P2P or host-staged
+PCIe paths (CUDA-aware MPI); inter-node legs ride InfiniBand RDMA. The
+phase names give exactly the Figure-14 breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GPU
+from repro.gpusim.events import Trace
+from repro.gpusim.memory import AllocationScope, DeviceArray
+from repro.interconnect.topology import SystemTopology
+from repro.interconnect.transfer import TransferCostParams, TransferEngine
+from repro.mpisim.communicator import Communicator, MPICostParams
+from repro.core.kernels import (
+    launch_chunk_reduce,
+    launch_intermediate_scan,
+    launch_scan_add,
+)
+from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.results import ScanResult
+from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
+
+
+class ScanMultiNodeMPS:
+    """Multi-node problem-scattering executor (one MPI rank per GPU)."""
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        node: NodeConfig,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+        mpi_params: MPICostParams | None = None,
+        transfer_params: TransferCostParams | None = None,
+    ):
+        if node.M > topology.num_nodes:
+            raise ConfigurationError(
+                f"M={node.M} exceeds the machine's {topology.num_nodes} nodes"
+            )
+        self.topology = topology
+        self.node = node
+        self.K = K
+        self.stage1_template = stage1_template
+        groups = topology.select_gpus(node.W, node.V, node.M)
+        self.gpus: list[GPU] = [gpu for group in groups for gpu in group]
+        self.comm = Communicator(
+            topology, self.gpus, params=mpi_params, transfer_params=transfer_params
+        )
+        self.engine = TransferEngine(topology, transfer_params)
+
+    @property
+    def total_gpus(self) -> int:
+        return self.node.M * self.node.W
+
+    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        parts = self.total_gpus
+        n_local = problem.N // parts
+        template = self.stage1_template or derive_stage_kernel_params(
+            self.topology.arch, problem.dtype
+        )
+        template = shrink_template_to_fit(template, n_local)
+        if self.K is not None:
+            k = self.K
+        else:
+            space = k_search_space(
+                problem, template, template, self.topology.arch,
+                node=self.node, proposal="mps",
+            )
+            k = space[-1]
+        return build_execution_plan(
+            self.topology.arch,
+            problem,
+            K=k,
+            gpus_sharing_problem=parts,
+            stage1_template=template,
+        )
+
+    def run(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        collect: bool = True,
+    ) -> ScanResult:
+        batch = coerce_batch(data)
+        g, n = batch.shape
+        problem = ProblemConfig.from_sizes(
+            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+        )
+        plan = self.plan_for(problem)
+        parts = self.total_gpus
+        n_local = n // parts
+
+        with AllocationScope() as scope:
+            portions = [
+                scope.upload(
+                    gpu,
+                    np.ascontiguousarray(batch[:, r * n_local : (r + 1) * n_local]),
+                )
+                for r, gpu in enumerate(self.gpus)
+            ]
+            trace = self.run_on_device(portions, plan)
+            output = (
+                np.concatenate([p.to_host() for p in portions], axis=1)
+                if collect else None
+            )
+        return ScanResult(
+            problem=problem,
+            proposal="scan-mn-mps",
+            trace=trace,
+            plan=plan,
+            output=output,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": self.node.M,
+                "gpu_ids": [g.id for g in self.gpus],
+            },
+        )
+
+    def run_on_device(
+        self, portions: list[DeviceArray], plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        """The timed region (Figure 14's phases, in order)."""
+        parts = self.total_gpus
+        if len(portions) != parts:
+            raise ConfigurationError(f"expected {parts} portions, got {len(portions)}")
+        g_local = portions[0].shape[0]
+        bx = plan.chunks_per_gpu
+        master = self.gpus[0]
+        dtype = plan.problem.dtype
+        trace = Trace()
+        scope = AllocationScope()
+        virtual = not functional
+        aux_locals = [
+            scope.alloc(gpu, (g_local, bx), dtype, virtual=virtual)
+            for gpu in self.gpus
+        ]
+        # Master-side buffers: rank-major staging + the problem-major array
+        # Stage 2 scans.
+        staging = scope.alloc(master, (parts, g_local * bx), dtype, virtual=virtual)
+        aux_master = scope.alloc(master, (g_local, parts * bx), dtype, virtual=virtual)
+        activation = self.topology.activate(self.gpus)
+        activation.__enter__()
+        counter: dict = {}
+
+        def dispatch(phase, gpu):
+            key = (self.topology.slot(gpu).node, phase)
+            counter[key] = counter.get(key, 0) + 1
+            self.engine.record_dispatch(trace, phase, gpu, ordinal=counter[key])
+
+        try:
+            # Stage 1 on every GPU (each node's host dispatches its own W).
+            for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                launch_chunk_reduce(
+                    trace, gpu, portion, aux, plan,
+                    chunk_column_offset=0, phase="stage1", functional=functional,
+                )
+                dispatch("stage1", gpu)
+
+            # "After synchronizing all MPI processes, ..."
+            self.comm.barrier(trace, "mpi_barrier")
+
+            # MPI_Gather of every rank's chunk reductions to the master.
+            self.comm.gather(
+                trace, "mpi_gather", aux_locals, staging, root=0,
+                functional=functional,
+            )
+            # Rank-major -> problem-major relayout on the master (cheap
+            # device-side shuffle; not separately timed).
+            if functional:
+                aux_master.data[...] = (
+                    staging.data.reshape(parts, g_local, bx)
+                    .transpose(1, 0, 2)
+                    .reshape(g_local, parts * bx)
+                )
+
+            # Stage 2 on the master only.
+            launch_intermediate_scan(
+                trace, master, aux_master, plan, phase="stage2",
+                functional=functional,
+            )
+            dispatch("stage2", master)
+
+            # MPI_Scatter of each rank's slice of the scanned offsets.
+            if functional:
+                staging.data[...] = (
+                    aux_master.data.reshape(g_local, parts, bx)
+                    .transpose(1, 0, 2)
+                    .reshape(parts, g_local * bx)
+                )
+            self.comm.scatter(
+                trace, "mpi_scatter", staging, aux_locals, root=0,
+                functional=functional,
+            )
+
+            # Stage 3 on every GPU.
+            for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                launch_scan_add(
+                    trace, gpu, portion, aux, plan,
+                    chunk_column_offset=0, phase="stage3", functional=functional,
+                )
+                dispatch("stage3", gpu)
+        finally:
+            activation.__exit__(None, None, None)
+            scope.release()
+        return trace
+
+    def estimate(self, problem: ProblemConfig) -> ScanResult:
+        """Analytic run at full problem scale (exact trace, no data arrays)."""
+        plan = self.plan_for(problem)
+        parts = self.total_gpus
+        n_local = problem.N // parts
+        with AllocationScope() as scope:
+            portions = [
+                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
+                for gpu in self.gpus
+            ]
+            trace = self.run_on_device(portions, plan, functional=False)
+        return ScanResult(
+            problem=problem,
+            proposal="scan-mn-mps",
+            trace=trace,
+            plan=plan,
+            output=None,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": self.node.M,
+                "estimated": True,
+                "gpu_ids": [g.id for g in self.gpus],
+            },
+        )

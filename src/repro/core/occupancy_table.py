@@ -1,0 +1,96 @@
+"""Regeneration of Table 3: performance parameters per SM.
+
+For each warps-per-block choice, the table reports the register and shared
+memory *budgets* that keep the maximum achievable number of blocks resident,
+plus the resulting warp occupancy — the data Premise 1 balances. The cc 3.7
+preset reproduces the paper's table exactly (including the bold row at
+4 warps/block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.occupancy import (
+    achievable_blocks_ignoring_regs_smem,
+    max_regs_for_full_blocks,
+    max_smem_for_full_blocks,
+)
+
+
+@dataclass(frozen=True)
+class OccupancyTableRow:
+    """One row of Table 3."""
+
+    warps_per_block: int
+    regs_per_thread: int
+    smem_per_block: int
+    warp_occupancy: float
+    blocks_per_sm: int
+    bold: bool  # the row Premise 1 selects (max blocks AND 100% occupancy)
+
+    @property
+    def occupancy_percent(self) -> int:
+        return round(self.warp_occupancy * 100)
+
+
+def occupancy_table(
+    arch: GPUArchitecture,
+    warps_choices: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> list[OccupancyTableRow]:
+    """Build Table 3 for ``arch``."""
+    rows: list[OccupancyTableRow] = []
+    for warps in warps_choices:
+        if warps * arch.warp_size > arch.max_threads_per_sm:
+            continue
+        blocks = achievable_blocks_ignoring_regs_smem(arch, warps)
+        regs = max_regs_for_full_blocks(arch, warps, target_blocks=blocks)
+        smem = max_smem_for_full_blocks(arch, target_blocks=blocks)
+        resident_warps = min(blocks * warps, arch.max_warps_per_sm)
+        occ = resident_warps / arch.max_warps_per_sm
+        rows.append(
+            OccupancyTableRow(
+                warps_per_block=warps,
+                regs_per_thread=regs,
+                smem_per_block=smem,
+                warp_occupancy=occ,
+                blocks_per_sm=blocks,
+                bold=False,
+            )
+        )
+    # Bold row: maximum blocks/SM among rows with full occupancy, smallest
+    # block first (leaves the biggest register budget).
+    full = [r for r in rows if r.warp_occupancy >= 1.0]
+    if full:
+        best = max(full, key=lambda r: (r.blocks_per_sm, -r.warps_per_block))
+        rows = [
+            OccupancyTableRow(
+                r.warps_per_block,
+                r.regs_per_thread,
+                r.smem_per_block,
+                r.warp_occupancy,
+                r.blocks_per_sm,
+                bold=(r is best),
+            )
+            for r in rows
+        ]
+    return rows
+
+
+def format_occupancy_table(arch: GPUArchitecture) -> str:
+    """Render Table 3 as text in the paper's column order."""
+    lines = [
+        f"Performance parameters per SM on {arch.name} "
+        f"(compute capability {arch.compute_capability[0]}.{arch.compute_capability[1]})",
+        f"{'Warps/block':>12} {'Regs/thread':>12} {'Smem/block':>11} "
+        f"{'Warp occ.':>10} {'Blocks/SM':>10}",
+    ]
+    for row in occupancy_table(arch):
+        marker = " <= Premise 1" if row.bold else ""
+        lines.append(
+            f"{row.warps_per_block:>12} {row.regs_per_thread:>12} "
+            f"{row.smem_per_block:>11} {row.occupancy_percent:>9}% "
+            f"{row.blocks_per_sm:>10}{marker}"
+        )
+    return "\n".join(lines)

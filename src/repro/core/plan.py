@@ -1,0 +1,140 @@
+"""Execution-plan construction: resolving the three-stage decomposition.
+
+Given the problem, the architecture-derived (s, p, l) tuple and a cascade
+depth ``K``, this module resolves every grid/block dimension of the three
+kernels (Figure 3 of the paper):
+
+- Stage 1 (Chunk Reduce) and Stage 3 (Scan+Addition) share chunking:
+  ``B_x^{1,3} = n_local / (K * Lx * P)`` blocks per problem, ``B_y = G``
+  problems per kernel, ``L_y = 1``.
+- Stage 2 (Intermediate Scan) processes the per-problem chunk-reduction
+  array of ``chunks_total`` elements with ``B_x^2 = 1`` and packs
+  ``L_y^2 > 1`` problems into each block to keep warp occupancy up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import GPUArchitecture
+from repro.core.params import (
+    ExecutionPlan,
+    KernelParams,
+    ProblemConfig,
+    StagePlan,
+)
+from repro.core.premises import derive_stage_kernel_params
+from repro.util.ints import ilog2, is_power_of_two
+from repro.util.logging import get_logger
+
+_log = get_logger("core.plan")
+
+
+def _stage2_params(stage1: KernelParams, chunks_total: int, g_local: int) -> KernelParams:
+    """Resolve the Stage-2 (Ly^2 > 1) block shape.
+
+    The block covers ``P^2 * Lx^2`` chunk-reduction elements per problem
+    per round and ``Ly^2`` problems; ``Ly^2`` is pushed up until a block's
+    ``P*L`` element capacity is filled by ``chunks_total`` per problem, so
+    few-chunk configurations still occupy all warps (Section 3.1: "the same
+    block must process elements from different problems, otherwise warp
+    occupancy would be much too low").
+    """
+    l2 = stage1.l
+    p2 = stage1.p
+    capacity = (1 << l2) * (1 << p2)  # elements one block round covers
+    ly2_target = max(1, capacity // max(1, chunks_total))
+    ly2 = 1 << (ly2_target.bit_length() - 1)  # floor to power of two
+    ly2 = min(ly2, g_local, 1 << l2)
+    ly2_log = ilog2(ly2)
+    return KernelParams(
+        s=stage1.s,
+        p=p2,
+        l=l2,
+        lx=l2 - ly2_log,
+        ly=ly2_log,
+        K=1,
+    )
+
+
+def build_execution_plan(
+    arch: GPUArchitecture,
+    problem: ProblemConfig,
+    K: int = 1,
+    gpus_sharing_problem: int = 1,
+    g_local: int | None = None,
+    stage1_template: KernelParams | None = None,
+) -> ExecutionPlan:
+    """Build the per-GPU three-stage plan.
+
+    Parameters
+    ----------
+    gpus_sharing_problem:
+        How many GPUs cooperatively hold each problem (1 for Scan-SP,
+        ``W`` or ``M*W`` for Scan-MPS, ``V`` for Scan-MP-PC). Each GPU then
+        owns ``n_local = N / gpus_sharing_problem`` contiguous elements of
+        every problem it participates in.
+    g_local:
+        Number of problems this GPU group works on (defaults to G; Scan-MP-PC
+        passes ``G/Y``).
+    stage1_template:
+        Override of the premise-derived (s, p, l) tuple, mainly for tests
+        and ablations. ``K`` always comes from the explicit argument.
+    """
+    if not is_power_of_two(gpus_sharing_problem):
+        raise ConfigurationError(
+            f"gpus_sharing_problem must be a power of two, got {gpus_sharing_problem}"
+        )
+    if problem.N % gpus_sharing_problem != 0:
+        raise ConfigurationError(
+            f"N={problem.N} not divisible among {gpus_sharing_problem} GPUs"
+        )
+    n_local = problem.N // gpus_sharing_problem
+    g_loc = problem.G if g_local is None else g_local
+    if g_loc < 1 or not is_power_of_two(g_loc):
+        raise ConfigurationError(
+            f"g_local must be a positive power of two, got {g_local}"
+        )
+
+    if stage1_template is None:
+        stage1_params = derive_stage_kernel_params(arch, problem.dtype, K=K)
+    else:
+        stage1_params = replace(stage1_template, K=K)
+
+    chunk = stage1_params.chunk_size
+    if n_local % chunk != 0 or n_local < chunk:
+        raise ConfigurationError(
+            f"local portion ({n_local} elements) must be a multiple of the "
+            f"chunk size K*Lx*P = {chunk}; pick K from the premise search space"
+        )
+    bx1 = n_local // chunk
+    chunks_total = bx1 * gpus_sharing_problem
+    stage2_params = _stage2_params(stage1_params, chunks_total, g_loc)
+    by2 = g_loc // stage2_params.Ly
+
+    _log.debug(
+        "plan: N=%d G=%d share=%d -> (s=%d,p=%d,l=%d,K=%d) Bx=%d Cx=%d Ly2=%d",
+        problem.N, g_loc, gpus_sharing_problem, stage1_params.s,
+        stage1_params.p, stage1_params.l, K, bx1, chunks_total,
+        stage2_params.Ly,
+    )
+    stage1 = StagePlan(params=stage1_params, bx=bx1, by=g_loc)
+    stage2 = StagePlan(params=stage2_params, bx=1, by=by2)
+    stage3 = StagePlan(params=stage1_params, bx=bx1, by=g_loc)
+    return ExecutionPlan(
+        problem=problem,
+        stage1=stage1,
+        stage2=stage2,
+        stage3=stage3,
+        n_local=n_local,
+        chunks_total=chunks_total,
+        gpus_sharing_problem=gpus_sharing_problem,
+    )
+
+
+def default_stage1_template(arch: GPUArchitecture, dtype=np.int32) -> KernelParams:
+    """The premise-derived (s, p, l) tuple with K left at 1."""
+    return derive_stage_kernel_params(arch, dtype, K=1)

@@ -1,0 +1,256 @@
+"""The tuning strategy's performance premises (Sections 3.2 and 4.2).
+
+Premise 1 — *Balancing warp and block parallelism*: pick the block shape
+(threads per block = ``L``) and the register/shared-memory budgets that
+simultaneously keep the maximum number of resident blocks per SM **and**
+full warp occupancy (the bold row of Table 3: 4 warps, < 64 regs/thread,
+< 7168 B smem on cc 3.7).
+
+Premise 2 — *Increase the computational load per thread*: choose ``P`` as
+large as the register budget allows, accounting for the auxiliary/indexing
+registers that the paper notes "consume many registers". With the
+three-registers-per-element pressure model below, a 64-register budget
+yields ``p = 3`` (``P = 8``), the paper's choice.
+
+Premise 3 — *Maximize SM occupancy, minimize global memory traffic*:
+bound the cascade depth ``K^1`` by Eq. 1 so Stage 2 still receives enough
+blocks to fill the SMs, while larger ``K`` shrinks the auxiliary array.
+
+Premise 4 — *Prioritize high-bandwidth communications*: in multi-GPU and
+multi-node runs, additionally require every GPU to own at least one chunk
+(Eq. 2 for Scan-MPS, Eq. 3 for Scan-MP-PC), which upper-bounds ``K^1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.occupancy import (
+    achievable_blocks_ignoring_regs_smem,
+    max_regs_for_full_blocks,
+    max_smem_for_full_blocks,
+    occupancy,
+)
+from repro.core.params import KernelParams, NodeConfig, ProblemConfig
+from repro.util.ints import ilog2, powers_of_two_between
+
+#: Registers held live per element kept in registers: the staged int4 load
+#: word, the running value, and a scan temporary (the Premise-2 pressure
+#: model; see the module docstring).
+REGS_PER_ELEMENT_WORD = 3
+
+#: Fixed register overhead of indexing, loop counters and auxiliary values.
+REG_OVERHEAD = 24
+
+
+@dataclass(frozen=True)
+class Premise1Result:
+    """The block configuration Premise 1 selects for an architecture."""
+
+    warps_per_block: int
+    l: int  # log2(threads per block)
+    reg_budget_per_thread: int
+    smem_budget_per_block: int
+    blocks_per_sm: int
+    warp_occupancy: float
+
+
+def premise1_block_configuration(arch: GPUArchitecture) -> Premise1Result:
+    """Find the block shape maximizing block AND warp parallelism.
+
+    Scans warps-per-block in powers of two and returns the smallest block
+    that achieves both the architectural blocks/SM maximum and 100% warp
+    occupancy (the bold row of Table 3). Smallest is preferred because it
+    leaves the largest per-thread register budget for Premise 2.
+    """
+    best: Premise1Result | None = None
+    warps = 1
+    while warps * arch.warp_size <= arch.max_threads_per_sm:
+        blocks = achievable_blocks_ignoring_regs_smem(arch, warps)
+        reg_budget = max_regs_for_full_blocks(arch, warps, target_blocks=blocks)
+        smem_budget = max_smem_for_full_blocks(arch, target_blocks=blocks)
+        # Verify the budgets really sustain the residency they promise.
+        occ = occupancy(
+            arch,
+            warps_per_block=warps,
+            regs_per_thread=min(reg_budget, arch.max_registers_per_thread),
+            smem_per_block=smem_budget,
+        )
+        candidate = Premise1Result(
+            warps_per_block=warps,
+            l=ilog2(warps * arch.warp_size),
+            reg_budget_per_thread=reg_budget,
+            smem_budget_per_block=smem_budget,
+            blocks_per_sm=occ.blocks_per_sm,
+            warp_occupancy=occ.warp_occupancy,
+        )
+        full_blocks = occ.blocks_per_sm >= arch.max_blocks_per_sm or (
+            occ.blocks_per_sm >= achievable_blocks_ignoring_regs_smem(arch, warps)
+        )
+        if occ.full_warp_occupancy and full_blocks:
+            return candidate
+        if best is None or (
+            occ.warp_occupancy,
+            occ.blocks_per_sm,
+        ) > (best.warp_occupancy, best.blocks_per_sm):
+            best = candidate
+        warps <<= 1
+    if best is None:  # pragma: no cover - arch validation prevents this
+        raise TuningError(f"no feasible block configuration on {arch.name}")
+    return best
+
+
+def premise2_p(
+    reg_budget_per_thread: int,
+    dtype=np.int32,
+    reg_overhead: int = REG_OVERHEAD,
+    regs_per_element_word: int = REGS_PER_ELEMENT_WORD,
+) -> int:
+    """Pick ``p`` (log2 elements per thread) from the register budget.
+
+    ``P`` is pushed as high as the budget allows without spilling:
+    ``overhead + P * words_per_element * regs_per_element_word <= budget``
+    where ``words_per_element`` is the element size in 32-bit register
+    words. For the cc 3.7 budget of 64 registers and int32 elements this
+    gives ``P <= 13`` and therefore ``p = 3`` — the paper's choice.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    words = max(1, itemsize // 4)
+    available = reg_budget_per_thread - reg_overhead
+    if available < words * regs_per_element_word:
+        raise TuningError(
+            f"register budget {reg_budget_per_thread} too small for even one "
+            f"element of dtype {np.dtype(dtype)} (overhead {reg_overhead})"
+        )
+    p_max_elements = available // (words * regs_per_element_word)
+    return ilog2(1 << (p_max_elements.bit_length() - 1))
+
+
+def derive_stage_kernel_params(
+    arch: GPUArchitecture,
+    dtype=np.int32,
+    K: int = 1,
+    lx_override: int | None = None,
+    p_override: int | None = None,
+) -> KernelParams:
+    """Premises 1+2 combined: the (s, p, l) tuple for Stage 1/3 kernels.
+
+    All threads of a Stage-1/3 block work on the same chunk, so
+    ``Ly = 1`` and ``lx = l``. Shared memory holds one partial per warp
+    (``s = log2(warps per block)``), which automatically satisfies the
+    ``s <= 5`` shuffle bound.
+    """
+    p1 = premise1_block_configuration(arch)
+    l = p1.l if lx_override is None else lx_override
+    warps = max(1, (1 << l) // arch.warp_size)
+    s = ilog2(warps) if warps > 1 else 0
+    p = premise2_p(p1.reg_budget_per_thread, dtype) if p_override is None else p_override
+    params = KernelParams(s=s, p=p, l=l, lx=l, ly=0, K=K)
+    smem = params.smem_bytes(np.dtype(dtype).itemsize)
+    if smem > p1.smem_budget_per_block:
+        raise TuningError(
+            f"derived smem/block {smem} B exceeds the Premise-1 budget "
+            f"{p1.smem_budget_per_block} B on {arch.name}"
+        )
+    return params
+
+
+def premise3_k_max(
+    problem: ProblemConfig,
+    stage1: KernelParams,
+    stage2: KernelParams,
+    arch: GPUArchitecture,
+) -> int:
+    """Equation 1's upper bound on K^1.
+
+    ``1 <= K^1 <= G*N / (maxblocks * P^1 * P^2 * L^1 * L^2)`` — keeping at
+    least ``max_blocks_per_sm`` blocks' worth of work in Stage 2.
+    """
+    denom = (
+        arch.max_blocks_per_sm
+        * stage1.P
+        * stage2.P
+        * stage1.L
+        * stage2.L
+    )
+    bound = (problem.G * problem.N) // denom
+    return max(1, bound)
+
+
+def premise4_k_max_scattering(
+    problem: ProblemConfig,
+    stage1: KernelParams,
+    node: NodeConfig,
+) -> int:
+    """Equation 2: every one of the M*W GPUs must own at least one chunk.
+
+    ``N / (K^1 * Lx^1 * P^1) >= M*W``  =>  ``K^1 <= N / (Lx*P*M*W)``.
+    """
+    denom = stage1.Lx * stage1.P * node.M * node.W
+    return max(1, problem.N // denom)
+
+
+def premise4_k_max_prioritized(
+    problem: ProblemConfig,
+    stage1: KernelParams,
+    node: NodeConfig,
+) -> int:
+    """Equation 3: every one of the V GPUs of a PCIe network owns a chunk.
+
+    ``N / (K^1 * Lx^1 * P^1) >= V``  =>  ``K^1 <= N / (Lx*P*V)``.
+    """
+    denom = stage1.Lx * stage1.P * node.V
+    return max(1, problem.N // denom)
+
+
+def k_search_space(
+    problem: ProblemConfig,
+    stage1: KernelParams,
+    stage2: KernelParams,
+    arch: GPUArchitecture,
+    node: NodeConfig | None = None,
+    proposal: str = "sp",
+) -> list[int]:
+    """Enumerate the premise-bounded candidate values for K^1.
+
+    The space is all powers of two between 1 and the minimum of:
+
+    - Eq. 1 (Premise 3, Stage-2 occupancy),
+    - Eq. 2 or Eq. 3 (Premise 4) for the multi-GPU proposals,
+    - the trivial feasibility bound: each participating GPU's local portion
+      must hold at least one whole chunk.
+
+    The paper tests every value in this space empirically ("all possible K
+    values that meet Eq. 1 are tested"); :mod:`repro.core.tuner` does the
+    same against the simulator.
+    """
+    bound = premise3_k_max(problem, stage1, stage2, arch)
+    gpus_sharing = 1
+    if proposal == "sp":
+        pass
+    elif proposal == "mps":
+        if node is None:
+            raise TuningError("proposal 'mps' needs a NodeConfig")
+        bound = min(bound, premise4_k_max_scattering(problem, stage1, node))
+        gpus_sharing = node.M * node.W
+    elif proposal == "mppc":
+        if node is None:
+            raise TuningError("proposal 'mppc' needs a NodeConfig")
+        bound = min(bound, premise4_k_max_prioritized(problem, stage1, node))
+        gpus_sharing = node.V
+    else:
+        raise TuningError(f"unknown proposal {proposal!r}; use 'sp', 'mps' or 'mppc'")
+
+    n_local = problem.N // gpus_sharing
+    feasibility = n_local // stage1.elements_per_iteration
+    if feasibility < 1:
+        raise TuningError(
+            f"local portion of {n_local} elements is smaller than one block "
+            f"iteration ({stage1.elements_per_iteration} elements); reduce L or P"
+        )
+    bound = min(bound, feasibility)
+    return list(powers_of_two_between(1, bound))

@@ -1,0 +1,201 @@
+"""Scan-MP-PC: Multi-GPU Problem with Prioritized Communications (§4.1.1).
+
+A sub-case of problem scattering that never leaves a PCIe network: the
+``V`` GPUs of each network solve ``G/Y`` of the problems, each problem split
+into ``V`` portions of ``N/V`` elements (Figure 8: "Communication is only
+performed among the V GPUs of the same PCI-e network"). Networks — and, in
+the multi-node variant, nodes — work on disjoint problem subsets fully in
+parallel, with no host-memory staging and no MPI at all.
+
+When the batch has fewer problems than available networks (``G < Y``), the
+number of networks in use is reduced (the paper's remark under Figure 10;
+also why Figure 10 omits n=28, solved by a single network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GPU
+from repro.gpusim.events import Trace
+from repro.interconnect.topology import SystemTopology
+from repro.interconnect.transfer import TransferCostParams, TransferEngine
+from repro.gpusim.memory import AllocationScope
+from repro.core.multi_gpu import problem_scattering_flow, upload_portions
+from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.results import ScanResult
+from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
+
+
+class ScanMPPC:
+    """Prioritized-communications executor (single- or multi-node, no MPI)."""
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        node: NodeConfig,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+        transfer_params: TransferCostParams | None = None,
+        overlap: bool = False,
+    ):
+        self.topology = topology
+        self.node = node
+        self.K = K
+        self.stage1_template = stage1_template
+        self.engine = TransferEngine(topology, transfer_params)
+        self.overlap = overlap
+        # One GPU group per (node, PCIe network) pair in use.
+        self.groups: list[list[GPU]] = []
+        for node_idx in range(node.M):
+            for net_idx in range(node.Y):
+                if node.V > topology.gpus_per_network:
+                    raise ConfigurationError(
+                        f"network {net_idx} of node {node_idx} has only "
+                        f"{topology.gpus_per_network} GPUs, V={node.V} requested"
+                    )
+                self.groups.append(
+                    topology.spread_gpus_in_network(node_idx, net_idx, node.V)
+                )
+
+    def groups_used(self, g: int) -> int:
+        """Networks actually used: min(M*Y, G), kept a power of two."""
+        return min(len(self.groups), g)
+
+    def plan_for(self, problem: ProblemConfig, groups_used: int) -> ExecutionPlan:
+        v = self.node.V
+        n_local = problem.N // v
+        g_per_group = problem.G // groups_used
+        template = self.stage1_template or derive_stage_kernel_params(
+            self.topology.arch, problem.dtype
+        )
+        template = shrink_template_to_fit(template, n_local)
+        if self.K is not None:
+            k = self.K
+        else:
+            space = k_search_space(
+                problem, template, template, self.topology.arch,
+                node=self.node, proposal="mppc",
+            )
+            k = space[-1]
+        return build_execution_plan(
+            self.topology.arch,
+            problem,
+            K=k,
+            gpus_sharing_problem=v,
+            g_local=g_per_group,
+            stage1_template=template,
+        )
+
+    def run(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        collect: bool = True,
+    ) -> ScanResult:
+        batch = coerce_batch(data)
+        g, n = batch.shape
+        problem = ProblemConfig.from_sizes(
+            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+        )
+        groups_used = self.groups_used(g)
+        g_per_group = g // groups_used
+        plan = self.plan_for(problem, groups_used)
+
+        trace = Trace()
+        with AllocationScope() as scope:
+            group_portions = []
+            for j in range(groups_used):
+                sub = batch[j * g_per_group : (j + 1) * g_per_group]
+                group_portions.append(
+                    upload_portions(self.groups[j], sub, self.node.V, scope)
+                )
+
+            active = [g for j in range(groups_used) for g in self.groups[j]]
+            dispatch_counter: dict = {}
+            with self.topology.activate(active):
+                for j in range(groups_used):
+                    problem_scattering_flow(
+                        trace, self.engine, self.topology,
+                        self.groups[j], group_portions[j], plan,
+                        dispatch_counter=dispatch_counter,
+                        overlap=self.overlap,
+                    )
+
+            output = None
+            if collect:
+                rows = [
+                    np.concatenate([p.to_host() for p in portions], axis=1)
+                    for portions in group_portions
+                ]
+                output = np.concatenate(rows, axis=0)
+        return ScanResult(
+            problem=problem,
+            proposal="scan-mp-pc",
+            trace=trace,
+            plan=plan,
+            output=output,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": self.node.M,
+                "networks_used": groups_used,
+                "gpu_ids": [
+                    g.id for j in range(groups_used) for g in self.groups[j]
+                ],
+            },
+        )
+
+    def estimate(self, problem: ProblemConfig) -> ScanResult:
+        """Analytic run at full problem scale (exact trace, no data arrays)."""
+        groups_used = self.groups_used(problem.G)
+        g_per_group = problem.G // groups_used
+        plan = self.plan_for(problem, groups_used)
+        n_local = problem.N // self.node.V
+
+        trace = Trace()
+        with AllocationScope() as scope:
+            group_portions = [
+                [
+                    scope.alloc(gpu, (g_per_group, n_local), problem.dtype, virtual=True)
+                    for gpu in self.groups[j]
+                ]
+                for j in range(groups_used)
+            ]
+            active = [g for j in range(groups_used) for g in self.groups[j]]
+            dispatch_counter: dict = {}
+            with self.topology.activate(active):
+                for j in range(groups_used):
+                    problem_scattering_flow(
+                        trace, self.engine, self.topology,
+                        self.groups[j], group_portions[j], plan,
+                        functional=False,
+                        dispatch_counter=dispatch_counter,
+                        overlap=self.overlap,
+                    )
+        result = ScanResult(
+            problem=problem,
+            proposal="scan-mp-pc",
+            trace=trace,
+            plan=plan,
+            output=None,
+            config={
+                "K": plan.stage1.params.K,
+                "W": self.node.W,
+                "V": self.node.V,
+                "Y": self.node.Y,
+                "M": self.node.M,
+                "networks_used": groups_used,
+                "estimated": True,
+                "gpu_ids": [
+                    g.id for j in range(groups_used) for g in self.groups[j]
+                ],
+            },
+        )
+        return result

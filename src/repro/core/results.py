@@ -1,0 +1,68 @@
+"""Result objects returned by every scan proposal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.events import Trace
+from repro.core.params import ExecutionPlan, ProblemConfig
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one scan execution: data + simulated performance.
+
+    ``output`` is the host-side result, shape ``(G, N)``, present when the
+    caller asked to collect it. ``trace`` carries every simulated action;
+    timing properties derive from it. Following the paper's methodology,
+    the timed region starts with data already resident in GPU memory —
+    distribution/collection are not in the trace.
+    """
+
+    problem: ProblemConfig
+    proposal: str
+    trace: Trace
+    plan: ExecutionPlan | None = None
+    output: np.ndarray | None = None
+    config: dict = field(default_factory=dict)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.trace.total_time()
+
+    @property
+    def breakdown(self) -> dict[str, float]:
+        """Per-phase wall-clock seconds (Figure 14's quantity)."""
+        return self.trace.breakdown()
+
+    @property
+    def elements(self) -> int:
+        return self.problem.total_elements
+
+    @property
+    def throughput_gelems(self) -> float:
+        """Scanned elements per second, in 1e9 elem/s (the figures' y-axis)."""
+        t = self.total_time_s
+        if t <= 0:
+            return float("inf")
+        return self.elements / t / 1e9
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        """Read+write traffic of the payload relative to total time."""
+        t = self.total_time_s
+        if t <= 0:
+            return float("inf")
+        return 2 * self.problem.total_bytes / t / 1e9
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.proposal}: N=2^{self.problem.n} G=2^{self.problem.g}",
+            f"time={self.total_time_s * 1e3:.3f} ms",
+            f"throughput={self.throughput_gelems:.3f} Gelem/s",
+        ]
+        if self.config:
+            parts.append(str(self.config))
+        return "  ".join(parts)

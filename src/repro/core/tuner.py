@@ -1,0 +1,157 @@
+"""Empirical tuning of the cascade parameter K over the premise search space.
+
+The paper: "once the (s, p, l) is determined using previous premises, all
+possible K values that meet Eq. 1 are tested ... For each tuple (W, V, M)
+possible in the system, all K values from the corresponding search space
+are empirically tested, choosing the one which maximizes the global
+performance." (Sections 3.2 and 4.2 — the automatic search is listed as
+future work there; here it is implemented.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.interconnect.topology import SystemTopology
+from repro.core.multi_gpu import ScanMPS
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.prioritized import ScanMPPC
+from repro.core.results import ScanResult
+from repro.core.single_gpu import ScanSP, shrink_template_to_fit
+from repro.util.logging import get_logger
+
+_log = get_logger("core.tuner")
+
+
+@dataclass(frozen=True)
+class KCandidate:
+    """One evaluated point of the search space."""
+
+    K: int
+    time_s: float
+    throughput_gelems: float
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Result of an exhaustive K sweep."""
+
+    best: KCandidate
+    candidates: tuple[KCandidate, ...]
+    proposal: str
+
+    @property
+    def best_k(self) -> int:
+        return self.best.K
+
+
+def tune_k(
+    run_with_k: Callable[[int], ScanResult],
+    k_values: list[int],
+    proposal: str = "sp",
+) -> TuningOutcome:
+    """Evaluate every K candidate and keep the fastest."""
+    if not k_values:
+        raise TuningError("empty K search space")
+    candidates: list[KCandidate] = []
+    for k in k_values:
+        result = run_with_k(k)
+        candidates.append(
+            KCandidate(K=k, time_s=result.total_time_s,
+                       throughput_gelems=result.throughput_gelems)
+        )
+    best = min(candidates, key=lambda c: c.time_s)
+    _log.debug(
+        "tune_k[%s]: %d candidates, best K=%d (%.3f ms)",
+        proposal, len(candidates), best.K, best.time_s * 1e3,
+    )
+    return TuningOutcome(best=best, candidates=tuple(candidates), proposal=proposal)
+
+
+class PremiseTuner:
+    """Premise-driven tuner bound to one machine.
+
+    Derives (s, p, l) analytically (Premises 1-2), enumerates K from
+    Eq. 1-3 (Premises 3-4) and resolves the winner by running the
+    simulator — one sweep per (proposal, W, V, M, N, G) point, as the
+    paper does per data point of its evaluation.
+    """
+
+    def __init__(self, topology: SystemTopology):
+        self.topology = topology
+
+    def search_space(
+        self,
+        problem: ProblemConfig,
+        proposal: str = "sp",
+        node: NodeConfig | None = None,
+    ) -> list[int]:
+        gpus_sharing = 1
+        if proposal == "mps" and node is not None:
+            gpus_sharing = node.M * node.W
+        elif proposal == "mppc" and node is not None:
+            gpus_sharing = node.V
+        template = derive_stage_kernel_params(self.topology.arch, problem.dtype)
+        template = shrink_template_to_fit(template, problem.N // gpus_sharing)
+        return k_search_space(
+            problem, template, template, self.topology.arch,
+            node=node, proposal=proposal,
+        )
+
+    # ------------------------------------------------------------- proposals
+
+    def tune_sp(self, data: np.ndarray, operator="add") -> TuningOutcome:
+        gpu = self.topology.gpus[0]
+        batch = np.atleast_2d(np.asarray(data))
+        problem = ProblemConfig.from_sizes(
+            N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype, operator=operator
+        )
+        space = self.search_space(problem, "sp")
+        return tune_k(
+            lambda k: ScanSP(gpu, K=k).run(data, operator=operator, collect=False),
+            space,
+            proposal="sp",
+        )
+
+    def tune_mps(self, node: NodeConfig, data: np.ndarray, operator="add") -> TuningOutcome:
+        batch = np.atleast_2d(np.asarray(data))
+        problem = ProblemConfig.from_sizes(
+            N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype, operator=operator
+        )
+        if node.M > 1:
+            space = self.search_space(problem, "mps", node)
+            return tune_k(
+                lambda k: ScanMultiNodeMPS(self.topology, node, K=k).run(
+                    data, operator=operator, collect=False
+                ),
+                space,
+                proposal="mn-mps",
+            )
+        space = self.search_space(problem, "mps", node)
+        return tune_k(
+            lambda k: ScanMPS(self.topology, node, K=k).run(
+                data, operator=operator, collect=False
+            ),
+            space,
+            proposal="mps",
+        )
+
+    def tune_mppc(self, node: NodeConfig, data: np.ndarray, operator="add") -> TuningOutcome:
+        batch = np.atleast_2d(np.asarray(data))
+        problem = ProblemConfig.from_sizes(
+            N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype, operator=operator
+        )
+        space = self.search_space(problem, "mppc", node)
+        return tune_k(
+            lambda k: ScanMPPC(self.topology, node, K=k).run(
+                data, operator=operator, collect=False
+            ),
+            space,
+            proposal="mppc",
+        )

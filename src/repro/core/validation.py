@@ -1,0 +1,103 @@
+"""Result validation with diagnostics.
+
+``verify_scan_result`` compares a proposal's output against the sequential
+reference and, on mismatch, reports *where* and *how* it diverged (first
+bad problem/index, magnitude, suspicious patterns like a chunk-boundary
+offset) — much more actionable than a bare assertion when debugging a new
+kernel or plan configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ScanResult
+from repro.primitives.sequential import exclusive_scan, inclusive_scan
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of checking one scan result against the reference."""
+
+    ok: bool
+    checked_elements: int
+    mismatched_elements: int = 0
+    first_bad_problem: int | None = None
+    first_bad_index: int | None = None
+    max_abs_error: float = 0.0
+    chunk_boundary_suspect: bool = False
+    message: str = "ok"
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_scan_result(
+    result: ScanResult,
+    inputs: np.ndarray,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> ValidationReport:
+    """Check ``result.output`` against the sequential reference on ``inputs``.
+
+    Exact comparison for integer dtypes; ``rtol``/``atol`` apply to floats
+    (parallel scans re-associate floating-point additions).
+    """
+    if result.output is None:
+        return ValidationReport(
+            ok=False, checked_elements=0,
+            message="result carries no output (collect=False?)",
+        )
+    inputs = np.atleast_2d(np.asarray(inputs))
+    op = result.problem.operator
+    reference = (
+        inclusive_scan(inputs, op, axis=-1)
+        if result.problem.inclusive
+        else exclusive_scan(inputs, op, axis=-1)
+    )
+    got = result.output
+    if got.shape != reference.shape:
+        return ValidationReport(
+            ok=False, checked_elements=0,
+            message=f"shape mismatch: got {got.shape}, expected {reference.shape}",
+        )
+
+    if np.issubdtype(got.dtype, np.floating) and (rtol or atol):
+        close = np.isclose(got, reference, rtol=rtol, atol=atol)
+    else:
+        close = got == reference
+    if close.all():
+        return ValidationReport(ok=True, checked_elements=got.size)
+
+    bad = ~close
+    g_idx, i_idx = np.nonzero(bad)
+    first_g, first_i = int(g_idx[0]), int(i_idx[0])
+    max_err = float(np.max(np.abs(got.astype(np.float64) - reference.astype(np.float64))))
+
+    # Heuristic: if the first divergence sits exactly on a chunk boundary,
+    # the auxiliary offsets (Stage 2 / aux transfers) are the prime suspect.
+    chunk_suspect = False
+    if result.plan is not None:
+        chunk = result.plan.chunk_size
+        n_local = result.plan.n_local
+        chunk_suspect = (first_i % chunk == 0) or (first_i % n_local == 0)
+
+    return ValidationReport(
+        ok=False,
+        checked_elements=got.size,
+        mismatched_elements=int(bad.sum()),
+        first_bad_problem=first_g,
+        first_bad_index=first_i,
+        max_abs_error=max_err,
+        chunk_boundary_suspect=chunk_suspect,
+        message=(
+            f"{int(bad.sum())} of {got.size} elements differ; first at "
+            f"problem {first_g}, index {first_i} "
+            f"(got {got[first_g, first_i]!r}, expected "
+            f"{reference[first_g, first_i]!r})"
+            + ("; first divergence on a chunk boundary — check the "
+               "auxiliary offsets" if chunk_suspect else "")
+        ),
+    )

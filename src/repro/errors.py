@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors elsewhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A tuning/launch/topology configuration violates a documented constraint."""
+
+
+class AllocationError(ReproError):
+    """Device memory allocation failed (out of simulated device memory)."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was malformed (bad grid/block dims, resource overflow)."""
+
+
+class TopologyError(ReproError):
+    """The requested GPUs/nodes/PCIe networks do not exist or are malformed."""
+
+
+class TransferError(ReproError):
+    """An inter-device transfer was requested between unreachable endpoints."""
+
+
+class MPIError(ReproError):
+    """A simulated MPI operation was misused (bad root, mismatched sizes...)."""
+
+
+class DeviceMismatchError(ReproError):
+    """An operation mixed buffers resident on different devices."""
+
+
+class TuningError(ReproError):
+    """The premise-driven tuner could not find a feasible parameter set."""

@@ -1,0 +1,81 @@
+"""Simulated CUDA-like GPU substrate.
+
+Functional execution is exact (warp-accurate shuffles, block-granular
+kernels); timing is analytic (memory-bound roofline with occupancy and
+wave-utilisation corrections). See DESIGN.md for the substitution argument.
+"""
+
+from repro.gpusim.arch import (
+    GPUArchitecture,
+    KEPLER_K80,
+    MAXWELL_GM200,
+    PASCAL_P100,
+    get_architecture,
+)
+from repro.gpusim.costmodel import CostModel, CostModelParams, KernelCostInput
+from repro.gpusim.device import GPU
+from repro.gpusim.events import (
+    KernelRecord,
+    MPIRecord,
+    Trace,
+    TransferRecord,
+)
+from repro.gpusim.kernel import (
+    ExecutionEngine,
+    KernelContext,
+    LaunchConfig,
+    LaunchStats,
+)
+from repro.gpusim.memory import DeviceArray, MemoryPool
+from repro.gpusim.occupancy import (
+    OccupancyResult,
+    achievable_blocks_ignoring_regs_smem,
+    max_regs_for_full_blocks,
+    max_smem_for_full_blocks,
+    occupancy,
+)
+from repro.gpusim.warp import (
+    WarpScanCost,
+    shfl_down,
+    shfl_idx,
+    shfl_up,
+    shfl_xor,
+    warp_exclusive_scan,
+    warp_inclusive_scan,
+    warp_reduce,
+)
+
+__all__ = [
+    "GPUArchitecture",
+    "KEPLER_K80",
+    "MAXWELL_GM200",
+    "PASCAL_P100",
+    "get_architecture",
+    "CostModel",
+    "CostModelParams",
+    "KernelCostInput",
+    "GPU",
+    "KernelRecord",
+    "MPIRecord",
+    "Trace",
+    "TransferRecord",
+    "ExecutionEngine",
+    "KernelContext",
+    "LaunchConfig",
+    "LaunchStats",
+    "DeviceArray",
+    "MemoryPool",
+    "OccupancyResult",
+    "achievable_blocks_ignoring_regs_smem",
+    "max_regs_for_full_blocks",
+    "max_smem_for_full_blocks",
+    "occupancy",
+    "WarpScanCost",
+    "shfl_down",
+    "shfl_idx",
+    "shfl_up",
+    "shfl_xor",
+    "warp_exclusive_scan",
+    "warp_inclusive_scan",
+    "warp_reduce",
+]

@@ -1,0 +1,168 @@
+"""GPU architecture models.
+
+The tuning strategy reasons about a GPU exclusively through the per-SM
+resources that bound parallelism (Premise 1, Table 3 of the paper): register
+file size, shared memory, maximum resident blocks/warps/threads, plus the
+device-level quantities the cost model needs (SM count, DRAM bandwidth,
+memory capacity).
+
+The presets mirror the paper's test platform (Tesla K80, compute capability
+3.7) and the Maxwell/Pascal parts the paper mentions for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Static description of one GPU (one logical device).
+
+    All "per SM" quantities are the hardware residency limits the occupancy
+    calculator divides into; the bandwidth/overhead numbers feed the
+    analytic cost model.
+    """
+
+    name: str
+    compute_capability: tuple[int, int]
+    sm_count: int
+    warp_size: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    shared_memory_per_sm: int
+    max_shared_memory_per_block: int
+    register_allocation_unit: int
+    shared_memory_allocation_unit: int
+    clock_ghz: float
+    memory_bandwidth_gbs: float
+    #: Fraction of peak DRAM bandwidth a well-coalesced streaming kernel
+    #: achieves in practice (ECC + DRAM inefficiencies).
+    achievable_bandwidth_fraction: float
+    global_memory_bytes: int
+    kernel_launch_overhead_s: float
+    #: Logical GPUs (dies) per physical board. The K80 packs two GK210 dies
+    #: on one board sharing a power/thermal envelope and a PCIe slot: when
+    #: both dies run flat out, each sustains a reduced clock/bandwidth
+    #: (GPU Boost throttling). 1 for single-die parts.
+    dies_per_board: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warp_size < 1:
+            raise ConfigurationError("warp_size must be >= 1")
+        if self.max_warps_per_sm * self.warp_size != self.max_threads_per_sm:
+            raise ConfigurationError(
+                f"{self.name}: max_threads_per_sm ({self.max_threads_per_sm}) must equal "
+                f"max_warps_per_sm*warp_size ({self.max_warps_per_sm * self.warp_size})"
+            )
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        """Peak DRAM bandwidth in bytes/second."""
+        return self.memory_bandwidth_gbs * 1e9
+
+    @property
+    def achievable_bandwidth_bytes(self) -> float:
+        """Realistically attainable streaming bandwidth in bytes/second."""
+        return self.peak_bandwidth_bytes * self.achievable_bandwidth_fraction
+
+    def with_overrides(self, **kwargs) -> "GPUArchitecture":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: Tesla K80 (one of the two GK210 dies), compute capability 3.7 — the
+#: paper's test platform (Table 1). The per-SM numbers reproduce Table 3.
+KEPLER_K80 = GPUArchitecture(
+    name="Tesla K80 (GK210)",
+    compute_capability=(3, 7),
+    sm_count=13,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    registers_per_sm=131072,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=114688,
+    max_shared_memory_per_block=49152,
+    register_allocation_unit=256,
+    shared_memory_allocation_unit=256,
+    clock_ghz=0.875,
+    memory_bandwidth_gbs=240.0,
+    achievable_bandwidth_fraction=0.75,
+    global_memory_bytes=12 * 1024**3,
+    kernel_launch_overhead_s=5e-6,
+    dies_per_board=2,
+)
+
+#: Maxwell GM200 (Tesla M40-class): 32 resident blocks/SM, the paper's
+#: "32 in the case of Maxwell-based GPUs" remark in Premise 1.
+MAXWELL_GM200 = GPUArchitecture(
+    name="Tesla M40 (GM200)",
+    compute_capability=(5, 2),
+    sm_count=24,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_warps_per_sm=64,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=98304,
+    max_shared_memory_per_block=49152,
+    register_allocation_unit=256,
+    shared_memory_allocation_unit=256,
+    clock_ghz=1.114,
+    memory_bandwidth_gbs=288.0,
+    achievable_bandwidth_fraction=0.78,
+    global_memory_bytes=24 * 1024**3,
+    kernel_launch_overhead_s=5e-6,
+)
+
+#: Pascal P100, for forward-looking sweeps.
+PASCAL_P100 = GPUArchitecture(
+    name="Tesla P100 (GP100)",
+    compute_capability=(6, 0),
+    sm_count=56,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_warps_per_sm=64,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=65536,
+    max_shared_memory_per_block=49152,
+    register_allocation_unit=256,
+    shared_memory_allocation_unit=256,
+    clock_ghz=1.328,
+    memory_bandwidth_gbs=732.0,
+    achievable_bandwidth_fraction=0.80,
+    global_memory_bytes=16 * 1024**3,
+    kernel_launch_overhead_s=4e-6,
+)
+
+_PRESETS: dict[str, GPUArchitecture] = {
+    "k80": KEPLER_K80,
+    "kepler": KEPLER_K80,
+    "m40": MAXWELL_GM200,
+    "maxwell": MAXWELL_GM200,
+    "p100": PASCAL_P100,
+    "pascal": PASCAL_P100,
+}
+
+
+def get_architecture(name: str | GPUArchitecture) -> GPUArchitecture:
+    """Resolve an architecture preset by name (case-insensitive)."""
+    if isinstance(name, GPUArchitecture):
+        return name
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigurationError(
+            f"unknown GPU architecture {name!r}; known presets: {known}"
+        ) from None

@@ -1,0 +1,130 @@
+"""Analytic kernel timing: the memory-bound roofline the premises reason about.
+
+The paper repeatedly leans on the fact that scan is memory-bound on current
+GPUs ("Taking into account the fact that this is a memory-bound problem...").
+The model here is a two-term roofline with utilisation corrections:
+
+``time = max(memory_time, compute_time) + launch_overhead``
+
+- ``memory_time``: bytes moved divided by the achievable DRAM bandwidth,
+  derated by (a) a *latency-hiding factor* that saturates at moderate warp
+  occupancy (Volkov's observation, cited as Premise 1's justification for
+  tolerating low occupancy) and (b) a *wave utilisation factor* penalising
+  grids too small to fill the SMs (the reason the paper's proposal "is not
+  very impressive if the total number of elements being simultaneously
+  executed is low, G=1").
+- ``compute_time``: shuffle + operator + addressing instructions divided by
+  the device integer throughput; scan kernels rarely hit this term, but the
+  cascade ablation (large K, tiny L) can.
+
+The constants are calibrated to K80-era hardware. Absolute numbers are not
+the reproduction target; the *shapes* they induce are (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.occupancy import OccupancyResult
+from repro.util.ints import ceil_div
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Tunable constants of the kernel timing model."""
+
+    #: Warp occupancy at which memory latency is considered fully hidden.
+    occupancy_saturation: float = 0.5
+    #: Floor on the latency-hiding factor so tiny-occupancy kernels still progress.
+    min_latency_hiding: float = 0.1
+    #: Simple integer/shuffle instructions retired per SM per cycle.
+    int_ops_per_sm_per_cycle: float = 128.0
+    #: Effective bandwidth derating for strided / non-int4 access patterns.
+    uncoalesced_penalty: float = 0.5
+    #: Per-die bandwidth factor when the *other* die of a dual-die board
+    #: (K80) is simultaneously busy. Each GK210 die has private GDDR5, so
+    #: the sharing cost is only the GPU-Boost clock throttle under the
+    #: common power/thermal envelope — a mild derate.
+    dual_die_contention: float = 0.90
+
+
+@dataclass(frozen=True)
+class KernelCostInput:
+    """Everything the model needs about one launch."""
+
+    total_blocks: int
+    global_bytes_read: int
+    global_bytes_written: int
+    shuffle_instructions: int
+    operator_applications: int
+    addressing_instructions: int
+    coalesced: bool
+    occupancy: OccupancyResult
+    #: Runtime bandwidth factor (e.g. dual-die board contention); 1.0 when
+    #: the device has the board to itself.
+    bandwidth_scale: float = 1.0
+
+
+class CostModel:
+    """Kernel-time estimator bound to one architecture."""
+
+    def __init__(self, arch: GPUArchitecture, params: CostModelParams | None = None):
+        self.arch = arch
+        self.params = params or CostModelParams()
+
+    def latency_hiding_factor(self, occ: OccupancyResult) -> float:
+        """How much of peak bandwidth the resident warps can sustain."""
+        p = self.params
+        factor = occ.warp_occupancy / p.occupancy_saturation
+        return max(p.min_latency_hiding, min(1.0, factor))
+
+    def wave_utilisation(self, total_blocks: int, occ: OccupancyResult) -> float:
+        """SM utilisation over the launch's block waves.
+
+        A launch of B blocks with ``c = blocks_per_sm * sm_count`` resident
+        capacity executes in ``ceil(B/c)`` waves; the last (or only) partial
+        wave leaves SMs idle. Small grids therefore pay proportionally.
+        """
+        capacity = occ.blocks_per_sm * self.arch.sm_count
+        if total_blocks <= 0:
+            return 1.0
+        waves = ceil_div(total_blocks, capacity)
+        return total_blocks / (waves * capacity)
+
+    def memory_time(self, cost: KernelCostInput) -> float:
+        """DRAM traffic term of the roofline."""
+        nbytes = cost.global_bytes_read + cost.global_bytes_written
+        if nbytes == 0:
+            return 0.0
+        bandwidth = self.arch.achievable_bandwidth_bytes * cost.bandwidth_scale
+        bandwidth *= self.latency_hiding_factor(cost.occupancy)
+        bandwidth *= self.wave_utilisation(cost.total_blocks, cost.occupancy)
+        if not cost.coalesced:
+            bandwidth *= self.params.uncoalesced_penalty
+        return nbytes / bandwidth
+
+    def compute_time(self, cost: KernelCostInput) -> float:
+        """Instruction throughput term of the roofline."""
+        instructions = (
+            cost.shuffle_instructions
+            + cost.operator_applications
+            + cost.addressing_instructions
+        )
+        if instructions == 0:
+            return 0.0
+        per_second = (
+            self.arch.clock_ghz
+            * 1e9
+            * self.params.int_ops_per_sm_per_cycle
+            * self.arch.sm_count
+        )
+        per_second *= self.wave_utilisation(cost.total_blocks, cost.occupancy)
+        return instructions / per_second
+
+    def kernel_time(self, cost: KernelCostInput) -> float:
+        """End-to-end time of one launch (roofline max + launch overhead)."""
+        return (
+            max(self.memory_time(cost), self.compute_time(cost))
+            + self.arch.kernel_launch_overhead_s
+        )

@@ -1,0 +1,158 @@
+"""The simulated GPU device: memory pool + kernel launcher + cost model.
+
+One :class:`GPU` instance corresponds to one CUDA device (one K80 die in
+the paper's platform). It owns a memory pool, executes kernel bodies
+through an :class:`~repro.gpusim.kernel.ExecutionEngine`, prices each
+launch with the :class:`~repro.gpusim.costmodel.CostModel`, and appends the
+resulting :class:`~repro.gpusim.events.KernelRecord` to the caller's trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.costmodel import CostModel, KernelCostInput
+from repro.gpusim.events import KernelRecord, Trace
+from repro.gpusim.kernel import (
+    ExecutionEngine,
+    KernelContext,
+    LaunchConfig,
+    LaunchStats,
+)
+from repro.gpusim.memory import DeviceArray, MemoryPool
+
+
+class GPU:
+    """One simulated CUDA device."""
+
+    def __init__(
+        self,
+        device_id: int,
+        arch: GPUArchitecture,
+        engine: ExecutionEngine | None = None,
+        cost_model: CostModel | None = None,
+        memory_capacity: int | None = None,
+    ):
+        self.id = device_id
+        self.arch = arch
+        self.engine = engine or ExecutionEngine()
+        self.cost_model = cost_model or CostModel(arch)
+        self.pool = MemoryPool(memory_capacity or arch.global_memory_bytes)
+        #: Runtime bandwidth factor; the topology's boost-contention
+        #: context lowers it while a dual-die board-mate is busy.
+        self.bandwidth_scale: float = 1.0
+
+    @property
+    def name(self) -> str:
+        return f"gpu:{self.id}"
+
+    @property
+    def lane(self) -> str:
+        """Trace lane: each GPU's stream serialises its own launches."""
+        return self.name
+
+    # ---------------------------------------------------------------- memory
+
+    def alloc(self, shape, dtype, fill: object | None = None) -> DeviceArray:
+        """Allocate a device buffer, accounting against the pool capacity."""
+        arr = np.empty(shape, dtype=dtype)
+        self.pool.allocate(arr.nbytes, owner=self.name)
+        if fill is not None:
+            arr[...] = fill
+        return DeviceArray(self, arr)
+
+    def alloc_virtual(self, shape, dtype) -> DeviceArray:
+        """Allocate a *virtual* buffer: shape/dtype and pool accounting only.
+
+        Used by the analytic estimate path, which prices kernels and
+        transfers without ever touching element data; the backing storage
+        is a broadcast scalar, so reading is possible but cheap and writing
+        is forbidden.
+        """
+        dtype = np.dtype(dtype)
+        logical = np.broadcast_to(dtype.type(0), tuple(shape))
+        self.pool.allocate(logical.nbytes, owner=self.name)
+        return DeviceArray(self, logical, virtual=True)
+
+    def upload(self, host: np.ndarray) -> DeviceArray:
+        """Copy a host array into a fresh device buffer."""
+        host = np.ascontiguousarray(host)
+        self.pool.allocate(host.nbytes, owner=self.name)
+        return DeviceArray(self, host.copy())
+
+    def free(self, buffer: DeviceArray) -> None:
+        """Release a buffer's bytes back to the pool (views must not be freed)."""
+        buffer.require_on(self)
+        if not buffer.virtual and buffer.data.base is not None:
+            raise LaunchError("cannot free a view; free the owning allocation")
+        self.pool.release(buffer.nbytes)
+
+    # --------------------------------------------------------------- kernels
+
+    def launch(
+        self,
+        trace: Trace,
+        name: str,
+        phase: str,
+        config: LaunchConfig,
+        body: Callable[[KernelContext, np.ndarray], None] | None,
+        coalesced: bool = True,
+        precomputed_stats: LaunchStats | None = None,
+        ordered: bool = False,
+    ) -> KernelRecord:
+        """Run one kernel: execute the body, price it, record it.
+
+        ``body(ctx, block_ids)`` must process exactly the blocks named in
+        ``block_ids`` and account its traffic into ``ctx.stats``. The
+        launch validates residency (occupancy must be >= 1 block) before
+        executing, like a real CUDA launch would fail on an over-sized
+        configuration.
+
+        When ``precomputed_stats`` is given (the analytic estimate path),
+        the body is skipped and the stats are taken as-is; the pricing and
+        the emitted record are otherwise identical to a functional run.
+        """
+        occ = config.occupancy_on(self.arch)
+        if precomputed_stats is not None:
+            stats = precomputed_stats
+        else:
+            if body is None:
+                raise LaunchError("launch needs a body unless stats are precomputed")
+            stats = LaunchStats()
+            ctx = KernelContext(config=config, stats=stats, warp_size=self.arch.warp_size)
+            self.engine.run(ctx, body, ordered=ordered)
+        cost = KernelCostInput(
+            total_blocks=config.blocks,
+            global_bytes_read=stats.global_bytes_read,
+            global_bytes_written=stats.global_bytes_written,
+            shuffle_instructions=stats.shuffle_instructions,
+            operator_applications=stats.operator_applications,
+            addressing_instructions=stats.addressing_instructions,
+            coalesced=coalesced,
+            occupancy=occ,
+            bandwidth_scale=self.bandwidth_scale,
+        )
+        record = KernelRecord(
+            name=name,
+            phase=phase,
+            lane=self.lane,
+            time_s=self.cost_model.kernel_time(cost),
+            gpu_id=self.id,
+            grid=(config.grid_x, config.grid_y),
+            block=(config.block_x, config.block_y),
+            global_bytes_read=stats.global_bytes_read,
+            global_bytes_written=stats.global_bytes_written,
+            shuffle_instructions=stats.shuffle_instructions,
+            operator_applications=stats.operator_applications,
+            blocks_per_sm=occ.blocks_per_sm,
+            warp_occupancy=occ.warp_occupancy,
+        )
+        trace.add(record)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPU(id={self.id}, arch={self.arch.name!r})"

@@ -1,0 +1,87 @@
+"""Fault injection: controlled corruption for test-sensitivity studies.
+
+A verification suite is only as good as the bugs it can catch. This module
+wraps the transfer engine and the communicator with configurable faults —
+corrupt one transfer payload, drop a message's bytes, skew a lane's clock —
+so tests can prove that the functional checks and the
+:mod:`repro.core.validation` diagnostics actually detect each failure mode
+(see ``tests/test_fault_injection.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.events import Trace, TransferRecord
+from repro.gpusim.memory import DeviceArray
+from repro.interconnect.transfer import TransferEngine
+
+
+@dataclass
+class FaultPlan:
+    """Which fault to inject, and when.
+
+    ``corrupt_nth_copy``: 1-based index of the copy whose payload gets a
+    single-element perturbation (simulating a torn/raced transfer).
+    ``drop_nth_copy``: 1-based index of the copy whose data silently never
+    arrives (the destination keeps its old contents).
+    """
+
+    corrupt_nth_copy: int | None = None
+    drop_nth_copy: int | None = None
+    #: Element offset perturbed by a corruption fault.
+    corrupt_offset: int = 0
+    #: Value added to the corrupted element.
+    corrupt_delta: int = 1
+    copies_seen: int = field(default=0, init=False)
+    faults_fired: int = field(default=0, init=False)
+
+
+class FaultyTransferEngine(TransferEngine):
+    """A transfer engine that injects the faults of a :class:`FaultPlan`."""
+
+    def __init__(self, topology, plan: FaultPlan, params=None):
+        super().__init__(topology, params)
+        self.plan = plan
+
+    def copy(
+        self,
+        trace: Trace,
+        phase: str,
+        src: DeviceArray,
+        dst: DeviceArray,
+        messages: int = 1,
+        functional: bool = True,
+    ) -> TransferRecord:
+        self.plan.copies_seen += 1
+        n = self.plan.copies_seen
+        if functional and n == self.plan.drop_nth_copy:
+            # Price the transfer but never move the data.
+            self.plan.faults_fired += 1
+            return super().copy(trace, phase, src, dst, messages, functional=False)
+        record = super().copy(trace, phase, src, dst, messages, functional)
+        if functional and n == self.plan.corrupt_nth_copy:
+            # Index-based write: the destination may be a strided view, so
+            # a reshape(-1) would silently mutate a copy instead.
+            offset = self.plan.corrupt_offset % dst.size
+            idx = np.unravel_index(offset, dst.shape)
+            dst.data[idx] += self.plan.corrupt_delta
+            self.plan.faults_fired += 1
+        return record
+
+
+def seu_flip(buffer: DeviceArray, element: int, bit: int) -> None:
+    """Flip one bit of one element (a single-event-upset model).
+
+    Operates on integer buffers; useful for asserting that the validator
+    localises silent data corruption to the right problem/index.
+    """
+    flat = buffer.data.reshape(-1)
+    if not np.issubdtype(flat.dtype, np.integer):
+        raise TypeError(f"seu_flip needs an integer buffer, got {flat.dtype}")
+    info_bits = flat.dtype.itemsize * 8
+    if not (0 <= bit < info_bits):
+        raise ValueError(f"bit {bit} out of range for {flat.dtype}")
+    flat[element % flat.size] ^= flat.dtype.type(1) << bit

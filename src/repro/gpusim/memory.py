@@ -1,0 +1,194 @@
+"""Simulated device memory: numpy-backed buffers with allocation accounting.
+
+A :class:`DeviceArray` is a numpy array tagged with the device it lives on.
+The tag is load-bearing: kernels refuse to touch buffers resident on a
+different device (the simulated analogue of dereferencing a foreign pointer
+without P2P), and all inter-device movement must go through the
+:class:`~repro.interconnect.transfer.TransferEngine` or the simulated MPI
+layer, which is where the communication cost model lives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import AllocationError, DeviceMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.device import GPU
+
+
+class DeviceArray:
+    """A buffer resident in one simulated GPU's global memory.
+
+    The underlying storage is a numpy array; views created with
+    :meth:`view` share storage (zero-copy, same device), mirroring how CUDA
+    kernels address sub-ranges of a single allocation.
+    """
+
+    __slots__ = ("_device", "_data", "virtual")
+
+    def __init__(self, device: "GPU", data: np.ndarray, virtual: bool = False):
+        self._device = device
+        self._data = data
+        #: Virtual buffers have a shape/dtype but no real storage (used by
+        #: the analytic estimate path, which never touches element data).
+        self.virtual = virtual
+
+    @property
+    def device(self) -> "GPU":
+        return self._device
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw numpy storage. Kernels use this; host code should not."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def view(self, *index) -> "DeviceArray":
+        """A zero-copy sub-view on the same device (basic slicing only)."""
+        sub = self._data[index if len(index) != 1 else index[0]]
+        if sub.base is None and sub is not self._data:
+            raise AllocationError("view() must not copy; use basic slicing")
+        return DeviceArray(self._device, sub, virtual=self.virtual)
+
+    def reshape(self, *shape) -> "DeviceArray":
+        """A zero-copy reshape on the same device."""
+        return DeviceArray(self._device, self._data.reshape(*shape), virtual=self.virtual)
+
+    def to_host(self) -> np.ndarray:
+        """Copy the contents out to host memory (always a copy)."""
+        return self._data.copy()
+
+    def fill_from_host(self, host: np.ndarray) -> None:
+        """Overwrite the buffer contents from a host array of equal shape."""
+        host = np.asarray(host)
+        if host.shape != self._data.shape:
+            raise AllocationError(
+                f"host array shape {host.shape} does not match device buffer {self._data.shape}"
+            )
+        self._data[...] = host
+
+    def require_on(self, device: "GPU") -> None:
+        """Raise unless this buffer is resident on ``device``."""
+        if self._device is not device:
+            raise DeviceMismatchError(
+                f"buffer resident on {self._device.name} used from {device.name}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceArray(device={self._device.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype})"
+        )
+
+
+class AllocationScope:
+    """Exception-safe bulk allocation: frees everything on exit.
+
+    Proposals allocate a handful of buffers across several GPUs before a
+    timed region; if any allocation fails midway (the deliberate
+    out-of-memory of the paper's Case 2), every earlier allocation must be
+    released or the device pools leak. Use as a context manager::
+
+        with AllocationScope() as scope:
+            a = scope.alloc(gpu0, (n,), np.int32)
+            b = scope.alloc(gpu1, (n,), np.int32, virtual=True)
+            ...  # buffers freed on exit, including on exceptions
+    """
+
+    def __init__(self):
+        self._items: list[DeviceArray] = []
+
+    def alloc(self, gpu, shape, dtype, virtual: bool = False, fill=None) -> DeviceArray:
+        if virtual:
+            buf = gpu.alloc_virtual(shape, dtype)
+        else:
+            buf = gpu.alloc(shape, dtype, fill=fill)
+        self._items.append(buf)
+        return buf
+
+    def upload(self, gpu, host) -> DeviceArray:
+        buf = gpu.upload(host)
+        self._items.append(buf)
+        return buf
+
+    def adopt(self, buf: DeviceArray) -> DeviceArray:
+        """Track an externally created allocation for scope-exit freeing."""
+        self._items.append(buf)
+        return buf
+
+    def release(self) -> None:
+        while self._items:
+            buf = self._items.pop()
+            buf.device.free(buf)
+
+    def __enter__(self) -> "AllocationScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class MemoryPool:
+    """Per-device allocation accounting with a hard capacity.
+
+    Tracks live bytes so tests can assert that multi-GPU proposals respect
+    per-device memory limits (Case 2 of the paper: N too large for one GPU).
+    """
+
+    __slots__ = ("capacity", "_used", "_peak")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise AllocationError(f"memory capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._used = 0
+        self._peak = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def allocate(self, nbytes: int, owner: str) -> None:
+        if nbytes < 0:
+            raise AllocationError(f"allocation size must be >= 0, got {nbytes}")
+        if self._used + nbytes > self.capacity:
+            raise AllocationError(
+                f"{owner}: out of device memory "
+                f"(requested {nbytes} B, {self.free} B free of {self.capacity} B)"
+            )
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self._used:
+            raise AllocationError(
+                f"release of {nbytes} B does not match {self._used} B in use"
+            )
+        self._used -= nbytes

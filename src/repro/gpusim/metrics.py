@@ -1,0 +1,145 @@
+"""Derived performance metrics over execution traces.
+
+Turns the raw trace records into the quantities a performance engineer
+asks for: achieved bandwidth per kernel, communication share, arithmetic
+intensity — and an ASCII timeline that shows how lanes overlap within
+phases (the visual form of the trace composition rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.events import MPIRecord, Trace, TransferRecord
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Roofline-style metrics of one kernel launch."""
+
+    name: str
+    phase: str
+    gpu_id: int
+    time_s: float
+    achieved_bandwidth_gbs: float
+    arithmetic_intensity: float  # operator applications per byte
+    bandwidth_fraction: float  # of the architecture's achievable rate
+
+
+def kernel_metrics(trace: Trace, arch: GPUArchitecture) -> list[KernelMetrics]:
+    """Per-kernel achieved bandwidth and intensity."""
+    out = []
+    for rec in trace.kernel_records():
+        nbytes = rec.global_bytes_read + rec.global_bytes_written
+        bw = nbytes / rec.time_s / 1e9 if rec.time_s > 0 else 0.0
+        intensity = (
+            rec.operator_applications / nbytes if nbytes else float("inf")
+        )
+        out.append(
+            KernelMetrics(
+                name=rec.name,
+                phase=rec.phase,
+                gpu_id=rec.gpu_id,
+                time_s=rec.time_s,
+                achieved_bandwidth_gbs=bw,
+                arithmetic_intensity=intensity,
+                bandwidth_fraction=bw * 1e9 / arch.achievable_bandwidth_bytes,
+            )
+        )
+    return out
+
+
+def communication_share(trace: Trace) -> float:
+    """Fraction of total wall-clock spent in communication-bearing phases.
+
+    A phase counts as communication when its wall-clock is set by a
+    transfer/MPI lane rather than a GPU lane.
+    """
+    total = trace.total_time()
+    if total <= 0:
+        return 0.0
+    comm = 0.0
+    for phase in trace.phases():
+        lanes: dict[str, float] = {}
+        kinds: dict[str, bool] = {}
+        for rec in trace.records:
+            if rec.phase != phase:
+                continue
+            lanes[rec.lane] = lanes.get(rec.lane, 0.0) + rec.time_s
+            is_comm = isinstance(rec, (TransferRecord, MPIRecord)) and (
+                getattr(rec, "kind", "") != "dispatch"
+            )
+            kinds[rec.lane] = kinds.get(rec.lane, False) or is_comm
+        if not lanes:
+            continue
+        critical = max(lanes, key=lambda lane: lanes[lane])
+        if kinds.get(critical, False):
+            comm += lanes[critical]
+    return comm / total
+
+
+def summarize(trace: Trace, arch: GPUArchitecture) -> dict:
+    """One-call metric bundle for a result trace."""
+    kernels = kernel_metrics(trace, arch)
+    busiest = max(kernels, key=lambda k: k.time_s) if kernels else None
+    return {
+        "total_time_s": trace.total_time(),
+        "kernel_time_s": sum(k.time_s for k in kernels),
+        "bytes_moved_offchip": trace.total_bytes_moved(),
+        "communication_share": communication_share(trace),
+        "kernel_count": len(kernels),
+        "peak_kernel_bandwidth_gbs": (
+            max(k.achieved_bandwidth_gbs for k in kernels) if kernels else 0.0
+        ),
+        "busiest_kernel": busiest.name if busiest else None,
+    }
+
+
+def ascii_timeline(trace: Trace, width: int = 72) -> str:
+    """Render the trace as a lane x time ASCII chart.
+
+    Phases run left to right (their widths proportional to wall-clock);
+    each lane's row shows a bar where that lane is busy within the phase —
+    which is exactly how the max-per-lane composition plays out.
+    """
+    phases = trace.phases()
+    if not phases:
+        return "(empty trace)"
+    breakdown = trace.breakdown()
+    total = sum(breakdown.values()) or 1.0
+    widths = {
+        p: max(3, round(width * breakdown[p] / total)) for p in phases
+    }
+
+    lanes: list[str] = []
+    for rec in trace.records:
+        if rec.lane not in lanes:
+            lanes.append(rec.lane)
+
+    lane_time: dict[tuple[str, str], float] = {}
+    for rec in trace.records:
+        key = (rec.lane, rec.phase)
+        lane_time[key] = lane_time.get(key, 0.0) + rec.time_s
+
+    label_w = max(len(lane) for lane in lanes) + 1
+    header = " " * label_w + "|".join(
+        p[: widths[p]].center(widths[p]) for p in phases
+    )
+    lines = [header]
+    for lane in lanes:
+        cells = []
+        for p in phases:
+            busy = lane_time.get((lane, p), 0.0)
+            w = widths[p]
+            if busy <= 0 or breakdown[p] <= 0:
+                cells.append(" " * w)
+            else:
+                filled = max(1, round(w * min(1.0, busy / breakdown[p])))
+                cells.append(("#" * filled).ljust(w))
+        lines.append(lane.rjust(label_w) + "|".join(cells))
+    footer = " " * label_w + " ".join(
+        f"{breakdown[p] * 1e3:.2f}ms".center(widths[p]) for p in phases
+    )
+    lines.append(footer)
+    return "\n".join(lines)

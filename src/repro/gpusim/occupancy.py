@@ -1,0 +1,164 @@
+"""SM occupancy calculator.
+
+Premise 1 of the paper balances *SM block parallelism* (resident blocks per
+SM) against *SM warp parallelism* (resident warps per SM). Both are what
+the CUDA occupancy calculator computes from three block-level quantities:
+warps per block, registers per thread and shared memory per block. This
+module implements that computation for the architecture models in
+:mod:`repro.gpusim.arch`; with the cc 3.7 preset it reproduces Table 3 of
+the paper row by row (see ``benchmarks/bench_table3_occupancy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpusim.arch import GPUArchitecture
+from repro.util.ints import ceil_div
+
+
+def _round_up(value: int, unit: int) -> int:
+    """Round ``value`` up to a multiple of ``unit`` (allocation granularity)."""
+    if value == 0:
+        return 0
+    return ceil_div(value, unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency outcome for one block configuration on one architecture.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Number of simultaneously resident blocks per SM ("SM block
+        parallelism" in the paper's terminology).
+    warps_per_sm:
+        Resident warps per SM ("SM warp parallelism").
+    warp_occupancy:
+        ``warps_per_sm / max_warps_per_sm``, the familiar occupancy ratio.
+    limiter:
+        Which resource bound blocks_per_sm first: one of ``"blocks"``,
+        ``"threads"``, ``"registers"``, ``"shared_memory"``.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    warp_occupancy: float
+    limiter: str
+
+    @property
+    def full_warp_occupancy(self) -> bool:
+        return self.warp_occupancy >= 1.0
+
+
+def occupancy(
+    arch: GPUArchitecture,
+    warps_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> OccupancyResult:
+    """Compute SM residency for a block configuration.
+
+    Raises :class:`LaunchError` when the configuration cannot be resident at
+    all (zero blocks fit) — the simulated analogue of a CUDA launch failure.
+    """
+    if warps_per_block < 1:
+        raise LaunchError(f"warps_per_block must be >= 1, got {warps_per_block}")
+    if regs_per_thread < 1:
+        raise LaunchError(f"regs_per_thread must be >= 1, got {regs_per_thread}")
+    if smem_per_block < 0:
+        raise LaunchError(f"smem_per_block must be >= 0, got {smem_per_block}")
+    if regs_per_thread > arch.max_registers_per_thread:
+        raise LaunchError(
+            f"{regs_per_thread} registers/thread exceeds the architectural "
+            f"maximum of {arch.max_registers_per_thread} on {arch.name}"
+        )
+    if smem_per_block > arch.max_shared_memory_per_block:
+        raise LaunchError(
+            f"{smem_per_block} B of shared memory/block exceeds the per-block "
+            f"maximum of {arch.max_shared_memory_per_block} B on {arch.name}"
+        )
+
+    threads_per_block = warps_per_block * arch.warp_size
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = arch.max_blocks_per_sm
+    limits["threads"] = arch.max_threads_per_sm // threads_per_block
+
+    regs_per_block = _round_up(
+        regs_per_thread * threads_per_block, arch.register_allocation_unit
+    )
+    limits["registers"] = arch.registers_per_sm // regs_per_block
+
+    if smem_per_block > 0:
+        smem_alloc = _round_up(smem_per_block, arch.shared_memory_allocation_unit)
+        limits["shared_memory"] = arch.shared_memory_per_sm // smem_alloc
+    else:
+        limits["shared_memory"] = arch.max_blocks_per_sm
+
+    # The binding constraint; ties resolve to the canonical order above so
+    # the reported limiter is deterministic.
+    limiter = min(limits, key=lambda name: limits[name])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise LaunchError(
+            f"block configuration (warps={warps_per_block}, regs={regs_per_thread}, "
+            f"smem={smem_per_block}B) cannot be resident on {arch.name}: "
+            f"limited by {limiter}"
+        )
+    warps = min(blocks * warps_per_block, arch.max_warps_per_sm)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        warp_occupancy=warps / arch.max_warps_per_sm,
+        limiter=limiter,
+    )
+
+
+def achievable_blocks_ignoring_regs_smem(arch: GPUArchitecture, warps_per_block: int) -> int:
+    """Blocks/SM bound only by the block-count and thread-count limits.
+
+    This is the "SM number of blocks" column of Table 3: the residency
+    target the register and shared-memory budgets are then derived from.
+    """
+    threads = warps_per_block * arch.warp_size
+    return max(1, min(arch.max_blocks_per_sm, arch.max_threads_per_sm // threads))
+
+
+def max_regs_for_full_blocks(
+    arch: GPUArchitecture, warps_per_block: int, target_blocks: int | None = None
+) -> int:
+    """Largest regs/thread budget keeping ``target_blocks`` blocks resident.
+
+    This is the register budget Premise 1 derives ("fewer than 64 registers
+    per thread" for 4-warp blocks on cc 3.7) and the "Regs per thread"
+    column of Table 3. Note this is a *budget*, not a launch configuration,
+    so it is deliberately not clamped to ``max_registers_per_thread``
+    (Table 3's first row quotes 256 on a 255-register architecture).
+    """
+    threads = warps_per_block * arch.warp_size
+    if target_blocks is None:
+        target_blocks = achievable_blocks_ignoring_regs_smem(arch, warps_per_block)
+    budget_per_block = arch.registers_per_sm // target_blocks
+    # Invert the allocation-granularity round-up conservatively.
+    budget_per_block = (budget_per_block // arch.register_allocation_unit) * (
+        arch.register_allocation_unit
+    )
+    return max(1, budget_per_block // threads)
+
+
+def max_smem_for_full_blocks(arch: GPUArchitecture, target_blocks: int | None = None) -> int:
+    """Largest smem/block keeping ``target_blocks`` blocks resident per SM.
+
+    Defaults to the architectural block maximum; for cc 3.7 this returns
+    7168 B, the bound quoted in Premise 1 ("less than 7168 shared memory
+    bytes"). This is the "Shared mem per block" column of Table 3.
+    """
+    blocks = target_blocks if target_blocks is not None else arch.max_blocks_per_sm
+    if blocks < 1:
+        raise LaunchError(f"target_blocks must be >= 1, got {blocks}")
+    budget = arch.shared_memory_per_sm // blocks
+    budget = (budget // arch.shared_memory_allocation_unit) * arch.shared_memory_allocation_unit
+    return min(budget, arch.max_shared_memory_per_block)

@@ -1,0 +1,197 @@
+"""Warp-level primitives: shuffle instructions and intra-warp scans.
+
+CUDA shuffle instructions exchange register values between the lanes of a
+warp without touching shared memory; Section 3.1 of the paper builds its
+warp scan out of them ("each warp computes warpSize elements using shuffle
+instructions and the Ladner-Fischer access pattern") which is what lets the
+kernels keep ``s <= 5``.
+
+The simulation is *vectorised over warps*: values are arrays whose last
+axis is the lane index (length ``warp_size``) and whose leading axes range
+over however many warps execute the instruction simultaneously. Each
+function is lane-exact: it computes precisely what the corresponding PTX
+instruction produces per lane, including the "keep own value when the
+source lane is out of range" semantics of ``__shfl_up``/``__shfl_down``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.primitives.ladner_fischer import ladner_fischer_schedule
+from repro.primitives.networks import kogge_stone_schedule, schedule_depth, schedule_work
+from repro.primitives.operators import ADD, Operator, resolve_operator
+from repro.util.ints import ilog2
+
+
+def _check_lanes(values: np.ndarray, width: int) -> None:
+    if values.ndim < 1 or values.shape[-1] != width:
+        raise ConfigurationError(
+            f"lane axis must have length {width}, got shape {values.shape}"
+        )
+
+
+def shfl_up(values: np.ndarray, delta: int, width: int = 32) -> np.ndarray:
+    """``__shfl_up_sync``: lane i receives lane i-delta; low lanes keep their value."""
+    _check_lanes(values, width)
+    out = values.copy()
+    if delta <= 0:
+        return out
+    out[..., delta:] = values[..., : width - delta]
+    return out
+
+
+def shfl_down(values: np.ndarray, delta: int, width: int = 32) -> np.ndarray:
+    """``__shfl_down_sync``: lane i receives lane i+delta; high lanes keep their value."""
+    _check_lanes(values, width)
+    out = values.copy()
+    if delta <= 0:
+        return out
+    out[..., : width - delta] = values[..., delta:]
+    return out
+
+
+def shfl_idx(values: np.ndarray, src_lane: int | np.ndarray, width: int = 32) -> np.ndarray:
+    """``__shfl_sync``: every lane receives the value of ``src_lane`` (broadcast/gather)."""
+    _check_lanes(values, width)
+    lanes = np.asarray(src_lane)
+    if np.any(lanes < 0) or np.any(lanes >= width):
+        raise ConfigurationError(f"shuffle source lane out of range for width {width}")
+    if lanes.ndim == 0:
+        return np.broadcast_to(values[..., int(lanes)][..., None], values.shape).copy()
+    return values[..., lanes]
+
+
+def shfl_xor(values: np.ndarray, mask: int, width: int = 32) -> np.ndarray:
+    """``__shfl_xor_sync``: butterfly exchange (lane i <- lane i ^ mask)."""
+    _check_lanes(values, width)
+    lanes = np.arange(width) ^ mask
+    if np.any(lanes >= width):
+        raise ConfigurationError(f"xor mask {mask} escapes warp width {width}")
+    return values[..., lanes]
+
+
+@dataclass(frozen=True)
+class WarpScanCost:
+    """Instruction counts of one warp-scan invocation (per warp)."""
+
+    shuffles: int
+    operator_applications: int
+    steps: int
+
+
+def warp_scan_cost(
+    width: int, pattern: str = "lf", exclusive: bool = False
+) -> WarpScanCost:
+    """Closed-form instruction cost of one warp scan (no data needed).
+
+    Exactly matches what :func:`warp_inclusive_scan` /
+    :func:`warp_exclusive_scan` report, which lets the analytic (dry-run)
+    kernel launches produce byte- and instruction-identical traces to the
+    functional path (asserted in the tests).
+    """
+    if pattern == "ks":
+        schedule = kogge_stone_schedule(width)
+    elif pattern == "lf":
+        schedule = ladner_fischer_schedule(width, 0)
+    else:
+        raise ConfigurationError(f"unknown warp scan pattern {pattern!r}; use 'lf' or 'ks'")
+    shuffles = schedule_work(schedule)
+    applications = schedule_work(schedule)
+    steps = schedule_depth(schedule)
+    if exclusive:
+        return WarpScanCost(
+            shuffles=shuffles + 1, operator_applications=applications, steps=steps + 1
+        )
+    return WarpScanCost(shuffles=shuffles, operator_applications=applications, steps=steps)
+
+
+def warp_inclusive_scan(
+    values: np.ndarray,
+    op: Operator | str = ADD,
+    width: int = 32,
+    pattern: str = "lf",
+) -> tuple[np.ndarray, WarpScanCost]:
+    """Inclusive scan of each warp's lanes using shuffles.
+
+    ``pattern`` selects the access pattern: ``"lf"`` (Ladner-Fischer, the
+    paper's choice) or ``"ks"`` (Kogge-Stone, the classic shfl_up ladder).
+    Returns the scanned lanes plus the per-warp instruction cost, which the
+    kernel stats counters aggregate for the cost model.
+
+    The LF pattern is executed stage by stage with ``shfl_idx`` broadcasts
+    (each (dst, src) pair is one lane reading another lane's register), the
+    KS pattern with ``shfl_up``; both are lane-exact simulations.
+    """
+    operator = resolve_operator(op)
+    _check_lanes(values, width)
+    ilog2(width)
+
+    if pattern == "ks":
+        schedule = kogge_stone_schedule(width)
+    elif pattern == "lf":
+        schedule = ladner_fischer_schedule(width, 0)
+    else:
+        raise ConfigurationError(f"unknown warp scan pattern {pattern!r}; use 'lf' or 'ks'")
+
+    out = values.copy()
+    shuffles = 0
+    applications = 0
+    for step in schedule:
+        dsts = np.fromiter((d for d, _ in step), dtype=np.intp, count=len(step))
+        srcs = np.fromiter((s for _, s in step), dtype=np.intp, count=len(step))
+        gathered = out[..., srcs]
+        out[..., dsts] = operator.combine(gathered, out[..., dsts])
+        # Every active lane issues one shuffle and one operator instruction;
+        # inactive lanes still occupy the warp slot but we count active work.
+        shuffles += len(step)
+        applications += len(step)
+    cost = WarpScanCost(
+        shuffles=shuffles,
+        operator_applications=applications,
+        steps=schedule_depth(schedule),
+    )
+    return out, cost
+
+
+def warp_exclusive_scan(
+    values: np.ndarray,
+    op: Operator | str = ADD,
+    width: int = 32,
+    pattern: str = "lf",
+) -> tuple[np.ndarray, WarpScanCost]:
+    """Exclusive warp scan: inclusive scan then subtract-free lane shift.
+
+    Section 3.1: "Using the exclusive scan saves an extra communication
+    step"; the standard realisation is one extra ``shfl_up`` by one lane
+    with the identity injected at lane 0.
+    """
+    operator = resolve_operator(op)
+    inclusive, cost = warp_inclusive_scan(values, operator, width=width, pattern=pattern)
+    shifted = shfl_up(inclusive, 1, width=width)
+    shifted[..., 0] = operator.identity(values.dtype)
+    total_cost = WarpScanCost(
+        shuffles=cost.shuffles + 1,
+        operator_applications=cost.operator_applications,
+        steps=cost.steps + 1,
+    )
+    return shifted, total_cost
+
+
+def warp_reduce(
+    values: np.ndarray,
+    op: Operator | str = ADD,
+    width: int = 32,
+) -> tuple[np.ndarray, WarpScanCost]:
+    """Butterfly warp reduction; every lane ends with the warp total."""
+    operator = resolve_operator(op)
+    _check_lanes(values, width)
+    steps = ilog2(width)
+    out = values.copy()
+    for stage in range(steps):
+        out = operator.combine(shfl_xor(out, 1 << stage, width=width), out)
+    cost = WarpScanCost(shuffles=steps, operator_applications=steps, steps=steps)
+    return out, cost

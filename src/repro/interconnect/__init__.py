@@ -1,0 +1,25 @@
+"""Multi-GPU interconnect substrate: PCIe topology + transfer cost model.
+
+Models the hardware arrangement of Figure 2 of the paper: computing nodes,
+each holding ``Y`` PCIe networks with ``V`` GPUs per network; P2P copies
+inside a network, host-staged copies across networks of the same node, and
+InfiniBand (via :mod:`repro.mpisim`) across nodes.
+"""
+
+from repro.interconnect.topology import (
+    GPUSlot,
+    SystemTopology,
+    tsubame_kfc,
+)
+from repro.interconnect.transfer import (
+    TransferCostParams,
+    TransferEngine,
+)
+
+__all__ = [
+    "GPUSlot",
+    "SystemTopology",
+    "tsubame_kfc",
+    "TransferCostParams",
+    "TransferEngine",
+]

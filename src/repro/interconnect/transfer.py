@@ -1,0 +1,220 @@
+"""Inter-GPU transfer engine: functional copies priced by route kind.
+
+Three route kinds exist inside a node (Section 2 of the paper):
+
+- ``local``: both buffers on the same device (device-to-device copy).
+- ``p2p``: same PCIe network — the CUDA peer-to-peer path. Data moves
+  "asynchronously along the shortest PCI-e path"; latency is low and, with
+  UVA, kernels can even write remote memory directly, so batched traffic
+  pays the latency once.
+- ``host_staged``: same node, different PCIe networks — the copy bounces
+  through host memory (D2H + H2D), paying both lower bandwidth and a
+  per-message latency. This is what makes W=8 collapse in Figure 9.
+
+Cross-node traffic is not allowed here; it must go through the simulated
+MPI layer (:mod:`repro.mpisim`), exactly as in the paper.
+
+Contention model: every transfer occupies a *lane*. P2P transfers occupy
+their PCIe network's switch lane (copies inside one network serialise);
+host-staged transfers occupy the node's host-memory lane (all cross-network
+copies of a node serialise through the host). Lanes map onto the trace
+composition rule in :mod:`repro.gpusim.events`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransferError
+from repro.gpusim.events import Trace, TransferRecord
+from repro.gpusim.memory import DeviceArray
+from repro.interconnect.topology import SystemTopology
+
+
+@dataclass(frozen=True)
+class TransferCostParams:
+    """Bandwidth/latency constants for intra-node routes (K80-era PCIe gen3)."""
+
+    #: Effective peer-to-peer bandwidth along a PCIe gen3 x16 path.
+    p2p_bandwidth_gbs: float = 10.0
+    #: Per-transfer latency of a P2P copy (driver + DMA setup).
+    p2p_latency_s: float = 8e-6
+    #: Effective bandwidth of a host-staged copy (D2H then H2D share the
+    #: host memory system, roughly halving throughput).
+    host_staged_bandwidth_gbs: float = 4.5
+    #: Per-message latency of a host-staged copy (two DMA setups + host sync).
+    host_staged_latency_s: float = 30e-6
+    #: Device-to-device copy bandwidth on one GPU (bounded by DRAM, r+w).
+    local_bandwidth_gbs: float = 90.0
+    #: Launch/driver overhead of a local copy.
+    local_latency_s: float = 3e-6
+    #: Host-to-device copy bandwidth (pinned memory, PCIe gen3 x16).
+    h2d_bandwidth_gbs: float = 11.0
+    #: Device-to-host copy bandwidth.
+    d2h_bandwidth_gbs: float = 12.0
+    #: Per-copy latency of a host<->device DMA.
+    hostcopy_latency_s: float = 10e-6
+    #: Host CPU cost of dispatching one kernel to one device in a
+    #: single-process multi-GPU program (cudaSetDevice + launch + event
+    #: bookkeeping on the node's driver thread). Dispatches are serial per
+    #: node, so the i-th GPU's kernel starts ~i dispatch slots late — the
+    #: effect that caps strong scaling as W grows.
+    host_dispatch_s: float = 55e-6
+
+
+class TransferEngine:
+    """Executes and prices intra-node copies between device buffers."""
+
+    def __init__(self, topology: SystemTopology, params: TransferCostParams | None = None):
+        self.topology = topology
+        self.params = params or TransferCostParams()
+
+    # ------------------------------------------------------------- routing
+
+    def route_kind(self, src_gpu, dst_gpu) -> str:
+        """Classify the route between two devices: local / p2p / host_staged."""
+        if src_gpu.id == dst_gpu.id:
+            return "local"
+        if not self.topology.same_node(src_gpu, dst_gpu):
+            raise TransferError(
+                f"{src_gpu.name} and {dst_gpu.name} are on different nodes; "
+                "inter-node traffic must use the MPI layer"
+            )
+        if self.topology.p2p_capable(src_gpu, dst_gpu):
+            return "p2p"
+        return "host_staged"
+
+    def _lane(self, kind: str, src_gpu, dst_gpu) -> str:
+        slot = self.topology.slot(src_gpu)
+        if kind == "local":
+            return src_gpu.lane
+        if kind == "p2p":
+            return f"pcie{slot.node}.{slot.network}"
+        return f"host{slot.node}"
+
+    def _time(self, kind: str, nbytes: int, messages: int) -> float:
+        p = self.params
+        if kind == "local":
+            return p.local_latency_s * messages + nbytes / (p.local_bandwidth_gbs * 1e9)
+        if kind == "p2p":
+            return p.p2p_latency_s * messages + nbytes / (p.p2p_bandwidth_gbs * 1e9)
+        return p.host_staged_latency_s * messages + nbytes / (
+            p.host_staged_bandwidth_gbs * 1e9
+        )
+
+    # ------------------------------------------------------ host <-> device
+
+    def host_to_device(
+        self, trace: Trace, phase: str, gpu, nbytes: int, messages: int = 1
+    ) -> TransferRecord:
+        """Price an H2D copy (data distribution). The node's host-memory
+        lane is the shared resource, so simultaneous uploads to several
+        GPUs of one node serialise — matching one pinned staging buffer."""
+        slot = self.topology.slot(gpu)
+        p = self.params
+        record = TransferRecord(
+            phase=phase,
+            lane=f"host{slot.node}",
+            time_s=p.hostcopy_latency_s * messages + nbytes / (p.h2d_bandwidth_gbs * 1e9),
+            src_gpu=-1,
+            dst_gpu=gpu.id,
+            nbytes=nbytes,
+            kind="h2d",
+            messages=messages,
+        )
+        trace.add(record)
+        return record
+
+    def device_to_host(
+        self, trace: Trace, phase: str, gpu, nbytes: int, messages: int = 1
+    ) -> TransferRecord:
+        """Price a D2H copy (result collection)."""
+        slot = self.topology.slot(gpu)
+        p = self.params
+        record = TransferRecord(
+            phase=phase,
+            lane=f"host{slot.node}",
+            time_s=p.hostcopy_latency_s * messages + nbytes / (p.d2h_bandwidth_gbs * 1e9),
+            src_gpu=gpu.id,
+            dst_gpu=-1,
+            nbytes=nbytes,
+            kind="d2h",
+            messages=messages,
+        )
+        trace.add(record)
+        return record
+
+    # ------------------------------------------------------------- dispatch
+
+    def record_dispatch(
+        self, trace: Trace, phase: str, gpu, ordinal: int = 1
+    ) -> TransferRecord:
+        """Account the host-side dispatch delay before ``gpu``'s kernel.
+
+        Multi-GPU proposals issue every stage's kernels from one host
+        thread per node; dispatches are serial, so the GPU that is
+        ``ordinal``-th in the dispatch order waits ``ordinal`` dispatch
+        slots before its kernel starts. The record lands on the GPU's own
+        lane so the stage's wall-clock becomes
+        ``max_i(kernel_i + ordinal_i * dispatch)`` — serial host work
+        composed with parallel device work. Single-GPU runs skip this
+        (their one dispatch pipelines behind the kernel itself).
+        """
+        record = TransferRecord(
+            phase=phase,
+            lane=gpu.lane,
+            time_s=ordinal * self.params.host_dispatch_s,
+            src_gpu=gpu.id,
+            dst_gpu=gpu.id,
+            nbytes=0,
+            kind="dispatch",
+        )
+        trace.add(record)
+        return record
+
+    # -------------------------------------------------------------- copying
+
+    def copy(
+        self,
+        trace: Trace,
+        phase: str,
+        src: DeviceArray,
+        dst: DeviceArray,
+        messages: int = 1,
+        functional: bool = True,
+    ) -> TransferRecord:
+        """Copy ``src``'s contents into ``dst`` and record the cost.
+
+        ``messages`` is the number of distinct copy invocations this traffic
+        was issued as. P2P traffic generated by a kernel writing remote
+        memory directly (UVA) is one "message" regardless of layout, while
+        host-staged traffic needs one explicit ``cudaMemcpy`` per contiguous
+        region — the proposals pass the counts accordingly, which is what
+        reproduces the Figure 9 W=8 behaviour ("each auxiliary array is
+        written by 8 GPUs through host memory").
+        """
+        if src.shape != dst.shape:
+            raise TransferError(
+                f"transfer shape mismatch: src {src.shape} vs dst {dst.shape}"
+            )
+        if src.dtype != dst.dtype:
+            raise TransferError(
+                f"transfer dtype mismatch: src {src.dtype} vs dst {dst.dtype}"
+            )
+        if messages < 1:
+            raise TransferError(f"messages must be >= 1, got {messages}")
+        kind = self.route_kind(src.device, dst.device)
+        if functional:
+            dst.data[...] = src.data
+        record = TransferRecord(
+            phase=phase,
+            lane=self._lane(kind, src.device, dst.device),
+            time_s=self._time(kind, src.nbytes, messages),
+            src_gpu=src.device.id,
+            dst_gpu=dst.device.id,
+            nbytes=src.nbytes,
+            kind=kind,
+            messages=messages,
+        )
+        trace.add(record)
+        return record

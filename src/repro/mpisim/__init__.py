@@ -1,0 +1,15 @@
+"""Simulated CUDA-aware MPI runtime.
+
+Implements the collectives the paper's Multi-Node proposal uses
+(MPI_Gather, MPI_Scatter, MPI_Bcast, MPI_Barrier) over simulated device
+buffers, with an InfiniBand-FDR-like cost model: near-constant per-message
+latency plus a bandwidth term. "CUDA-aware" here means the collectives
+operate directly on :class:`~repro.gpusim.memory.DeviceArray` buffers, and
+intra-node pairs are automatically routed over the P2P/host-staged paths
+("if they are on the same PCI-e bus, peer-to-peer transfers are
+automatically used by the CUDA-aware MPI library").
+"""
+
+from repro.mpisim.communicator import Communicator, MPICostParams
+
+__all__ = ["Communicator", "MPICostParams"]

@@ -1,0 +1,84 @@
+"""Parallel-prefix (scan) primitive substrate.
+
+This package holds the algorithm-level building blocks that the paper's
+GPU implementation is made of:
+
+- :mod:`repro.primitives.operators` — associative operators (monoids) the
+  scan is parameterised over (the paper uses addition by default).
+- :mod:`repro.primitives.sequential` — reference sequential scans used as
+  ground truth by every test and benchmark.
+- :mod:`repro.primitives.ladner_fischer` — the Ladner-Fischer pattern the
+  paper selects for GPUs, as an executable step schedule.
+- :mod:`repro.primitives.networks` — the classical alternatives
+  (Kogge-Stone, Sklansky, Brent-Kung) for comparison and property tests.
+- :mod:`repro.primitives.segmented` — segmented scan (the Thrust baseline
+  option discussed in Section 5).
+"""
+
+from repro.primitives.operators import (
+    ADD,
+    BITWISE_OR,
+    BITWISE_XOR,
+    MAX,
+    MIN,
+    MUL,
+    Operator,
+    resolve_operator,
+)
+from repro.primitives.sequential import (
+    exclusive_scan,
+    inclusive_scan,
+    reduce as sequential_reduce,
+)
+from repro.primitives.ladner_fischer import (
+    ladner_fischer_schedule,
+    ladner_fischer_scan,
+)
+from repro.primitives.networks import (
+    brent_kung_scan,
+    brent_kung_schedule,
+    han_carlson_scan,
+    han_carlson_schedule,
+    kogge_stone_scan,
+    kogge_stone_schedule,
+    run_schedule,
+    schedule_depth,
+    schedule_work,
+    sklansky_scan,
+    sklansky_schedule,
+)
+from repro.primitives.segmented import (
+    segmented_exclusive_scan,
+    segmented_inclusive_scan,
+    segments_to_flags,
+)
+
+__all__ = [
+    "ADD",
+    "BITWISE_OR",
+    "BITWISE_XOR",
+    "MAX",
+    "MIN",
+    "MUL",
+    "Operator",
+    "resolve_operator",
+    "exclusive_scan",
+    "inclusive_scan",
+    "sequential_reduce",
+    "ladner_fischer_schedule",
+    "ladner_fischer_scan",
+    "brent_kung_scan",
+    "brent_kung_schedule",
+    "han_carlson_scan",
+    "han_carlson_schedule",
+    "kogge_stone_scan",
+    "kogge_stone_schedule",
+    "run_schedule",
+    "schedule_depth",
+    "schedule_work",
+    "sklansky_scan",
+    "sklansky_schedule",
+    "segmented_exclusive_scan",
+    "segmented_inclusive_scan",
+    "segments_to_flags",
+]

@@ -1,0 +1,101 @@
+"""The Ladner-Fischer parallel-prefix family ``LF(k)``.
+
+Ladner and Fischer (JACM 1980, the paper's reference [18]) define a family
+of prefix networks parameterised by an integer ``k >= 0`` trading depth for
+work:
+
+- ``LF(0)`` is the minimum-depth construction (identical to Sklansky's
+  network): recursively scan both halves, then fan the last element of the
+  lower half out over the whole upper half.
+- ``LF(k)`` for ``k >= 1`` first combines adjacent pairs (one stage),
+  applies ``LF(k-1)`` to the ``n/2`` pair-sums, then fixes up the even
+  positions (one more stage). Each increment of ``k`` adds one stage of
+  depth and removes roughly ``n/2^k`` operator applications.
+
+Depth of ``LF(k)`` on ``n`` inputs is ``log2(n) + k`` (clamped), and the
+work decreases monotonically in ``k``; at large ``k`` the construction
+degenerates into a Brent-Kung-like work-efficient network.
+
+The paper's Figure 1 draws the minimum-depth member, which is the variant
+that "matches very well to GPU architectures" (their reference [3]): the
+fan-out steps map to shuffle broadcasts with no extra synchronisation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.primitives.networks import run_schedule
+from repro.primitives.operators import ADD, Operator
+from repro.util.ints import ilog2
+
+
+def _lf(indices: tuple[int, ...], k: int) -> list[list[tuple[int, int]]]:
+    """Recursive LF(k) construction over an arbitrary index subsequence."""
+    n = len(indices)
+    if n == 1:
+        return []
+    half = n // 2
+    if k == 0:
+        # Minimum depth: scan halves in parallel, then one fan-out stage.
+        lower = _lf(indices[:half], 0)
+        upper = _lf(indices[half:], 0)
+        merged: list[list[tuple[int, int]]] = []
+        for i in range(max(len(lower), len(upper))):
+            step: list[tuple[int, int]] = []
+            if i < len(lower):
+                step.extend(lower[i])
+            if i < len(upper):
+                step.extend(upper[i])
+            merged.append(step)
+        pivot = indices[half - 1]
+        merged.append([(indices[j], pivot) for j in range(half, n)])
+        return merged
+    # k >= 1: pair-combine stage, recurse on odd positions, even fix-up stage.
+    pair_step = [(indices[2 * j + 1], indices[2 * j]) for j in range(half)]
+    inner = _lf(tuple(indices[2 * j + 1] for j in range(half)), k - 1)
+    fixup_step = [(indices[2 * j], indices[2 * j - 1]) for j in range(1, half)]
+    steps = [pair_step]
+    steps.extend(inner)
+    if fixup_step:
+        steps.append(fixup_step)
+    return steps
+
+
+@lru_cache(maxsize=None)
+def ladner_fischer_schedule(n: int, k: int = 0) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Build the ``LF(k)`` prefix network over ``n`` (power of two) inputs.
+
+    Parameters
+    ----------
+    n:
+        Input width; must be a power of two (Table 2 convention).
+    k:
+        Depth/work trade-off knob. ``k=0`` gives the minimum-depth network
+        used by the paper's kernels; larger ``k`` trades one stage of extra
+        depth for less work per level.
+    """
+    log_n = ilog2(n)
+    if k < 0:
+        raise ConfigurationError(f"LF parameter k must be >= 0, got {k}")
+    if k > max(log_n - 1, 0):
+        # Beyond log2(n)-1 the recursion bottoms out before k is exhausted;
+        # clamp instead of erroring so sweeps over k are convenient.
+        k = max(log_n - 1, 0)
+    steps = _lf(tuple(range(n)), k)
+    return tuple(tuple(step) for step in steps if step)
+
+
+def ladner_fischer_scan(
+    array: np.ndarray,
+    op: Operator | str = ADD,
+    axis: int = -1,
+    k: int = 0,
+) -> np.ndarray:
+    """Inclusive scan of ``array`` along ``axis`` with the LF(k) network."""
+    data = np.asarray(array)
+    n = data.shape[axis]
+    return run_schedule(data, ladner_fischer_schedule(n, k), op=op, axis=axis)

@@ -1,0 +1,218 @@
+"""Parallel-prefix networks as executable step schedules.
+
+A *schedule* is a list of parallel steps. Each step is a list of
+``(dst, src)`` index pairs with the semantics, applied simultaneously::
+
+    x[dst] = op(x[src], x[dst])
+
+All reads in a step observe the values from before the step (the hardware
+analogue: one stage of a prefix-adder network / one synchronised GPU step).
+Running every step of a valid schedule turns an input vector into its
+inclusive scan.
+
+Schedules are the common currency between the algorithm level and the GPU
+simulator: the warp-level shuffle scan in :mod:`repro.gpusim.warp` executes
+exactly these (dst, src) stages with shuffle instructions, and the
+intermediate-scan kernel (Stage 2) runs them over shared memory.
+
+Networks implemented:
+
+- :func:`kogge_stone_schedule` — minimum depth, O(n log n) work, the
+  pattern drawn in Figure 1 of the paper for N=8.
+- :func:`sklansky_schedule` — minimum depth with divide-and-conquer fan-out
+  (the Ladner-Fischer construction at its minimum-depth point).
+- :func:`brent_kung_schedule` — work-efficient up-sweep/down-sweep.
+- Ladner-Fischer ``LF(k)`` family in :mod:`repro.primitives.ladner_fischer`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.primitives.operators import ADD, Operator, resolve_operator
+from repro.util.ints import ilog2
+
+#: One parallel stage: list of (dst, src) pairs applied simultaneously.
+Step = list[tuple[int, int]]
+#: A full network: sequence of stages.
+Schedule = list[Step]
+
+
+def _validate_size(n: int) -> int:
+    if n < 1:
+        raise ConfigurationError(f"network size must be >= 1, got {n}")
+    ilog2(n)  # raises unless power of two
+    return n
+
+
+@lru_cache(maxsize=None)
+def kogge_stone_schedule(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Kogge-Stone network for ``n`` (power of two) elements.
+
+    Step ``d`` combines every element ``i >= 2^d`` with its neighbour at
+    distance ``2^d``:  ``x[i] = op(x[i - 2^d], x[i])``. Depth ``log2 n``,
+    work ``sum_d (n - 2^d)``. This is the classic shuffle-scan stage pattern
+    used inside a warp (paper Figure 4).
+    """
+    _validate_size(n)
+    schedule: list[tuple[tuple[int, int], ...]] = []
+    d = 1
+    while d < n:
+        schedule.append(tuple((i, i - d) for i in range(d, n)))
+        d <<= 1
+    return tuple(schedule)
+
+
+@lru_cache(maxsize=None)
+def sklansky_schedule(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Sklansky (divide-and-conquer) network for ``n`` (power of two).
+
+    Step ``d`` treats the vector as blocks of ``2^(d+1)`` elements; every
+    element in the upper half of a block reads the last element of the
+    lower half. Depth ``log2 n``, work ``(n/2) * log2 n``.
+    """
+    _validate_size(n)
+    schedule: list[tuple[tuple[int, int], ...]] = []
+    block = 2
+    while block <= n:
+        half = block // 2
+        step: list[tuple[int, int]] = []
+        for start in range(0, n, block):
+            src = start + half - 1
+            step.extend((start + j, src) for j in range(half, block))
+        schedule.append(tuple(step))
+        block <<= 1
+    return tuple(schedule)
+
+
+@lru_cache(maxsize=None)
+def brent_kung_schedule(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Brent-Kung work-efficient network for ``n`` (power of two).
+
+    Up-sweep builds a reduction tree; down-sweep distributes partial sums to
+    the remaining positions. Depth ``2*log2 n - 1`` (for n >= 2), work
+    ``2n - log2 n - 2``: the work-optimal end of the Ladner-Fischer family.
+    """
+    _validate_size(n)
+    schedule: list[tuple[tuple[int, int], ...]] = []
+    # Up-sweep: at distance d, position i*2d + 2d-1 accumulates i*2d + d-1.
+    d = 1
+    while d < n:
+        step = tuple(
+            (start + 2 * d - 1, start + d - 1) for start in range(0, n, 2 * d)
+        )
+        schedule.append(step)
+        d <<= 1
+    # Down-sweep: at distance d, position i*2d + 2d + d - 1 reads i*2d + 2d - 1.
+    d = n // 4 if n >= 4 else 0
+    while d and d >= 1:
+        step = tuple(
+            (start + 2 * d + d - 1, start + 2 * d - 1)
+            for start in range(0, n - 2 * d, 2 * d)
+            if start + 2 * d + d - 1 < n
+        )
+        if step:
+            schedule.append(step)
+        d >>= 1
+    return tuple(schedule)
+
+
+@lru_cache(maxsize=None)
+def han_carlson_schedule(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Han-Carlson hybrid network for ``n`` (power of two) elements.
+
+    The classic depth/work compromise between Kogge-Stone and Brent-Kung:
+    one pairing stage, a Kogge-Stone network over the odd positions, and a
+    final fix-up stage for the evens. Depth ``log2(n) + 1``, roughly half
+    Kogge-Stone's work — the same shape VLSI adders (and some warp scans)
+    pick when wire count matters.
+    """
+    _validate_size(n)
+    if n == 1:
+        return ()
+    if n == 2:
+        return (((1, 0),),)
+    schedule: list[tuple[tuple[int, int], ...]] = []
+    # Stage 1: combine adjacent pairs into the odd positions.
+    schedule.append(tuple((2 * j + 1, 2 * j) for j in range(n // 2)))
+    # Kogge-Stone over the odd subsequence (indices 1, 3, 5, ...).
+    odds = list(range(1, n, 2))
+    d = 1
+    while d < len(odds):
+        schedule.append(tuple((odds[i], odds[i - d]) for i in range(d, len(odds))))
+        d <<= 1
+    # Fix-up: every even position (except 0) reads its odd predecessor.
+    schedule.append(tuple((2 * j, 2 * j - 1) for j in range(1, n // 2)))
+    return tuple(schedule)
+
+
+def han_carlson_scan(array: np.ndarray, op: Operator | str = ADD, axis: int = -1) -> np.ndarray:
+    """Inclusive scan along ``axis`` via the Han-Carlson network."""
+    data = np.asarray(array)
+    return run_schedule(data, han_carlson_schedule(data.shape[axis]), op=op, axis=axis)
+
+
+def schedule_depth(schedule: Schedule | tuple) -> int:
+    """Number of parallel stages in the network."""
+    return len(schedule)
+
+
+def schedule_work(schedule: Schedule | tuple) -> int:
+    """Total number of operator applications in the network."""
+    return sum(len(step) for step in schedule)
+
+
+def _check_step_hazards(step) -> None:
+    dsts = [dst for dst, _ in step]
+    if len(set(dsts)) != len(dsts):
+        raise ConfigurationError("schedule step writes the same destination twice")
+
+
+def run_schedule(
+    array: np.ndarray,
+    schedule: Schedule | tuple,
+    op: Operator | str = ADD,
+    axis: int = -1,
+) -> np.ndarray:
+    """Execute a prefix-network schedule over ``array`` along ``axis``.
+
+    The input is not modified; a scanned copy is returned. Works on batched
+    inputs: all leading axes are carried through, so one call simulates many
+    independent warps/blocks at once (the vectorised execution style the
+    kernels use).
+    """
+    operator = resolve_operator(op)
+    data = np.array(array, copy=True)
+    data = np.moveaxis(data, axis, -1)
+    for step in schedule:
+        if not step:
+            continue
+        _check_step_hazards(step)
+        dsts = np.fromiter((d for d, _ in step), dtype=np.intp, count=len(step))
+        srcs = np.fromiter((s for _, s in step), dtype=np.intp, count=len(step))
+        # Gather all sources before writing: simultaneous-step semantics
+        # (fancy indexing yields a copy, so later writes cannot alias it).
+        gathered = data[..., srcs]
+        data[..., dsts] = operator.combine(gathered, data[..., dsts])
+    return np.moveaxis(data, -1, axis)
+
+
+def kogge_stone_scan(array: np.ndarray, op: Operator | str = ADD, axis: int = -1) -> np.ndarray:
+    """Inclusive scan along ``axis`` via the Kogge-Stone network."""
+    data = np.asarray(array)
+    return run_schedule(data, kogge_stone_schedule(data.shape[axis]), op=op, axis=axis)
+
+
+def sklansky_scan(array: np.ndarray, op: Operator | str = ADD, axis: int = -1) -> np.ndarray:
+    """Inclusive scan along ``axis`` via the Sklansky network."""
+    data = np.asarray(array)
+    return run_schedule(data, sklansky_schedule(data.shape[axis]), op=op, axis=axis)
+
+
+def brent_kung_scan(array: np.ndarray, op: Operator | str = ADD, axis: int = -1) -> np.ndarray:
+    """Inclusive scan along ``axis`` via the Brent-Kung network."""
+    data = np.asarray(array)
+    return run_schedule(data, brent_kung_schedule(data.shape[axis]), op=op, axis=axis)

@@ -1,0 +1,165 @@
+"""Associative operators (monoids) the scan primitive is parameterised over.
+
+The scan primitive is defined for any associative binary operator with an
+identity element. The paper uses integer addition throughout ("the addition
+operation is used in the scan primitive by default"), but the kernels are
+operator-generic, so we model the operator as a first-class object carrying:
+
+- the elementwise numpy ufunc-style callable,
+- the identity element (needed for exclusive scans and padding),
+- the matching cumulative/reduction implementations used by reference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Operator:
+    """An associative binary operator with identity, usable on numpy arrays.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"add"``, ``"max"``...), used in configs/reports.
+    fn:
+        Elementwise binary callable ``fn(a, b) -> a <op> b`` (broadcasting).
+    identity_for:
+        Callable mapping a numpy dtype to the identity element of the
+        operator for that dtype (e.g. 0 for add, dtype-min for max).
+    ufunc:
+        The numpy ufunc implementing the operator, used for the fast
+        ``accumulate``/``reduce`` reference paths.
+    commutative:
+        Whether the operator commutes. All scan algorithms here only need
+        associativity, but some baselines exploit commutativity; recorded
+        for documentation and property tests.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity_for: Callable[[np.dtype], object]
+    ufunc: np.ufunc = field(repr=False)
+    commutative: bool = True
+
+    def identity(self, dtype: np.dtype) -> object:
+        """Identity element of the operator for ``dtype``."""
+        return self.identity_for(np.dtype(dtype))
+
+    def accumulate(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Inclusive scan along ``axis`` using the numpy ufunc (reference path).
+
+        The accumulator dtype is pinned to the input dtype: numpy promotes
+        small integers to the platform int by default, but device scans
+        compute in the element type (int8 wraps like it would in CUDA).
+        """
+        return self.ufunc.accumulate(array, axis=axis, dtype=array.dtype)
+
+    def reduce(self, array: np.ndarray, axis: int | None = -1) -> np.ndarray:
+        """Reduction along ``axis`` using the numpy ufunc (reference path)."""
+        return self.ufunc.reduce(array, axis=axis, dtype=array.dtype)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Apply the operator elementwise."""
+        return self.fn(a, b)
+
+
+def _int_like(dtype: np.dtype) -> bool:
+    return np.issubdtype(dtype, np.integer)
+
+
+def _max_identity(dtype: np.dtype) -> object:
+    if _int_like(dtype):
+        return np.iinfo(dtype).min
+    return -np.inf
+
+
+def _min_identity(dtype: np.dtype) -> object:
+    if _int_like(dtype):
+        return np.iinfo(dtype).max
+    return np.inf
+
+
+def _require_integer(dtype: np.dtype, op_name: str) -> None:
+    if not _int_like(dtype):
+        raise ConfigurationError(f"operator {op_name!r} requires an integer dtype, got {dtype}")
+
+
+def _or_identity(dtype: np.dtype) -> object:
+    _require_integer(dtype, "or")
+    return dtype.type(0)
+
+
+def _xor_identity(dtype: np.dtype) -> object:
+    _require_integer(dtype, "xor")
+    return dtype.type(0)
+
+
+ADD = Operator(
+    name="add",
+    fn=np.add,
+    identity_for=lambda dtype: dtype.type(0),
+    ufunc=np.add,
+    commutative=True,
+)
+
+MUL = Operator(
+    name="mul",
+    fn=np.multiply,
+    identity_for=lambda dtype: dtype.type(1),
+    ufunc=np.multiply,
+    commutative=True,
+)
+
+MAX = Operator(
+    name="max",
+    fn=np.maximum,
+    identity_for=_max_identity,
+    ufunc=np.maximum,
+    commutative=True,
+)
+
+MIN = Operator(
+    name="min",
+    fn=np.minimum,
+    identity_for=_min_identity,
+    ufunc=np.minimum,
+    commutative=True,
+)
+
+BITWISE_OR = Operator(
+    name="or",
+    fn=np.bitwise_or,
+    identity_for=_or_identity,
+    ufunc=np.bitwise_or,
+    commutative=True,
+)
+
+BITWISE_XOR = Operator(
+    name="xor",
+    fn=np.bitwise_xor,
+    identity_for=_xor_identity,
+    ufunc=np.bitwise_xor,
+    commutative=True,
+)
+
+_REGISTRY: dict[str, Operator] = {
+    op.name: op for op in (ADD, MUL, MAX, MIN, BITWISE_OR, BITWISE_XOR)
+}
+
+
+def resolve_operator(op: Operator | str) -> Operator:
+    """Resolve an operator given either an :class:`Operator` or its name."""
+    if isinstance(op, Operator):
+        return op
+    try:
+        return _REGISTRY[op]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown operator {op!r}; known operators: {known}") from None

@@ -1,0 +1,54 @@
+"""Reference sequential scans: the ground truth for every parallel variant.
+
+These are deliberately the simplest correct implementations (numpy ufunc
+``accumulate``). Every kernel, proposal and baseline in the library is
+validated against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.operators import ADD, Operator, resolve_operator
+
+
+def inclusive_scan(
+    array: np.ndarray,
+    op: Operator | str = ADD,
+    axis: int = -1,
+) -> np.ndarray:
+    """Inclusive scan: output[i] = a[0] <op> ... <op> a[i] along ``axis``."""
+    operator = resolve_operator(op)
+    return operator.accumulate(np.asarray(array), axis=axis)
+
+
+def exclusive_scan(
+    array: np.ndarray,
+    op: Operator | str = ADD,
+    axis: int = -1,
+) -> np.ndarray:
+    """Exclusive scan: output[i] = identity <op> a[0] <op> ... <op> a[i-1].
+
+    Implemented as an inclusive scan shifted right by one with the operator
+    identity injected at position 0 (the transformation Section 3.1 of the
+    paper relies on to save a communication step).
+    """
+    operator = resolve_operator(op)
+    data = np.asarray(array)
+    inclusive = operator.accumulate(data, axis=axis)
+    out = np.empty_like(inclusive)
+    index_first: list = [slice(None)] * data.ndim
+    index_first[axis] = slice(0, 1)
+    index_rest_dst: list = [slice(None)] * data.ndim
+    index_rest_dst[axis] = slice(1, None)
+    index_rest_src: list = [slice(None)] * data.ndim
+    index_rest_src[axis] = slice(0, -1)
+    out[tuple(index_first)] = operator.identity(data.dtype)
+    out[tuple(index_rest_dst)] = inclusive[tuple(index_rest_src)]
+    return out
+
+
+def reduce(array: np.ndarray, op: Operator | str = ADD, axis: int = -1) -> np.ndarray:
+    """Reduction along ``axis`` (the paper's Stage-1 'chunk reduce' semantics)."""
+    operator = resolve_operator(op)
+    return operator.reduce(np.asarray(array), axis=axis)

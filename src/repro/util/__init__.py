@@ -1,0 +1,41 @@
+"""Shared utilities: integer/log2 helpers, unit formatting, validation."""
+
+from repro.util.ints import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two_between,
+)
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    format_throughput,
+)
+from repro.util.validation import (
+    require,
+    require_dtype,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "powers_of_two_between",
+    "GIB",
+    "KIB",
+    "MIB",
+    "format_bytes",
+    "format_seconds",
+    "format_throughput",
+    "require",
+    "require_dtype",
+    "require_positive",
+    "require_power_of_two",
+]

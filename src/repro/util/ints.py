@@ -1,0 +1,58 @@
+"""Integer helpers for power-of-two parameter arithmetic.
+
+The paper (Table 2) expresses every problem and performance parameter as a
+power of two (``N = 2^n``, ``S = 2^s``...). These helpers centralise the
+log2/validation arithmetic used throughout the tuning strategy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive integral power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises :class:`ConfigurationError` if ``value`` is not a power of two,
+    because a fractional exponent would silently corrupt the (s, p, l, K)
+    parameter algebra.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"expected a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (value must be positive)."""
+    if value <= 0:
+        raise ConfigurationError(f"expected a positive value, got {value!r}")
+    return 1 << (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division."""
+    if denominator <= 0:
+        raise ConfigurationError(f"denominator must be positive, got {denominator!r}")
+    return -(-numerator // denominator)
+
+
+def powers_of_two_between(low: int, high: int) -> Iterator[int]:
+    """Yield all powers of two ``v`` with ``low <= v <= high`` in ascending order.
+
+    Used to enumerate the premise-bounded search space for the ``K``
+    parameter (Eq. 1-3 in the paper), which is a power of two by
+    construction (chunk sizes are powers of two).
+    """
+    if low < 1:
+        low = 1
+    v = next_power_of_two(low)
+    while v <= high:
+        yield v
+        v <<= 1

@@ -1,0 +1,37 @@
+"""Library logging: quiet by default, verbose on demand.
+
+``repro`` never prints from library code; it logs under the ``repro.*``
+namespace. Users opt in with the standard logging machinery, or quickly
+via the ``REPRO_LOG`` environment variable (set to a level name before
+import, e.g. ``REPRO_LOG=DEBUG``). Executors log their plan decisions
+(derived tuple, chosen K, route kinds) at DEBUG — the paper's "empirically
+tested" choices become visible without a debugger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced library logger, honouring ``REPRO_LOG`` once."""
+    global _CONFIGURED
+    if not _CONFIGURED:
+        _CONFIGURED = True
+        level_name = os.environ.get("REPRO_LOG", "").upper()
+        if level_name:
+            level = getattr(logging, level_name, None)
+            if isinstance(level, int):
+                handler = logging.StreamHandler()
+                handler.setFormatter(
+                    logging.Formatter("%(name)s %(levelname)s: %(message)s")
+                )
+                root = logging.getLogger("repro")
+                root.addHandler(handler)
+                root.setLevel(level)
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,46 @@
+"""Byte/time/throughput unit constants and human-readable formatting."""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: One gigabyte per second expressed in bytes/second (decimal, as vendors do).
+GB_PER_S: float = 1e9
+
+#: One microsecond in seconds.
+MICROSECOND: float = 1e-6
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix (``KiB``/``MiB``/``GiB``)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes!r}")
+    for threshold, suffix in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if num_bytes >= threshold:
+            return f"{num_bytes / threshold:.2f} {suffix}"
+    return f"{int(num_bytes)} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit (s / ms / us / ns)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_throughput(elements: float, seconds: float) -> str:
+    """Render an element throughput as Gelems/s or Melems/s."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds!r}")
+    rate = elements / seconds
+    if rate >= 1e9:
+        return f"{rate / 1e9:.3f} Gelem/s"
+    return f"{rate / 1e6:.3f} Melem/s"

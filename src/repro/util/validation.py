@@ -1,0 +1,37 @@
+"""Small argument-validation helpers shared by public API entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.ints import is_power_of_two
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: int, name: str) -> None:
+    """Require ``value`` to be a positive integer."""
+    if not isinstance(value, (int, np.integer)) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Require ``value`` to be a power of two (paper's Table 2 convention)."""
+    if isinstance(value, np.integer):
+        value = int(value)
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+
+
+def require_dtype(array: np.ndarray, allowed: tuple[np.dtype, ...], name: str) -> None:
+    """Require ``array`` to have one of the ``allowed`` dtypes."""
+    if array.dtype not in allowed:
+        allowed_names = ", ".join(str(np.dtype(d)) for d in allowed)
+        raise ConfigurationError(
+            f"{name} has dtype {array.dtype}, expected one of: {allowed_names}"
+        )

@@ -1,0 +1,122 @@
+"""Tests for the compaction and sorting scan applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.compaction import compact, partition_stable, select_indices
+from repro.apps.sorting import radix_sort, split_by_bit
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import tsubame_kfc
+
+
+class TestSelectIndices:
+    def test_addresses_are_dense_ranks(self, machine):
+        mask = np.array([[1, 0, 1, 1, 0, 0, 1, 0]], dtype=bool)
+        addr, counts, _ = select_indices(mask, machine)
+        assert counts[0] == 4
+        np.testing.assert_array_equal(addr[0][mask[0]], [0, 1, 2, 3])
+
+    def test_batched(self, machine, rng):
+        mask = rng.integers(0, 2, (4, 64)).astype(bool)
+        addr, counts, _ = select_indices(mask, machine)
+        np.testing.assert_array_equal(counts, mask.sum(axis=1))
+        for g in range(4):
+            np.testing.assert_array_equal(
+                addr[g][mask[g]], np.arange(counts[g])
+            )
+
+    def test_rejects_float_mask(self, machine):
+        with pytest.raises(ConfigurationError):
+            select_indices(np.zeros((1, 8), dtype=np.float32), machine)
+
+
+class TestCompact:
+    def test_matches_numpy_filter(self, machine, rng):
+        streams = rng.integers(-100, 100, (8, 256)).astype(np.int32)
+        compacted, result = compact(streams, lambda x: x > 0, machine)
+        for row, out in zip(streams, compacted):
+            np.testing.assert_array_equal(out, row[row > 0])
+        assert result.total_time_s > 0
+
+    def test_all_and_none_kept(self, machine, rng):
+        streams = rng.integers(0, 100, (2, 64)).astype(np.int32)
+        all_kept, _ = compact(streams, lambda x: x >= 0, machine)
+        none_kept, _ = compact(streams, lambda x: x < 0, machine)
+        for row, out in zip(streams, all_kept):
+            np.testing.assert_array_equal(out, row)
+        for out in none_kept:
+            assert out.size == 0
+
+    def test_predicate_shape_check(self, machine, rng):
+        streams = rng.integers(0, 10, (2, 64)).astype(np.int32)
+        with pytest.raises(ConfigurationError, match="predicate"):
+            compact(streams, lambda x: x[0] > 0, machine)
+
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_random(self, log_n, seed, threshold):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        streams = rng.integers(-100, 100, (2, 1 << log_n)).astype(np.int32)
+        compacted, _ = compact(streams, lambda x: x >= threshold, machine)
+        for row, out in zip(streams, compacted):
+            np.testing.assert_array_equal(out, row[row >= threshold])
+
+
+class TestPartition:
+    def test_stable_partition(self, machine):
+        streams = np.array([[5, 2, 8, 1, 9, 4, 7, 3]], dtype=np.int32)
+        out, counts, _ = partition_stable(streams, lambda x: x < 5, machine)
+        np.testing.assert_array_equal(out[0], [2, 1, 4, 3, 5, 8, 9, 7])
+        assert counts[0] == 4
+
+    def test_batched_partition(self, machine, rng):
+        streams = rng.integers(0, 100, (4, 128)).astype(np.int32)
+        out, counts, _ = partition_stable(streams, lambda x: x % 2 == 0, machine)
+        for g in range(4):
+            row = streams[g]
+            expected = np.concatenate([row[row % 2 == 0], row[row % 2 == 1]])
+            np.testing.assert_array_equal(out[g], expected)
+            assert counts[g] == (row % 2 == 0).sum()
+
+
+class TestSplitAndSort:
+    def test_split_by_bit(self, machine):
+        keys = np.array([[3, 0, 2, 1, 6, 5, 4, 7]], dtype=np.int32)
+        out, _ = split_by_bit(keys, 0, machine)
+        # bit0==0 (even) first, stable: 0 2 6 4, then odd: 3 1 5 7.
+        np.testing.assert_array_equal(out[0], [0, 2, 6, 4, 3, 1, 5, 7])
+
+    def test_radix_sort_matches_numpy(self, machine, rng):
+        keys = rng.integers(0, 1 << 10, (4, 256)).astype(np.int32)
+        sorted_keys, results = radix_sort(keys, bits=10, topology=machine)
+        np.testing.assert_array_equal(sorted_keys, np.sort(keys, axis=1))
+        assert len(results) == 10
+
+    def test_bits_autodetected(self, machine, rng):
+        keys = rng.integers(0, 100, (2, 64)).astype(np.int64)
+        sorted_keys, results = radix_sort(keys, topology=machine)
+        np.testing.assert_array_equal(sorted_keys, np.sort(keys, axis=1))
+        assert len(results) == 7  # 99 needs 7 bits
+
+    def test_negative_keys_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            radix_sort(np.array([[-1, 2, 3, 4]]), topology=machine)
+
+    def test_float_keys_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="integer"):
+            radix_sort(np.array([[1.5, 2.5]]), topology=machine)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_property_sorts(self, seed):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 1 << 8, (2, 128)).astype(np.int32)
+        sorted_keys, _ = radix_sort(keys, bits=8, topology=machine)
+        np.testing.assert_array_equal(sorted_keys, np.sort(keys, axis=1))

@@ -1,0 +1,89 @@
+"""Tests for the summed-area-table and histogram scan applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.histogram import batched_cdf, cumulative_histogram, quantiles
+from repro.apps.sat import integral_of_region, summed_area_table
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import tsubame_kfc
+
+
+class TestSummedAreaTable:
+    def test_matches_2d_cumsum(self, machine, rng):
+        img = rng.integers(0, 100, (32, 64)).astype(np.int64)
+        sat, results = summed_area_table(img, machine)
+        expected = img.cumsum(axis=1).cumsum(axis=0)
+        np.testing.assert_array_equal(sat, expected)
+        assert len(results) == 2  # row pass + column pass
+
+    def test_region_queries(self, machine, rng):
+        img = rng.integers(0, 100, (16, 16)).astype(np.int64)
+        sat, _ = summed_area_table(img, machine)
+        cases = [(0, 0, 15, 15), (0, 0, 0, 0), (3, 4, 9, 12), (15, 15, 15, 15)]
+        for y0, x0, y1, x1 in cases:
+            expected = img[y0 : y1 + 1, x0 : x1 + 1].sum()
+            assert integral_of_region(sat, y0, x0, y1, x1) == expected
+
+    def test_region_bounds_checked(self, machine, rng):
+        img = rng.integers(0, 10, (8, 8)).astype(np.int64)
+        sat, _ = summed_area_table(img, machine)
+        with pytest.raises(ConfigurationError):
+            integral_of_region(sat, 0, 0, 8, 8)
+        with pytest.raises(ConfigurationError):
+            integral_of_region(sat, 5, 0, 3, 3)  # y0 > y1
+
+    def test_non_2d_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            summed_area_table(np.zeros(16, dtype=np.int64), machine)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_images(self, seed):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 50, (16, 32)).astype(np.int64)
+        sat, _ = summed_area_table(img, machine)
+        np.testing.assert_array_equal(sat, img.cumsum(axis=1).cumsum(axis=0))
+
+
+class TestHistogram:
+    def test_cumulative(self, machine, rng):
+        counts = rng.integers(0, 100, (4, 64)).astype(np.int64)
+        cum, _ = cumulative_histogram(counts, machine)
+        np.testing.assert_array_equal(cum, counts.cumsum(axis=1))
+
+    def test_cdf_normalised(self, machine, rng):
+        counts = rng.integers(1, 100, (4, 32)).astype(np.int64)
+        cdf, _ = batched_cdf(counts, machine)
+        np.testing.assert_allclose(cdf[:, -1], 1.0)
+        assert (np.diff(cdf, axis=1) >= 0).all()
+
+    def test_cdf_rejects_empty_histograms(self, machine):
+        counts = np.zeros((2, 16), dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="at least one count"):
+            batched_cdf(counts, machine)
+
+    def test_quantiles(self, machine):
+        # All mass in bin 5 -> every quantile lands on bin 5.
+        counts = np.zeros((1, 16), dtype=np.int64)
+        counts[0, 5] = 10
+        idx, _ = quantiles(counts, np.array([0.25, 0.5, 1.0]), machine)
+        np.testing.assert_array_equal(idx[0], [5, 5, 5])
+
+    def test_median_of_uniform(self, machine):
+        counts = np.ones((1, 64), dtype=np.int64)
+        idx, _ = quantiles(counts, np.array([0.5]), machine)
+        assert 30 <= idx[0, 0] <= 32
+
+    def test_quantile_level_validation(self, machine):
+        counts = np.ones((1, 8), dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            quantiles(counts, np.array([0.0]), machine)
+        with pytest.raises(ConfigurationError):
+            quantiles(counts, np.array([1.5]), machine)
+
+    def test_power_of_two_bins_required(self, machine):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            cumulative_histogram(np.ones((1, 100), dtype=np.int64), machine)

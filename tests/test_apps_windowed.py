@@ -1,0 +1,73 @@
+"""Tests for sliding-window aggregations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.windowed import moving_average, windowed_sums
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import tsubame_kfc
+
+
+def reference_windowed(row, window):
+    out = np.empty(len(row), dtype=np.int64)
+    for i in range(len(row)):
+        out[i] = row[max(0, i - window + 1) : i + 1].sum()
+    return out
+
+
+class TestWindowedSums:
+    def test_matches_reference(self, machine, rng):
+        streams = rng.integers(-50, 50, (4, 256)).astype(np.int32)
+        out, _ = windowed_sums(streams, 16, machine)
+        for row, got in zip(streams, out):
+            np.testing.assert_array_equal(got, reference_windowed(row, 16))
+
+    def test_window_one_is_identity(self, machine, rng):
+        streams = rng.integers(0, 100, (2, 64)).astype(np.int32)
+        out, _ = windowed_sums(streams, 1, machine)
+        np.testing.assert_array_equal(out, streams.astype(np.int64))
+
+    def test_full_window_is_prefix_sum(self, machine, rng):
+        streams = rng.integers(0, 100, (2, 64)).astype(np.int32)
+        out, _ = windowed_sums(streams, 64, machine)
+        np.testing.assert_array_equal(out, np.cumsum(streams, axis=1, dtype=np.int64))
+
+    def test_no_int32_overflow(self, machine):
+        streams = np.full((1, 1024), 2**24, dtype=np.int32)
+        out, _ = windowed_sums(streams, 512, machine)
+        assert out.dtype == np.int64
+        assert out[0, -1] == 512 * 2**24
+
+    def test_validation(self, machine, rng):
+        streams = rng.integers(0, 9, (1, 32)).astype(np.int32)
+        with pytest.raises(ConfigurationError):
+            windowed_sums(streams, 0, machine)
+        with pytest.raises(ConfigurationError):
+            windowed_sums(streams, 64, machine)
+
+    @given(
+        window=st.integers(min_value=1, max_value=128),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, window, seed):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        streams = rng.integers(-100, 100, (2, 128)).astype(np.int32)
+        out, _ = windowed_sums(streams, window, machine)
+        for row, got in zip(streams, out):
+            np.testing.assert_array_equal(got, reference_windowed(row, window))
+
+
+class TestMovingAverage:
+    def test_constant_stream(self, machine):
+        streams = np.full((1, 128), 7, dtype=np.int32)
+        avg, _ = moving_average(streams, 8, machine)
+        np.testing.assert_allclose(avg, 7.0)
+
+    def test_partial_window_normalisation(self, machine):
+        streams = np.arange(1, 9, dtype=np.int32)[None, :]
+        avg, _ = moving_average(streams, 4, machine)
+        np.testing.assert_allclose(avg[0, :4], [1.0, 1.5, 2.0, 2.5])
+        np.testing.assert_allclose(avg[0, 4], (2 + 3 + 4 + 5) / 4)

@@ -1,0 +1,87 @@
+"""Tests for the persistent autotuning cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.core.autotune_cache import AutotuneCache, CachedTuner, cache_key
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+
+
+class TestCacheKey:
+    def test_distinguishes_everything(self):
+        p1 = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        p2 = ProblemConfig.from_sizes(N=1 << 15, G=8)
+        node = NodeConfig.from_counts(W=4, V=4)
+        keys = {
+            cache_key(KEPLER_K80, p1, "sp", None),
+            cache_key(KEPLER_K80, p2, "sp", None),
+            cache_key(KEPLER_K80, p1, "mps", node),
+            cache_key(MAXWELL_GM200, p1, "sp", None),
+            cache_key(KEPLER_K80, p1.__class__.from_sizes(N=1 << 14, G=8, operator="max"), "sp", None),
+        }
+        assert len(keys) == 5
+
+    def test_stable(self):
+        p = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        assert cache_key(KEPLER_K80, p, "sp", None) == cache_key(KEPLER_K80, p, "sp", None)
+
+
+class TestCachedTuner:
+    def test_memoises(self, machine, rng):
+        tuner = CachedTuner(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        k1 = tuner.best_k(problem, "sp")
+        k2 = tuner.best_k(problem, "sp")
+        assert k1 == k2
+        assert tuner.cache.misses == 1 and tuner.cache.hits == 1
+
+    def test_persists_roundtrip(self, machine, tmp_path):
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        first = CachedTuner(machine, AutotuneCache(path))
+        k = first.best_k(problem, "sp")
+        assert path.exists()
+
+        second = CachedTuner(machine, AutotuneCache(path))
+        assert second.best_k(problem, "sp") == k
+        assert second.cache.hits == 1 and second.cache.misses == 0
+
+    def test_multi_gpu_proposals(self, machine):
+        tuner = CachedTuner(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 15, G=16)
+        node = NodeConfig.from_counts(W=8, V=4)
+        k_mps = tuner.best_k(problem, "mps", node)
+        k_mppc = tuner.best_k(problem, "mppc", node)
+        assert k_mps >= 1 and k_mppc >= 1
+
+    def test_stale_entry_retuned(self, machine, tmp_path):
+        """A cached K outside the current search space triggers a re-tune."""
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        tuner = CachedTuner(machine, AutotuneCache(path))
+        tuner.best_k(problem, "sp")
+        # Corrupt the stored K to an inadmissible value.
+        payload = json.loads(path.read_text())
+        for entry in payload.values():
+            entry["best_k"] = 1 << 20
+        path.write_text(json.dumps(payload))
+
+        fresh = CachedTuner(machine, AutotuneCache(path))
+        k = fresh.best_k(problem, "sp")
+        assert k != 1 << 20
+        assert fresh.cache.misses == 1
+
+    def test_unreadable_cache_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TuningError, match="unreadable"):
+            AutotuneCache(path)
+
+    def test_unknown_proposal(self, machine):
+        tuner = CachedTuner(machine)
+        with pytest.raises(TuningError):
+            tuner.best_k(ProblemConfig.from_sizes(N=1 << 14), "teleport")

@@ -1,0 +1,135 @@
+"""Tests for the modelled competitor libraries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    CUB,
+    CUDPP,
+    LIGHTSCAN,
+    MODERNGPU,
+    THRUST,
+    get_baseline,
+)
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import KEPLER_K80
+
+
+class TestRegistry:
+    def test_all_five(self):
+        assert {lib.name for lib in ALL_BASELINES} == {
+            "cudpp", "thrust", "moderngpu", "cub", "lightscan",
+        }
+
+    def test_lookup(self):
+        assert get_baseline("CUB") is CUB
+        with pytest.raises(KeyError):
+            get_baseline("nccl")  # the paper notes NCCL has no scan
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("lib", ALL_BASELINES, ids=lambda l: l.name)
+    def test_inclusive_correct(self, lib, rng):
+        data = rng.integers(0, 100, (4, 1024)).astype(np.int32)
+        result = lib.run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    @pytest.mark.parametrize("lib", ALL_BASELINES, ids=lambda l: l.name)
+    def test_exclusive_correct(self, lib, rng):
+        data = rng.integers(0, 100, (2, 512)).astype(np.int32)
+        result = lib.run(data, inclusive=False)
+        expected = np.zeros_like(data)
+        expected[:, 1:] = np.cumsum(data, axis=1, dtype=np.int32)[:, :-1]
+        np.testing.assert_array_equal(result.output, expected)
+
+    @pytest.mark.parametrize("lib", ALL_BASELINES, ids=lambda l: l.name)
+    def test_operator_generic(self, lib, rng):
+        data = rng.integers(-100, 100, 2048).astype(np.int32)
+        result = lib.run(data, operator="max")
+        np.testing.assert_array_equal(result.output[0], np.maximum.accumulate(data))
+
+    def test_collect_false(self, rng):
+        data = rng.integers(0, 100, (2, 512)).astype(np.int32)
+        result = CUB.run(data, collect=False)
+        assert result.output is None and result.total_time_s > 0
+
+
+class TestCostStructure:
+    @pytest.mark.parametrize("lib", ALL_BASELINES, ids=lambda l: l.name)
+    def test_time_monotone_in_n(self, lib):
+        times = [lib.time_single(1 << n) for n in (16, 20, 24, 28)]
+        assert times == sorted(times)
+
+    def test_invocation_time_positive_and_floored(self):
+        t = THRUST.per_call.invocation_time(KEPLER_K80, 1)
+        assert t > THRUST.per_call.host_overhead_s
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            CUB.per_call.invocation_time(KEPLER_K80, 0)
+
+    def test_cub_is_fastest_single_call_large_n(self):
+        n = 1 << 28
+        cub = CUB.time_single(n)
+        for lib in (CUDPP, THRUST, MODERNGPU):
+            assert cub < lib.time_single(n)
+
+    def test_thrust_per_call_overhead_dominates_small_n(self):
+        """The paper's 7.8x-at-G=1 story: Thrust's per-call fixed costs."""
+        t = THRUST.time_single(1 << 13)
+        assert t > 100e-6
+
+
+class TestModeSelection:
+    def test_cub_switches_to_segmented_for_small_problems(self):
+        """The paper: CUB per-call wins for n >= 17, segmented below."""
+        _, mode_small = CUB.time_batch(1 << 13, 1 << 15)
+        _, mode_large = CUB.time_batch(1 << 25, 8)
+        assert mode_small == "segmented"
+        assert mode_large == "per_call"
+
+    def test_thrust_switches_later_than_cub(self):
+        """Thrust's segmented mode survives to larger n than CUB's (the
+        paper quotes n<21 vs n<17)."""
+        cub_switch = min(
+            n for n in range(13, 29) if CUB.time_batch(1 << n, 1 << (28 - n))[1] == "per_call"
+        )
+        thrust_switch = min(
+            n for n in range(13, 29)
+            if THRUST.time_batch(1 << n, 1 << (28 - n))[1] == "per_call"
+        )
+        assert cub_switch < thrust_switch
+
+    def test_cudpp_uses_multiscan_for_batches(self):
+        _, mode = CUDPP.time_batch(1 << 13, 1 << 15)
+        assert mode == "multiscan"
+
+    def test_moderngpu_has_only_per_call(self):
+        _, mode = MODERNGPU.time_batch(1 << 13, 1 << 15)
+        assert mode == "per_call"
+
+    def test_batch_time_never_worse_than_g_calls(self):
+        for lib in ALL_BASELINES:
+            for n in (13, 20, 28):
+                g = 1 << (28 - n)
+                t_batch, _ = lib.time_batch(1 << n, g, KEPLER_K80)
+                t_calls = g * lib.per_call.invocation_time(KEPLER_K80, 1 << n)
+                assert t_batch <= t_calls * (1 + 1e-12)
+
+
+class TestPaperRatios:
+    """Large-N single-call relative rates roughly as Figure 11 implies."""
+
+    def rate(self, lib, n=1 << 28):
+        return n / lib.time_single(n)
+
+    def test_lightscan_near_cub_at_large_n(self):
+        assert self.rate(LIGHTSCAN) == pytest.approx(self.rate(CUB), rel=0.10)
+
+    def test_thrust_clearly_slowest_at_large_n(self):
+        others = [CUB, CUDPP, MODERNGPU, LIGHTSCAN]
+        assert all(self.rate(THRUST) < self.rate(lib) for lib in others)
+
+    def test_ordering_cub_cudpp_mgpu(self):
+        assert self.rate(CUB) > self.rate(CUDPP) > self.rate(MODERNGPU)

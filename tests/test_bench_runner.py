@@ -1,0 +1,109 @@
+"""Tests for the figure-regeneration sweep runners (scaled-down totals)."""
+
+import pytest
+
+from repro.bench.reporting import format_breakdown_table, format_series_table
+from repro.bench.runner import (
+    FigureSeries,
+    best_estimate_over_k,
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    figure12_series,
+    figure13_series,
+    figure13_combination_study,
+    figure14_breakdown,
+    mean_speedup,
+)
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.errors import TuningError
+
+TOTAL = 20  # scaled total: 2^20 elements keeps the sweeps fast in tests
+
+
+class TestBestEstimate:
+    def test_returns_fastest_k(self, machine):
+        problem = ProblemConfig.from_sizes(N=1 << 18, G=4)
+        best = best_estimate_over_k(machine, problem, "sp")
+        from repro.core.single_gpu import ScanSP
+
+        for k in (1, 4, 16):
+            other = ScanSP(machine.gpus[0], K=k).estimate(problem)
+            assert best.total_time_s <= other.total_time_s + 1e-15
+
+
+class TestSeries:
+    def test_figure9(self, machine):
+        series = figure9_series(machine, ws=(1, 2), total_log2=TOTAL)
+        assert [s.label for s in series] == ["Scan-MPS W=1", "Scan-MPS W=2"]
+        assert len(series[0].points) == TOTAL - 13 + 1
+
+    def test_figure10_omits_last_n(self, machine):
+        series = figure10_series(machine, configs=((4, 2),), total_log2=TOTAL)
+        assert series[0].points[-1][0] == TOTAL - 1
+
+    def test_figure11_has_all_series(self, machine):
+        series = figure11_series(machine, n_min=13, n_max=15)
+        labels = [s.label for s in series]
+        assert labels[0] == "Scan multi-GPU (best W,V)"
+        assert "cub" in labels and "thrust" in labels
+        assert len(series) == 7
+
+    def test_figure12(self, machine):
+        series = figure12_series(machine, total_log2=TOTAL)
+        ours = series[0]
+        assert all(tp > 0 for _, tp in ours.points)
+
+    def test_figure13(self, cluster):
+        series = figure13_series(cluster, total_log2=TOTAL)
+        assert series[0].label.startswith("Scan-MN-MPS")
+
+    def test_combination_study(self, big_cluster):
+        study = figure13_combination_study(
+            big_cluster, total_gpus=8, total_log2=TOTAL, n_values=(14, TOTAL)
+        )
+        assert (2, 4) in study and (8, 1) in study
+        assert all(t > 0 for times in study.values() for t in times.values())
+
+    def test_figure14_breakdown_phases(self, cluster):
+        out = figure14_breakdown(cluster, total_log2=TOTAL, n_values=(14, 16))
+        for bd in out.values():
+            assert set(bd) == {
+                "stage1", "mpi_barrier", "mpi_gather", "stage2",
+                "mpi_scatter", "stage3",
+            }
+
+
+class TestMetrics:
+    def test_mean_speedup(self):
+        a = FigureSeries("a", [(1, 10.0), (2, 20.0)])
+        b = FigureSeries("b", [(1, 5.0), (2, 5.0)])
+        assert mean_speedup(a, b) == pytest.approx((2 + 4) / 2)
+
+    def test_disjoint_series_rejected(self):
+        a = FigureSeries("a", [(1, 10.0)])
+        b = FigureSeries("b", [(2, 5.0)])
+        with pytest.raises(TuningError):
+            mean_speedup(a, b)
+
+    def test_throughput_at_missing(self):
+        s = FigureSeries("s", [(1, 1.0)])
+        with pytest.raises(KeyError):
+            s.throughput_at(9)
+
+
+class TestReporting:
+    def test_series_table_renders(self):
+        series = [
+            FigureSeries("ours", [(13, 1.0), (14, 2.0)]),
+            FigureSeries("lib", [(13, 0.5)]),
+        ]
+        text = format_series_table("Title", series)
+        assert "Title" in text and "ours" in text
+        assert "-" in text  # the missing lib point at n=14
+
+    def test_breakdown_table_renders(self):
+        text = format_breakdown_table(
+            "BD", {13: {"stage1": 1e-3, "mpi_gather": 2e-3}}
+        )
+        assert "stage1" in text and "total" in text

@@ -1,0 +1,66 @@
+"""Tests for the benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.workloads import (
+    SweepPoint,
+    batch_points,
+    make_batch,
+    single_problem_points,
+)
+
+
+class TestSweepPoints:
+    def test_batch_points_cover_paper_range(self):
+        points = batch_points()
+        assert points[0].n == 13 and points[-1].n == 28
+        for p in points:
+            assert p.total_elements == 1 << 28  # G = 2^28 / N
+
+    def test_custom_total(self):
+        points = batch_points(total_log2=20, n_min=10)
+        assert all(p.total_elements == 1 << 20 for p in points)
+
+    def test_n_max_trim(self):
+        points = batch_points(n_max=27)
+        assert points[-1].n == 27
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            batch_points(total_log2=20, n_min=25)
+
+    def test_single_problem_points(self):
+        points = single_problem_points(13, 16)
+        assert [p.n for p in points] == [13, 14, 15, 16]
+        assert all(p.G == 1 for p in points)
+
+    def test_str(self):
+        assert "N=8192" in str(SweepPoint(n=13, g=15))
+
+
+class TestMakeBatch:
+    def test_shape_and_dtype(self):
+        data = make_batch(10, 3)
+        assert data.shape == (8, 1024)
+        assert data.dtype == np.int32
+
+    def test_deterministic_by_seed(self):
+        a = make_batch(8, 1, seed=42)
+        b = make_batch(8, 1, seed=42)
+        np.testing.assert_array_equal(a, b)
+        c = make_batch(8, 1, seed=43)
+        assert not np.array_equal(a, c)
+
+    def test_ones_distribution(self):
+        data = make_batch(6, 0, distribution="ones")
+        assert (data == 1).all()
+
+    def test_zipf_bounded(self):
+        data = make_batch(10, 0, distribution="zipf", high=50)
+        assert data.max() <= 50
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            make_batch(8, 0, distribution="gaussian")

@@ -1,0 +1,36 @@
+"""Machine-checked calibration anchors (the EXPERIMENTS.md contract)."""
+
+import pytest
+
+from repro.bench.calibration import (
+    FIGURE12_ANCHORS,
+    check_all_anchors,
+    format_anchor_report,
+    measure_anchor,
+)
+from repro.interconnect.topology import tsubame_kfc
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tsubame_kfc()
+
+
+class TestAnchors:
+    def test_every_anchor_within_window(self, machine):
+        rows = check_all_anchors(machine)
+        report = format_anchor_report(rows)
+        failing = [r for r in rows if not r["ok"]]
+        assert not failing, f"anchors out of window:\n{report}"
+
+    def test_endpoint_anchors_tight(self, machine):
+        """The fitted endpoints should sit within 15% of the paper, not
+        merely inside the generous window."""
+        for anchor in FIGURE12_ANCHORS:
+            measured = measure_anchor(anchor, machine)
+            ratio = measured / anchor.paper_speedup
+            assert 0.85 < ratio < 1.2, (anchor.library, anchor.n, measured)
+
+    def test_report_renders(self, machine):
+        text = format_anchor_report(check_all_anchors(machine))
+        assert "lightscan" in text and "yes" in text

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Premise 1" in out
+        assert "Tesla K80" in out
+
+
+class TestTable3:
+    def test_default_arch(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "7168" in out and "Premise 1" in out
+
+    def test_other_arch(self, capsys):
+        assert main(["table3", "--arch", "maxwell"]) == 0
+        assert "GM200" in capsys.readouterr().out
+
+
+class TestScan:
+    def test_basic(self, capsys):
+        assert main(["scan", "--n", "12", "--g", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against numpy reference" in out
+        assert "throughput" in out
+
+    def test_multi_gpu(self, capsys):
+        assert main(["scan", "--n", "13", "--g", "3",
+                     "--proposal", "mppc", "--w", "8", "--v", "4"]) == 0
+        assert "scan-mp-pc" in capsys.readouterr().out
+
+    def test_multi_node(self, capsys):
+        assert main(["scan", "--n", "13", "--g", "2", "--proposal", "mn-mps",
+                     "--w", "4", "--v", "4", "--m", "2"]) == 0
+        assert "mpi_gather" in capsys.readouterr().out
+
+    def test_exclusive_and_operator(self, capsys):
+        assert main(["scan", "--n", "10", "--g", "1",
+                     "--operator", "max", "--exclusive"]) == 0
+
+    def test_tune(self, capsys):
+        assert main(["scan", "--n", "13", "--g", "3", "--tune"]) == 0
+
+    def test_bad_proposal_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "--proposal", "warp-drive"])
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", ["9", "10", "11", "12"])
+    def test_single_node_figures(self, capsys, number):
+        assert main(["figure", number, "--total", "18"]) == 0
+        out = capsys.readouterr().out
+        assert f"Figure {number}" in out
+
+    def test_figure13_with_study(self, capsys):
+        assert main(["figure", "13", "--total", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "combination study" in out
+
+    def test_chart(self, capsys):
+        assert main(["figure", "12", "--total", "18", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "--total", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "mpi_gather" in out and "stage3" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig.csv"
+        assert main(["figure", "12", "--total", "16", "--csv", str(csv_path)]) == 0
+        content = csv_path.read_text()
+        assert content.startswith("n,")
+        assert "Scan-MP-PC" in content
+        assert len(content.splitlines()) == 1 + (16 - 13 + 1)
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck passed" in out
+        assert "chained scan" in out
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        from repro.bench.reporting import ascii_chart
+        from repro.bench.runner import FigureSeries
+
+        series = [
+            FigureSeries("ours", [(13, 10.0), (14, 20.0), (15, 40.0)]),
+            FigureSeries("lib", [(13, 1.0), (14, 2.0), (15, 4.0)]),
+        ]
+        text = ascii_chart("T", series)
+        assert "o" in text and "x" in text and "legend:" in text
+
+    def test_log_scale(self):
+        from repro.bench.reporting import ascii_chart
+        from repro.bench.runner import FigureSeries
+
+        series = [FigureSeries("s", [(1, 0.001), (2, 1000.0)])]
+        text = ascii_chart("T", series, log_y=True)
+        assert "legend:" in text
+
+    def test_empty(self):
+        from repro.bench.reporting import ascii_chart
+
+        assert ascii_chart("T", []) == "T"

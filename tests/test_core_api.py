@@ -1,0 +1,103 @@
+"""Tests for the public scan() facade and Premise-4 proposal selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro import scan, batch_scan, recommend_proposal, tsubame_kfc
+from repro.core.params import NodeConfig, ProblemConfig
+
+
+class TestRecommendation:
+    def test_single_gpu(self, machine):
+        problem = ProblemConfig.from_sizes(N=1 << 20)
+        assert recommend_proposal(machine, NodeConfig.from_counts(W=1, V=1), problem) == "sp"
+
+    def test_multi_node_single_problem(self, cluster):
+        problem = ProblemConfig.from_sizes(N=1 << 20)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        assert recommend_proposal(cluster, node, problem) == "mn-mps"
+
+    def test_multi_node_batch_avoids_mpi(self, cluster):
+        """With enough problems per network, the no-MPI multi-node MP-PC
+        wins (Section 4.1.1; quantified in benchmarks/bench_scaling.py)."""
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=16)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        assert recommend_proposal(cluster, node, problem) == "mppc"
+
+    def test_one_network_uses_mps(self, machine):
+        """W <= gpus/network: pure P2P, scattering is fine."""
+        problem = ProblemConfig.from_sizes(N=1 << 20, G=16)
+        node = NodeConfig.from_counts(W=4, V=4)
+        assert recommend_proposal(machine, node, problem) == "mps"
+
+    def test_cross_network_batch_uses_mppc(self, machine):
+        problem = ProblemConfig.from_sizes(N=1 << 20, G=16)
+        node = NodeConfig.from_counts(W=8, V=4)
+        assert recommend_proposal(machine, node, problem) == "mppc"
+
+    def test_cross_network_single_problem_uses_mps(self, machine):
+        """G=1 cannot be partitioned by network; host-staged MPS it is."""
+        problem = ProblemConfig.from_sizes(N=1 << 20, G=1)
+        node = NodeConfig.from_counts(W=8, V=4)
+        assert recommend_proposal(machine, node, problem) == "mps"
+
+
+class TestScanFacade:
+    def test_default_topology(self, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        result = scan(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    @pytest.mark.parametrize("proposal", ["sp", "pp", "mps", "mppc"])
+    def test_each_proposal(self, machine, rng, proposal):
+        data = rng.integers(0, 100, (8, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, proposal=proposal, W=4, V=4)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_mn_proposal(self, cluster, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=cluster, proposal="mn-mps", W=4, V=4, M=2)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_auto_selects_and_runs(self, machine, rng):
+        data = rng.integers(0, 100, (16, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="auto", W=8, V=4)
+        assert result.proposal == "scan-mp-pc"
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_v_defaults_to_network_width(self, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=8)
+        assert result.config["V"] == 4
+
+    def test_k_tune(self, machine, rng):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp", K="tune")
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_bad_k_rejected(self, machine, rng):
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        with pytest.raises(ConfigurationError, match="K must be"):
+            scan(data, topology=machine, K="huge")
+
+    def test_bad_proposal_rejected(self, machine, rng):
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        with pytest.raises(ConfigurationError, match="unknown proposal"):
+            scan(data, topology=machine, proposal="teleport")
+
+    def test_collect_false_skips_output(self, machine, rng):
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, collect=False)
+        assert result.output is None
+        assert result.total_time_s > 0
+
+    def test_batch_scan_alias(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1024)).astype(np.int32)
+        result = batch_scan(data, topology=machine)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_float_data(self, machine, rng):
+        data = rng.random((2, 1024)).astype(np.float64)
+        result = scan(data, topology=machine, proposal="sp")
+        np.testing.assert_allclose(result.output, np.cumsum(data, axis=1), rtol=1e-12)

@@ -1,0 +1,167 @@
+"""Tests for the three-stage kernels: correctness, block independence,
+and exactness of the closed-form stats (the estimate-path invariant)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import KEPLER_K80
+from repro.gpusim.device import GPU
+from repro.gpusim.events import Trace
+from repro.gpusim.kernel import ExecutionEngine
+from repro.core.kernels import (
+    chunk_reduce_stats,
+    intermediate_scan_stats,
+    launch_chunk_reduce,
+    launch_intermediate_scan,
+    launch_scan_add,
+    scan_add_stats,
+)
+from repro.core.params import ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.primitives.operators import MAX
+from repro.primitives.sequential import exclusive_scan
+
+
+def make_setup(gpu, n=1 << 14, g=4, k=2, dtype=np.int32, operator="add",
+               inclusive=True, seed=0):
+    rng = np.random.default_rng(seed)
+    problem = ProblemConfig.from_sizes(N=n, G=g, dtype=dtype, operator=operator,
+                                       inclusive=inclusive)
+    plan = build_execution_plan(gpu.arch, problem, K=k)
+    host = rng.integers(0, 100, (g, n)).astype(dtype)
+    data = gpu.upload(host)
+    aux = gpu.alloc((g, plan.chunks_total), dtype)
+    return problem, plan, host, data, aux
+
+
+class TestChunkReduce:
+    def test_writes_chunk_reductions(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        launch_chunk_reduce(Trace(), gpu, data, aux, plan)
+        chunk = plan.chunk_size
+        expected = host.reshape(problem.G, -1, chunk).sum(axis=-1, dtype=np.int32)
+        np.testing.assert_array_equal(aux.to_host(), expected)
+
+    def test_does_not_modify_input(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        launch_chunk_reduce(Trace(), gpu, data, aux, plan)
+        np.testing.assert_array_equal(data.to_host(), host)
+
+    def test_max_operator(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu, operator="max")
+        launch_chunk_reduce(Trace(), gpu, data, aux, plan)
+        chunk = plan.chunk_size
+        expected = host.reshape(problem.G, -1, chunk).max(axis=-1)
+        np.testing.assert_array_equal(aux.to_host(), expected)
+
+    def test_column_offset(self, gpu):
+        problem, plan, host, data, _ = make_setup(gpu)
+        wide = gpu.alloc((problem.G, 2 * plan.chunks_total), np.int32, fill=-1)
+        launch_chunk_reduce(Trace(), gpu, data, wide, plan,
+                            chunk_column_offset=plan.chunks_total)
+        out = wide.to_host()
+        assert (out[:, : plan.chunks_total] == -1).all()
+        chunk = plan.chunk_size
+        expected = host.reshape(problem.G, -1, chunk).sum(axis=-1, dtype=np.int32)
+        np.testing.assert_array_equal(out[:, plan.chunks_total :], expected)
+
+    def test_stats_match_closed_form(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        trace = Trace()
+        record = launch_chunk_reduce(trace, gpu, data, aux, plan)
+        analytic = chunk_reduce_stats(plan, gpu.arch.warp_size)
+        assert record.global_bytes_read == analytic.global_bytes_read
+        assert record.global_bytes_written == analytic.global_bytes_written
+        assert record.shuffle_instructions == analytic.shuffle_instructions
+        assert record.operator_applications == analytic.operator_applications
+
+
+class TestIntermediateScan:
+    def test_exclusive_scan_in_place(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        launch_chunk_reduce(Trace(), gpu, data, aux, plan)
+        before = aux.to_host()
+        launch_intermediate_scan(Trace(), gpu, aux, plan)
+        np.testing.assert_array_equal(aux.to_host(), exclusive_scan(before, axis=-1))
+
+    def test_stats_match_closed_form(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        trace = Trace()
+        record = launch_intermediate_scan(trace, gpu, aux, plan)
+        analytic = intermediate_scan_stats(plan, gpu.arch.warp_size)
+        assert record.global_bytes_read == analytic.global_bytes_read
+        assert record.shuffle_instructions == analytic.shuffle_instructions
+
+
+class TestScanAdd:
+    def run_pipeline(self, gpu, **kwargs):
+        problem, plan, host, data, aux = make_setup(gpu, **kwargs)
+        trace = Trace()
+        launch_chunk_reduce(trace, gpu, data, aux, plan)
+        launch_intermediate_scan(trace, gpu, aux, plan)
+        launch_scan_add(trace, gpu, data, aux, plan)
+        return problem, host, data.to_host(), trace
+
+    def test_inclusive_result(self, gpu):
+        _, host, out, _ = self.run_pipeline(gpu)
+        np.testing.assert_array_equal(out, np.cumsum(host, axis=-1, dtype=np.int32))
+
+    def test_exclusive_result(self, gpu):
+        _, host, out, _ = self.run_pipeline(gpu, inclusive=False)
+        np.testing.assert_array_equal(out, exclusive_scan(host, axis=-1))
+
+    def test_max_operator_end_to_end(self, gpu):
+        _, host, out, _ = self.run_pipeline(gpu, operator="max")
+        np.testing.assert_array_equal(out, np.maximum.accumulate(host, axis=-1))
+
+    @pytest.mark.parametrize("k", [1, 2, 8])
+    @pytest.mark.parametrize("g", [1, 4])
+    def test_cascade_depths(self, gpu, k, g):
+        _, host, out, _ = self.run_pipeline(gpu, k=k, g=g)
+        np.testing.assert_array_equal(out, np.cumsum(host, axis=-1, dtype=np.int32))
+
+    def test_int64(self, gpu):
+        _, host, out, _ = self.run_pipeline(gpu, dtype=np.int64)
+        np.testing.assert_array_equal(out, np.cumsum(host, axis=-1))
+
+    def test_stats_match_closed_form(self, gpu):
+        problem, plan, host, data, aux = make_setup(gpu)
+        trace = Trace()
+        launch_chunk_reduce(trace, gpu, data, aux, plan)
+        launch_intermediate_scan(trace, gpu, aux, plan)
+        record = launch_scan_add(trace, gpu, data, aux, plan)
+        analytic = scan_add_stats(plan, gpu.arch.warp_size)
+        assert record.global_bytes_read == analytic.global_bytes_read
+        assert record.global_bytes_written == analytic.global_bytes_written
+        assert record.shuffle_instructions == analytic.shuffle_instructions
+        assert record.operator_applications == analytic.operator_applications
+
+
+class TestBlockIndependence:
+    """The same kernels must produce identical results when blocks execute
+    one at a time in a random order — proof there is no illegal
+    inter-block communication within a kernel (Section 3's global-sync
+    between kernels is the only cross-block dependency)."""
+
+    def test_blockwise_equals_vectorized(self):
+        vec_gpu = GPU(0, KEPLER_K80)
+        blk_gpu = GPU(
+            1, KEPLER_K80,
+            engine=ExecutionEngine(mode="blockwise", rng=np.random.default_rng(3)),
+        )
+        results = []
+        stats = []
+        for gpu in (vec_gpu, blk_gpu):
+            problem, plan, host, data, aux = make_setup(gpu, n=1 << 13, g=2, k=2)
+            trace = Trace()
+            launch_chunk_reduce(trace, gpu, data, aux, plan)
+            launch_intermediate_scan(trace, gpu, aux, plan)
+            launch_scan_add(trace, gpu, data, aux, plan)
+            results.append(data.to_host())
+            stats.append([
+                (r.global_bytes_read, r.global_bytes_written,
+                 r.shuffle_instructions, r.operator_applications)
+                for r in trace.kernel_records()
+            ])
+        np.testing.assert_array_equal(results[0], results[1])
+        assert stats[0] == stats[1]  # counters are schedule-independent

@@ -1,0 +1,127 @@
+"""Tests for Scan-MPS (problem scattering) and problem parallelism (Case 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import tsubame_kfc
+from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
+from repro.core.params import NodeConfig, ProblemConfig
+
+
+class TestScanMPS:
+    @pytest.mark.parametrize("w,v", [(2, 2), (4, 4), (8, 4)])
+    def test_correct_across_configs(self, machine, rng, w, v):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=w, V=v)
+        result = ScanMPS(machine, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+        assert result.config["W"] == w
+
+    def test_exclusive(self, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        result = ScanMPS(machine, node).run(data, inclusive=False)
+        expected = np.zeros_like(data)
+        expected[:, 1:] = np.cumsum(data, axis=1, dtype=np.int32)[:, :-1]
+        np.testing.assert_array_equal(result.output, expected)
+
+    def test_phases(self, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        result = ScanMPS(machine, node).run(data)
+        assert result.trace.phases() == [
+            "stage1", "aux_gather", "stage2", "aux_scatter", "stage3",
+        ]
+
+    def test_p2p_transfers_within_network(self, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        result = ScanMPS(machine, node).run(data)
+        kinds = {r.kind for r in result.trace.transfer_records()}
+        assert "host_staged" not in kinds
+        assert "p2p" in kinds
+
+    def test_w8_uses_host_staging_with_per_problem_messages(self, machine, rng):
+        g = 8
+        data = rng.integers(0, 100, (g, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        result = ScanMPS(machine, node).run(data)
+        staged = [r for r in result.trace.transfer_records() if r.kind == "host_staged"]
+        assert staged, "W=8 spans two PCIe networks and must stage through host"
+        assert all(r.messages == g for r in staged)  # one copy per problem
+
+    def test_block_independence(self, blockwise_machine, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        out_a = ScanMPS(machine, node).run(data).output
+        out_b = ScanMPS(blockwise_machine, node).run(data).output
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_memory_released_on_all_gpus(self, machine, rng):
+        before = [g.pool.used for g in machine.gpus]
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        ScanMPS(machine, NodeConfig.from_counts(W=8, V=4)).run(data)
+        assert [g.pool.used for g in machine.gpus] == before
+
+    def test_m_greater_one_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="single-node"):
+            ScanMPS(machine, NodeConfig.from_counts(W=4, V=4, M=2))
+
+    def test_respects_eq2_in_default_plan(self, machine):
+        node = NodeConfig.from_counts(W=8, V=4)
+        executor = ScanMPS(machine, node)
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=4)
+        plan = executor.plan_for(problem)
+        chunks = problem.N // plan.chunk_size
+        assert chunks >= node.W  # every GPU owns at least one chunk
+
+    @given(
+        log_n=st.integers(min_value=8, max_value=13),
+        log_g=st.integers(min_value=0, max_value=3),
+        w=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, log_n, log_g, w, seed):
+        machine = tsubame_kfc(1)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, (1 << log_g, 1 << log_n)).astype(np.int64)
+        node = NodeConfig.from_counts(W=w, V=min(w, 4))
+        result = ScanMPS(machine, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=-1))
+
+
+class TestProblemParallel:
+    def test_correct(self, machine, rng):
+        data = rng.integers(0, 100, (8, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        result = ScanProblemParallel(machine, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+        assert result.proposal == "scan-pp"
+
+    def test_no_transfers_at_all(self, machine, rng):
+        """Case 1: 'there is no communication among GPUs'."""
+        data = rng.integers(0, 100, (8, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4)
+        result = ScanProblemParallel(machine, node).run(data)
+        real_transfers = [
+            r for r in result.trace.transfer_records() if r.kind != "dispatch"
+        ]
+        assert real_transfers == []
+
+    def test_fewer_problems_than_gpus(self, machine, rng):
+        data = rng.integers(0, 100, (2, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        result = ScanProblemParallel(machine, node).run(data)
+        assert result.config["W"] == 2  # never more GPUs than problems
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_gpus_work_concurrently(self, machine, rng):
+        """Per-GPU sub-batches overlap: W GPUs beat one GPU on wall-clock
+        once the problems are large enough to amortise per-GPU overheads."""
+        data = rng.integers(0, 100, (8, 1 << 18)).astype(np.int32)
+        t1 = ScanProblemParallel(machine, NodeConfig.from_counts(W=1, V=1)).run(data)
+        t4 = ScanProblemParallel(machine, NodeConfig.from_counts(W=4, V=4)).run(data)
+        assert t4.total_time_s < t1.total_time_s

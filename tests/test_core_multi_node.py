@@ -1,0 +1,93 @@
+"""Tests for the multi-node Scan-MPS (MPI gather/scatter flow)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig, ProblemConfig
+
+
+class TestScanMultiNode:
+    @pytest.mark.parametrize("m,w,v", [(2, 4, 4), (2, 2, 2), (2, 8, 4)])
+    def test_correct(self, cluster, rng, m, w, v):
+        data = rng.integers(0, 100, (4, 1 << 14)).astype(np.int32)
+        node = NodeConfig.from_counts(W=w, V=v, M=m)
+        result = ScanMultiNodeMPS(cluster, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_figure14_phases(self, cluster, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        result = ScanMultiNodeMPS(cluster, node).run(data)
+        assert result.trace.phases() == [
+            "stage1", "mpi_barrier", "mpi_gather", "stage2", "mpi_scatter", "stage3",
+        ]
+        breakdown = result.breakdown
+        assert all(v >= 0 for v in breakdown.values())
+        assert breakdown["mpi_barrier"] > 0
+
+    def test_mpi_records_present(self, cluster, rng):
+        data = rng.integers(0, 100, (2, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        result = ScanMultiNodeMPS(cluster, node).run(data)
+        ops = {r.op for r in result.trace.mpi_records()}
+        assert ops == {"barrier", "gather", "scatter"}
+
+    def test_exclusive(self, cluster, rng):
+        data = rng.integers(0, 100, (2, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        result = ScanMultiNodeMPS(cluster, node).run(data, inclusive=False)
+        expected = np.zeros_like(data)
+        expected[:, 1:] = np.cumsum(data, axis=1, dtype=np.int32)[:, :-1]
+        np.testing.assert_array_equal(result.output, expected)
+
+    def test_max_operator(self, cluster, rng):
+        data = rng.integers(-100, 100, (2, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        result = ScanMultiNodeMPS(cluster, node).run(data, operator="max")
+        np.testing.assert_array_equal(result.output, np.maximum.accumulate(data, axis=1))
+
+    def test_too_many_nodes_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            ScanMultiNodeMPS(machine, NodeConfig.from_counts(W=4, V=4, M=2))
+
+    def test_memory_released(self, cluster, rng):
+        before = [g.pool.used for g in cluster.gpus]
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        ScanMultiNodeMPS(cluster, NodeConfig.from_counts(W=4, V=4, M=2)).run(data)
+        assert [g.pool.used for g in cluster.gpus] == before
+
+    def test_respects_eq2(self, cluster):
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        executor = ScanMultiNodeMPS(cluster, node)
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=4)
+        plan = executor.plan_for(problem)
+        chunks = problem.N // plan.chunk_size
+        assert chunks >= 8  # M*W GPUs each own >= 1 chunk
+
+    def test_mpi_overhead_roughly_constant_in_n(self, cluster):
+        """The Figure 14 observation: MPI time barely moves with data size
+        while kernel time scales."""
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        executor = ScanMultiNodeMPS(cluster, node)
+        mpi_times = []
+        for n in (16, 20):
+            problem = ProblemConfig.from_sizes(N=1 << n, G=1 << (22 - n))
+            result = executor.estimate(problem)
+            bd = result.breakdown
+            mpi_times.append(bd["mpi_gather"] + bd["mpi_scatter"] + bd["mpi_barrier"])
+        assert mpi_times[1] <= mpi_times[0] * 1.5
+
+    def test_block_independence(self, rng):
+        from repro.gpusim.kernel import ExecutionEngine
+        from repro.interconnect.topology import tsubame_kfc
+
+        data = rng.integers(0, 100, (2, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        out_vec = ScanMultiNodeMPS(tsubame_kfc(2), node).run(data).output
+        blockwise = tsubame_kfc(
+            2, engine=ExecutionEngine(mode="blockwise", rng=np.random.default_rng(5))
+        )
+        out_blk = ScanMultiNodeMPS(blockwise, node).run(data).output
+        np.testing.assert_array_equal(out_vec, out_blk)

@@ -1,0 +1,49 @@
+"""Table 3 regeneration tests."""
+
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.core.occupancy_table import format_occupancy_table, occupancy_table
+
+PAPER_TABLE3 = [
+    (1, 256, 7168, 25, 16),
+    (2, 128, 7168, 50, 16),
+    (4, 64, 7168, 100, 16),
+    (8, 64, 14336, 100, 8),
+    (16, 64, 28672, 100, 4),
+    (32, 64, 49152, 100, 2),
+]
+
+
+class TestTable3:
+    def test_exact_reproduction(self):
+        rows = occupancy_table(KEPLER_K80)
+        assert len(rows) == 6
+        for row, (warps, regs, smem, occ, blocks) in zip(rows, PAPER_TABLE3):
+            assert row.warps_per_block == warps
+            assert row.regs_per_thread == regs
+            assert row.smem_per_block == smem
+            assert row.occupancy_percent == occ
+            assert row.blocks_per_sm == blocks
+
+    def test_bold_row_is_4_warps(self):
+        """The configuration 'that maximizes both types of parallelism'."""
+        rows = occupancy_table(KEPLER_K80)
+        bold = [r for r in rows if r.bold]
+        assert len(bold) == 1
+        assert bold[0].warps_per_block == 4
+
+    def test_maxwell_bold_row(self):
+        rows = occupancy_table(MAXWELL_GM200)
+        bold = [r for r in rows if r.bold]
+        assert len(bold) == 1
+        assert bold[0].blocks_per_sm == 32
+        assert bold[0].warp_occupancy == 1.0
+
+    def test_format_contains_marker(self):
+        text = format_occupancy_table(KEPLER_K80)
+        assert "Premise 1" in text
+        assert "7168" in text and "49152" in text
+        assert "compute capability 3.7" in text
+
+    def test_oversized_blocks_skipped(self):
+        rows = occupancy_table(KEPLER_K80, warps_choices=(1, 64, 128))
+        assert [r.warps_per_block for r in rows] == [1, 64]

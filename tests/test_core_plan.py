@@ -1,0 +1,78 @@
+"""Tests for execution-plan construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import KEPLER_K80
+from repro.core.params import KernelParams, ProblemConfig
+from repro.core.plan import build_execution_plan, default_stage1_template
+
+
+class TestBuild:
+    def test_single_gpu_plan(self):
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=8)
+        plan = build_execution_plan(KEPLER_K80, problem, K=4)
+        kp = plan.stage1.params
+        assert kp.K == 4
+        assert plan.stage1.bx == (1 << 16) // kp.chunk_size
+        assert plan.stage1.by == 8
+        assert plan.chunks_total == plan.stage1.bx
+        assert plan.stage2.bx == 1
+
+    def test_multi_gpu_split(self):
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=8)
+        plan = build_execution_plan(KEPLER_K80, problem, K=1, gpus_sharing_problem=4)
+        assert plan.n_local == (1 << 14)
+        assert plan.chunks_total == plan.stage1.bx * 4
+
+    def test_stage2_packs_problems(self):
+        """Few chunks per problem -> Ly^2 > 1 to fill the block."""
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=64)
+        plan = build_execution_plan(KEPLER_K80, problem, K=16)
+        assert plan.chunks_total == 1
+        assert plan.stage2.params.Ly > 1
+        assert plan.stage2.params.Ly * plan.stage2.by == 64
+
+    def test_stage2_many_chunks_single_problem_rows(self):
+        problem = ProblemConfig.from_sizes(N=1 << 22, G=1)
+        plan = build_execution_plan(KEPLER_K80, problem, K=1)
+        # chunks_total = 2^22/1024 = 4096 > block capacity -> Ly = 1.
+        assert plan.stage2.params.Ly == 1
+        assert plan.stage2.by == 1
+
+    def test_indivisible_chunking_rejected(self):
+        problem = ProblemConfig.from_sizes(N=2048, G=1)
+        with pytest.raises(ConfigurationError, match="chunk"):
+            build_execution_plan(KEPLER_K80, problem, K=4)  # chunk 4096 > N
+
+    def test_bad_gpus_sharing(self):
+        problem = ProblemConfig.from_sizes(N=1 << 16)
+        with pytest.raises(ConfigurationError, match="power of two"):
+            build_execution_plan(KEPLER_K80, problem, K=1, gpus_sharing_problem=3)
+
+    def test_g_local_must_be_power_of_two(self):
+        problem = ProblemConfig.from_sizes(N=1 << 16, G=8)
+        with pytest.raises(ConfigurationError, match="power of two"):
+            build_execution_plan(KEPLER_K80, problem, K=1, g_local=3)
+
+    def test_template_override(self):
+        problem = ProblemConfig.from_sizes(N=1 << 12, G=2)
+        template = KernelParams(s=0, p=2, l=5, lx=5, ly=0)
+        plan = build_execution_plan(
+            KEPLER_K80, problem, K=2, stage1_template=template
+        )
+        assert plan.stage1.params.lx == 5
+        assert plan.stage1.params.K == 2
+
+    def test_default_template_matches_premises(self):
+        template = default_stage1_template(KEPLER_K80)
+        assert template.l == 7 and template.p == 3 and template.K == 1
+
+    def test_k_equalities_enforced(self):
+        """The Section 3.1 identities: Bx1=Bx3, K1=K3, K2=1."""
+        problem = ProblemConfig.from_sizes(N=1 << 18, G=4)
+        plan = build_execution_plan(KEPLER_K80, problem, K=8)
+        assert plan.stage1.bx == plan.stage3.bx
+        assert plan.stage1.params.K == plan.stage3.params.K == 8
+        assert plan.stage2.params.K == 1

@@ -1,0 +1,153 @@
+"""Tests for Premises 1-4 and the K search spaces (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.premises import (
+    derive_stage_kernel_params,
+    k_search_space,
+    premise1_block_configuration,
+    premise2_p,
+    premise3_k_max,
+    premise4_k_max_prioritized,
+    premise4_k_max_scattering,
+)
+
+
+class TestPremise1:
+    def test_kepler_bold_row(self):
+        """cc 3.7: 4 warps (128 threads, l=7), <=64 regs, <=7168 B smem."""
+        result = premise1_block_configuration(KEPLER_K80)
+        assert result.warps_per_block == 4
+        assert result.l == 7
+        assert result.reg_budget_per_thread == 64
+        assert result.smem_budget_per_block == 7168
+        assert result.blocks_per_sm == 16
+        assert result.warp_occupancy == 1.0
+
+    def test_maxwell_prefers_smaller_blocks(self):
+        """32 resident blocks on Maxwell let 2-warp blocks reach both maxima."""
+        result = premise1_block_configuration(MAXWELL_GM200)
+        assert result.warps_per_block == 2
+        assert result.blocks_per_sm == 32
+        assert result.warp_occupancy == 1.0
+
+
+class TestPremise2:
+    def test_paper_p3_for_int32(self):
+        """64-register budget, int32 -> p = 3 (P = 8), the paper's value."""
+        assert premise2_p(64, np.int32) == 3
+
+    def test_wider_dtype_reduces_p(self):
+        assert premise2_p(64, np.int64) < premise2_p(64, np.int32)
+
+    def test_larger_budget_raises_p(self):
+        assert premise2_p(128, np.int32) > premise2_p(64, np.int32)
+
+    def test_too_small_budget(self):
+        with pytest.raises(TuningError):
+            premise2_p(24, np.int32)
+
+
+class TestDerivedParams:
+    def test_kepler_tuple(self):
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        assert kp.l == 7 and kp.lx == 7 and kp.ly == 0
+        assert kp.p == 3
+        assert kp.S == 4  # one smem slot per warp, 4 warps
+        assert kp.s <= 5  # shuffle bound
+
+    def test_smem_within_premise1_budget(self):
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        assert kp.smem_bytes(4) <= 7168
+
+    def test_overrides(self):
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32, lx_override=5, p_override=1)
+        assert kp.lx == 5 and kp.p == 1
+
+
+class TestEquation1:
+    def test_formula(self):
+        """K^1 <= G*N / (16 * P1 * P2 * L1 * L2)."""
+        problem = ProblemConfig.from_sizes(N=1 << 20, G=64)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        bound = premise3_k_max(problem, kp, kp, KEPLER_K80)
+        expected = (64 * (1 << 20)) // (16 * 8 * 8 * 128 * 128)
+        assert bound == expected
+
+    def test_floor_at_one(self):
+        problem = ProblemConfig.from_sizes(N=1024, G=1)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        assert premise3_k_max(problem, kp, kp, KEPLER_K80) == 1
+
+
+class TestEquations2And3:
+    def test_eq2_scattering(self):
+        """N / (K * Lx * P) >= M*W."""
+        problem = ProblemConfig.from_sizes(N=1 << 20)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        bound = premise4_k_max_scattering(problem, kp, node)
+        assert bound == (1 << 20) // (128 * 8 * 8)
+        # Every admissible K leaves at least one chunk per GPU.
+        assert (1 << 20) // (bound * 128 * 8) >= 8
+
+    def test_eq3_prioritized(self):
+        problem = ProblemConfig.from_sizes(N=1 << 20)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        bound = premise4_k_max_prioritized(problem, kp, node)
+        assert bound == (1 << 20) // (128 * 8 * 4)
+
+    def test_eq3_looser_than_eq2(self):
+        """V <= M*W, so the prioritized bound is never tighter."""
+        problem = ProblemConfig.from_sizes(N=1 << 22)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        node = NodeConfig.from_counts(W=8, V=4, M=2)
+        assert premise4_k_max_prioritized(problem, kp, node) >= (
+            premise4_k_max_scattering(problem, kp, node)
+        )
+
+
+class TestSearchSpace:
+    def _space(self, proposal="sp", node=None, n=20, g=6):
+        problem = ProblemConfig.from_sizes(N=1 << n, G=1 << g)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        return k_search_space(problem, kp, kp, KEPLER_K80, node=node, proposal=proposal)
+
+    def test_powers_of_two_ascending(self):
+        space = self._space()
+        assert space == sorted(space)
+        assert all(v & (v - 1) == 0 for v in space)
+        assert space[0] == 1
+
+    def test_multi_gpu_space_is_subset(self):
+        sp = set(self._space("sp"))
+        node = NodeConfig.from_counts(W=8, V=4)
+        mps = set(self._space("mps", node))
+        assert mps <= sp
+
+    def test_every_k_is_feasible(self):
+        node = NodeConfig.from_counts(W=8, V=4)
+        problem = ProblemConfig.from_sizes(N=1 << 20, G=64)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        for k in k_search_space(problem, kp, kp, KEPLER_K80, node=node, proposal="mps"):
+            chunks = problem.N // (k * kp.Lx * kp.P)
+            assert chunks >= node.M * node.W  # Eq. 2
+
+    def test_unknown_proposal(self):
+        with pytest.raises(TuningError):
+            self._space("warp-drive")
+
+    def test_mps_requires_node(self):
+        with pytest.raises(TuningError):
+            self._space("mps", node=None)
+
+    def test_too_small_problem(self):
+        problem = ProblemConfig.from_sizes(N=256)
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        with pytest.raises(TuningError, match="smaller than one block"):
+            k_search_space(problem, kp, kp, KEPLER_K80)

@@ -1,0 +1,81 @@
+"""Tests for Scan-MP-PC (prioritized communications)."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect.topology import tsubame_kfc
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.prioritized import ScanMPPC
+
+
+class TestScanMPPC:
+    @pytest.mark.parametrize("w,v", [(4, 2), (8, 4)])
+    def test_correct(self, machine, rng, w, v):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=w, V=v)
+        result = ScanMPPC(machine, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_never_host_staged(self, machine, rng):
+        """The defining property: all traffic stays on P2P paths."""
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        result = ScanMPPC(machine, node).run(data)
+        kinds = {r.kind for r in result.trace.transfer_records()}
+        assert "host_staged" not in kinds
+
+    def test_networks_reduced_when_g_below_y(self, machine, rng):
+        """'when G < Y, the number of PCIe being used has to be reduced'."""
+        data = rng.integers(0, 100, (1, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        result = ScanMPPC(machine, node).run(data)
+        assert result.config["networks_used"] == 1
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_groups_partition_problems(self, machine, rng):
+        data = rng.integers(0, 100, (16, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        result = ScanMPPC(machine, node).run(data)
+        assert result.config["networks_used"] == 2
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+
+    def test_multi_node_without_mpi(self, cluster, rng):
+        """The multi-node MP-PC variant runs the same code on several nodes
+        with zero MPI records."""
+        data = rng.integers(0, 100, (16, 4096)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4, M=2)
+        result = ScanMPPC(cluster, node).run(data)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+        assert result.trace.mpi_records() == []
+        assert result.config["networks_used"] == 4
+
+    def test_faster_than_mps_at_w8(self, machine, rng):
+        """MP-PC's raison d'etre: avoid the W=8 host-staging penalty."""
+        from repro.core.multi_gpu import ScanMPS
+
+        data = rng.integers(0, 100, (32, 1 << 13)).astype(np.int32)
+        node = NodeConfig.from_counts(W=8, V=4)
+        t_mps = ScanMPS(machine, node).run(data).total_time_s
+        t_mppc = ScanMPPC(machine, node).run(data).total_time_s
+        assert t_mppc < t_mps
+
+    def test_memory_released(self, machine, rng):
+        before = [g.pool.used for g in machine.gpus]
+        data = rng.integers(0, 100, (8, 4096)).astype(np.int32)
+        ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4)).run(data)
+        assert [g.pool.used for g in machine.gpus] == before
+
+    def test_plan_respects_eq3(self, machine):
+        node = NodeConfig.from_counts(W=8, V=4)
+        executor = ScanMPPC(machine, node)
+        problem = ProblemConfig.from_sizes(N=1 << 15, G=8)
+        plan = executor.plan_for(problem, groups_used=2)
+        chunks = (problem.N // node.V) // plan.chunk_size
+        assert chunks >= 1  # each of the V GPUs owns at least one chunk
+
+    def test_groups_spread_boards(self, machine):
+        node = NodeConfig.from_counts(W=4, V=2)
+        executor = ScanMPPC(machine, node)
+        for group in executor.groups:
+            boards = {machine.board_of(g) for g in group}
+            assert len(boards) == len(group)

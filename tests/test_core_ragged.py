@@ -1,0 +1,111 @@
+"""Tests for the ragged-batch extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ragged import scan_ragged, scan_segments
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import tsubame_kfc
+
+
+class TestScanRagged:
+    def test_mixed_sizes(self, machine, rng):
+        arrays = [
+            rng.integers(0, 100, size).astype(np.int32)
+            for size in (5, 16, 100, 1024, 3)
+        ]
+        scanned, results = scan_ragged(arrays, machine)
+        for src, out in zip(arrays, scanned):
+            np.testing.assert_array_equal(out, np.cumsum(src, dtype=np.int32))
+        # 5 sizes pad to {8, 16, 128, 1024, 4}: five distinct groups.
+        assert len(results) == 5
+
+    def test_grouping_batches_equal_sizes(self, machine, rng):
+        arrays = [rng.integers(0, 10, 100).astype(np.int32) for _ in range(7)]
+        scanned, results = scan_ragged(arrays, machine)
+        assert len(results) == 1  # all pad to 128, one batch of padded G=8
+        assert results[0].problem.G == 8
+        for src, out in zip(arrays, scanned):
+            np.testing.assert_array_equal(out, np.cumsum(src, dtype=np.int32))
+
+    def test_preserves_input_order(self, machine):
+        a = np.arange(1, 4, dtype=np.int32)          # pads to 4
+        b = np.arange(1, 101, dtype=np.int32)        # pads to 128
+        c = np.arange(1, 3, dtype=np.int32)          # pads to 2
+        scanned, _ = scan_ragged([a, b, c], machine)
+        np.testing.assert_array_equal(scanned[0], np.cumsum(a))
+        np.testing.assert_array_equal(scanned[1], np.cumsum(b))
+        np.testing.assert_array_equal(scanned[2], np.cumsum(c))
+
+    def test_exclusive(self, machine, rng):
+        arrays = [rng.integers(0, 50, 10).astype(np.int64)]
+        scanned, _ = scan_ragged(arrays, machine, inclusive=False)
+        expected = np.zeros(10, dtype=np.int64)
+        expected[1:] = np.cumsum(arrays[0])[:-1]
+        np.testing.assert_array_equal(scanned[0], expected)
+
+    def test_max_operator_identity_padding(self, machine):
+        """Padding with the operator identity must not leak into results —
+        for max, the identity is dtype-min, so any other padding would."""
+        arrays = [np.array([-5, -9, -1], dtype=np.int32)]
+        scanned, _ = scan_ragged(arrays, machine, operator="max")
+        np.testing.assert_array_equal(scanned[0], [-5, -5, -1])
+
+    def test_validation(self, machine):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            scan_ragged([], machine)
+        with pytest.raises(ConfigurationError, match="1-D"):
+            scan_ragged([np.zeros((2, 2), dtype=np.int32)], machine)
+        with pytest.raises(ConfigurationError, match="empty"):
+            scan_ragged([np.array([], dtype=np.int32)], machine)
+        with pytest.raises(ConfigurationError, match="dtype"):
+            scan_ragged(
+                [np.zeros(4, dtype=np.int32), np.zeros(4, dtype=np.int64)], machine
+            )
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_raggedness(self, sizes, seed):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        arrays = [rng.integers(-100, 100, s).astype(np.int64) for s in sizes]
+        scanned, _ = scan_ragged(arrays, machine)
+        for src, out in zip(arrays, scanned):
+            np.testing.assert_array_equal(out, np.cumsum(src))
+
+
+class TestScanSegments:
+    def test_flat_roundtrip(self, machine, rng):
+        lengths = [3, 10, 1, 100]
+        data = rng.integers(0, 100, sum(lengths)).astype(np.int32)
+        scanned, _ = scan_segments(data, lengths, machine)
+        offset = 0
+        for l in lengths:
+            np.testing.assert_array_equal(
+                scanned[offset : offset + l],
+                np.cumsum(data[offset : offset + l], dtype=np.int32),
+            )
+            offset += l
+
+    def test_length_validation(self, machine):
+        data = np.arange(10, dtype=np.int32)
+        with pytest.raises(ConfigurationError, match="sum"):
+            scan_segments(data, [3, 3], machine)
+        with pytest.raises(ConfigurationError, match="positive"):
+            scan_segments(data, [10, 0], machine)
+        with pytest.raises(ConfigurationError, match="1-D"):
+            scan_segments(data.reshape(2, 5), [5, 5], machine)
+
+    def test_agrees_with_segmented_primitive(self, machine, rng):
+        """The device path must match the host-side segmented reference."""
+        from repro.primitives.segmented import segmented_inclusive_scan, segments_to_flags
+
+        lengths = [7, 19, 4, 2]
+        data = rng.integers(0, 100, sum(lengths)).astype(np.int64)
+        scanned, _ = scan_segments(data, lengths, machine)
+        flags = segments_to_flags(np.asarray(lengths))
+        np.testing.assert_array_equal(scanned, segmented_inclusive_scan(data, flags))

@@ -1,0 +1,62 @@
+"""Tests for the diagnostic result validator."""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.core.validation import verify_scan_result
+
+
+class TestVerifyScanResult:
+    def test_good_result_passes(self, machine, rng):
+        data = rng.integers(0, 100, (4, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        report = verify_scan_result(result, data)
+        assert report
+        assert report.ok and report.checked_elements == data.size
+        assert report.message == "ok"
+
+    def test_exclusive_result(self, machine, rng):
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp", inclusive=False)
+        assert verify_scan_result(result, data).ok
+
+    def test_detects_corruption_with_location(self, machine, rng):
+        data = rng.integers(1, 100, (4, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        result.output[2, 137] += 1  # simulate a kernel bug
+        report = verify_scan_result(result, data)
+        assert not report.ok
+        assert report.first_bad_problem == 2
+        assert report.first_bad_index == 137
+        assert report.mismatched_elements == 1
+        assert "problem 2, index 137" in report.message
+
+    def test_flags_chunk_boundary(self, machine, rng):
+        data = rng.integers(1, 100, (1, 1 << 14)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        chunk = result.plan.chunk_size
+        result.output[0, chunk:] += 7  # a bad aux offset corrupts chunk 1 on
+        report = verify_scan_result(result, data)
+        assert not report.ok
+        assert report.chunk_boundary_suspect
+        assert "auxiliary offsets" in report.message
+
+    def test_float_tolerance(self, machine, rng):
+        data = rng.normal(0, 1, (2, 1024)).astype(np.float64)
+        result = scan(data, topology=machine, proposal="sp")
+        assert verify_scan_result(result, data, rtol=1e-9, atol=1e-9).ok
+
+    def test_missing_output(self, machine, rng):
+        data = rng.integers(0, 10, (2, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp", collect=False)
+        report = verify_scan_result(result, data)
+        assert not report.ok
+        assert "no output" in report.message
+
+    def test_max_error_reported(self, machine, rng):
+        data = rng.integers(1, 100, (1, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        result.output[0, 500] += 42
+        report = verify_scan_result(result, data)
+        assert report.max_abs_error == 42.0

@@ -1,0 +1,75 @@
+"""Tests for the end-to-end distribution/collection timing extension."""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.interconnect.transfer import TransferEngine
+
+
+class TestDistributionTiming:
+    def test_phases_wrap_timed_region(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(
+            data, topology=machine, proposal="mps", W=4, V=4,
+            include_distribution=True,
+        )
+        phases = result.trace.phases()
+        assert phases[0] == "distribute"
+        assert phases[-1] == "collect"
+        assert result.breakdown["distribute"] > 0
+        assert result.breakdown["collect"] > 0
+
+    def test_default_excludes_distribution(self, machine, rng):
+        """The paper's methodology: data resident before the timed region."""
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        assert "distribute" not in result.trace.phases()
+
+    def test_distribution_scales_with_payload(self, machine, rng):
+        small = scan(
+            rng.integers(0, 10, (2, 1 << 12)).astype(np.int32),
+            topology=machine, proposal="sp", include_distribution=True,
+        )
+        large = scan(
+            rng.integers(0, 10, (2, 1 << 16)).astype(np.int32),
+            topology=machine, proposal="sp", include_distribution=True,
+        )
+        assert large.breakdown["distribute"] > small.breakdown["distribute"]
+
+    def test_same_node_uploads_serialise(self, machine, rng):
+        """4 GPUs on one node share the host-memory lane: distributing to
+        them costs ~4x one portion, not ~1x."""
+        data = rng.integers(0, 10, (4, 1 << 16)).astype(np.int32)
+        one = scan(data, topology=machine, proposal="sp",
+                   include_distribution=True)
+        four = scan(data, topology=machine, proposal="mps", W=4, V=4,
+                    include_distribution=True)
+        # Same total bytes either way; the 4-way split adds only the three
+        # extra per-copy latencies (no bandwidth gain from more GPUs).
+        extra_latency = 3 * TransferEngine(machine).params.hostcopy_latency_s
+        assert four.breakdown["distribute"] == pytest.approx(
+            one.breakdown["distribute"] + extra_latency, rel=1e-6
+        )
+
+    def test_functional_output_unaffected(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1 << 12)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mppc", W=8, V=4,
+                      include_distribution=True)
+        np.testing.assert_array_equal(
+            result.output, np.cumsum(data, axis=1, dtype=np.int32)
+        )
+
+
+class TestHostDeviceEngine:
+    def test_h2d_d2h_records(self, machine):
+        from repro.gpusim.events import Trace
+
+        engine = TransferEngine(machine)
+        trace = Trace()
+        up = engine.host_to_device(trace, "d", machine.gpu(0), 1 << 20)
+        down = engine.device_to_host(trace, "c", machine.gpu(0), 1 << 20)
+        assert up.kind == "h2d" and down.kind == "d2h"
+        assert up.lane == "host0" and down.lane == "host0"
+        # D2H is modelled slightly faster than H2D (typical PCIe asymmetry).
+        assert down.time_s < up.time_s

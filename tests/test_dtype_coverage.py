@@ -1,0 +1,83 @@
+"""Dtype coverage: the kernels must be correct for every supported dtype."""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.core.params import ProblemConfig
+from repro.core.premises import premise2_p
+from repro.core.single_gpu import ScanSP
+
+INT_DTYPES = [np.int8, np.int16, np.int32, np.int64,
+              np.uint8, np.uint16, np.uint32, np.uint64]
+FLOAT_DTYPES = [np.float32, np.float64]
+
+
+class TestIntegerDtypes:
+    @pytest.mark.parametrize("dtype", INT_DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_add_scan(self, machine, rng, dtype):
+        info = np.iinfo(dtype)
+        data = rng.integers(0, min(5, info.max), (4, 1024)).astype(dtype)
+        result = scan(data, topology=machine, proposal="sp")
+        with np.errstate(over="ignore"):
+            expected = np.add.accumulate(data, axis=-1, dtype=dtype)
+        np.testing.assert_array_equal(result.output, expected)
+        assert result.output.dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.uint32, np.int64])
+    def test_max_scan(self, machine, rng, dtype):
+        info = np.iinfo(dtype)
+        data = rng.integers(0, min(1000, info.max), (2, 512)).astype(dtype)
+        result = scan(data, topology=machine, proposal="sp", operator="max")
+        np.testing.assert_array_equal(result.output, np.maximum.accumulate(data, axis=-1))
+
+    def test_unsigned_wraparound(self, machine):
+        data = np.full((1, 256), 2**31, dtype=np.uint32)
+        result = scan(data, topology=machine, proposal="sp")
+        with np.errstate(over="ignore"):
+            expected = np.add.accumulate(data, axis=-1, dtype=np.uint32)
+        np.testing.assert_array_equal(result.output, expected)
+
+
+class TestFloatDtypes:
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_add_scan_matches_sequential_exactly(self, machine, rng, dtype):
+        """The parallel scan re-associates additions, so results can differ
+        from sequential cumsum in the last ulps — but for exactly
+        representable inputs (small integers) it must match bit-for-bit."""
+        data = rng.integers(0, 100, (4, 2048)).astype(dtype)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=-1, dtype=dtype))
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_add_scan_random_floats_close(self, machine, rng, dtype):
+        data = rng.normal(0, 1, (2, 4096)).astype(dtype)
+        result = scan(data, topology=machine, proposal="sp")
+        # The parallel scan re-associates floating additions; tolerances
+        # cover the accumulated rounding drift at 4096 terms.
+        rtol, atol = (1e-4, 1e-3) if dtype == np.float32 else (1e-12, 1e-12)
+        np.testing.assert_allclose(
+            result.output, np.cumsum(data, axis=-1, dtype=dtype), rtol=rtol, atol=atol
+        )
+
+    def test_float_max_scan(self, machine, rng):
+        data = rng.normal(0, 10, (2, 1024)).astype(np.float64)
+        result = scan(data, topology=machine, proposal="sp", operator="max")
+        np.testing.assert_array_equal(result.output, np.maximum.accumulate(data, axis=-1))
+
+
+class TestPremise2DtypeAdaptation:
+    def test_wider_elements_reduce_p(self):
+        """int64 elements occupy two register words, halving P's budget."""
+        p32 = premise2_p(64, np.int32)
+        p64 = premise2_p(64, np.int64)
+        assert p64 < p32
+
+    def test_float32_matches_int32_register_cost(self):
+        assert premise2_p(64, np.float32) == premise2_p(64, np.int32)
+
+    def test_plans_adapt_to_dtype(self, machine):
+        sp = ScanSP(machine.gpus[0])
+        p32 = sp.plan_for(ProblemConfig.from_sizes(N=1 << 16, dtype=np.int32))
+        p64 = sp.plan_for(ProblemConfig.from_sizes(N=1 << 16, dtype=np.int64))
+        assert p64.stage1.params.P < p32.stage1.params.P

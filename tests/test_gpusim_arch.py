@@ -1,0 +1,53 @@
+"""Tests for the GPU architecture presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import (
+    KEPLER_K80,
+    MAXWELL_GM200,
+    PASCAL_P100,
+    GPUArchitecture,
+    get_architecture,
+)
+
+
+class TestPresets:
+    def test_k80_is_cc37(self):
+        assert KEPLER_K80.compute_capability == (3, 7)
+        assert KEPLER_K80.max_blocks_per_sm == 16  # "16 in the case of Kepler"
+        assert KEPLER_K80.dies_per_board == 2
+
+    def test_maxwell_block_limit(self):
+        assert MAXWELL_GM200.max_blocks_per_sm == 32  # "32 in the case of Maxwell"
+
+    def test_lookup_by_name(self):
+        assert get_architecture("k80") is KEPLER_K80
+        assert get_architecture("MAXWELL") is MAXWELL_GM200
+        assert get_architecture("p100") is PASCAL_P100
+
+    def test_lookup_passthrough(self):
+        assert get_architecture(KEPLER_K80) is KEPLER_K80
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown GPU architecture"):
+            get_architecture("volta9000")
+
+    def test_bandwidth_helpers(self):
+        assert KEPLER_K80.peak_bandwidth_bytes == 240e9
+        assert KEPLER_K80.achievable_bandwidth_bytes == pytest.approx(0.75 * 240e9)
+
+    def test_warp_thread_consistency(self):
+        for arch in (KEPLER_K80, MAXWELL_GM200, PASCAL_P100):
+            assert arch.max_warps_per_sm * arch.warp_size == arch.max_threads_per_sm
+
+
+class TestValidation:
+    def test_inconsistent_warp_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KEPLER_K80.with_overrides(max_threads_per_sm=1000)
+
+    def test_with_overrides_creates_variant(self):
+        doubled = KEPLER_K80.with_overrides(sm_count=26)
+        assert doubled.sm_count == 26
+        assert KEPLER_K80.sm_count == 13  # original untouched

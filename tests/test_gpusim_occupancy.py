@@ -1,0 +1,98 @@
+"""Occupancy calculator tests, including the exact Table 3 reproduction."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.gpusim.occupancy import (
+    achievable_blocks_ignoring_regs_smem,
+    max_regs_for_full_blocks,
+    max_smem_for_full_blocks,
+    occupancy,
+)
+
+#: The six rows of the paper's Table 3 (cc 3.7):
+#: warps/block, regs/thread, smem/block, occupancy %, blocks/SM.
+TABLE3 = [
+    (1, 256, 7168, 25, 16),
+    (2, 128, 7168, 50, 16),
+    (4, 64, 7168, 100, 16),
+    (8, 64, 14336, 100, 8),
+    (16, 64, 28672, 100, 4),
+    (32, 64, 49152, 100, 2),
+]
+
+
+class TestTable3:
+    @pytest.mark.parametrize("warps,regs,smem,occ_pct,blocks", TABLE3)
+    def test_budget_columns(self, warps, regs, smem, occ_pct, blocks):
+        target = achievable_blocks_ignoring_regs_smem(KEPLER_K80, warps)
+        assert target == blocks
+        assert max_regs_for_full_blocks(KEPLER_K80, warps, target_blocks=target) == regs
+        assert max_smem_for_full_blocks(KEPLER_K80, target_blocks=target) == smem
+
+    @pytest.mark.parametrize("warps,regs,smem,occ_pct,blocks", TABLE3)
+    def test_residency_outcome(self, warps, regs, smem, occ_pct, blocks):
+        # Row 1 quotes a 256-register budget on a 255-register architecture;
+        # clamp for the launch check (the budget itself is tested above).
+        result = occupancy(
+            KEPLER_K80,
+            warps_per_block=warps,
+            regs_per_thread=min(regs, KEPLER_K80.max_registers_per_thread),
+            smem_per_block=smem,
+        )
+        assert result.blocks_per_sm == blocks
+        assert round(result.warp_occupancy * 100) == occ_pct
+
+
+class TestOccupancyMechanics:
+    def test_register_limited(self):
+        result = occupancy(KEPLER_K80, warps_per_block=4, regs_per_thread=255, smem_per_block=0)
+        assert result.limiter == "registers"
+        # 255 regs * 128 threads rounds up to 32768 regs/block -> 4 blocks.
+        assert result.blocks_per_sm == 4
+
+    def test_smem_limited(self):
+        result = occupancy(KEPLER_K80, warps_per_block=4, regs_per_thread=32, smem_per_block=49152)
+        assert result.limiter == "shared_memory"
+        assert result.blocks_per_sm == 2
+
+    def test_thread_limited(self):
+        result = occupancy(KEPLER_K80, warps_per_block=32, regs_per_thread=32, smem_per_block=0)
+        assert result.blocks_per_sm == 2
+        assert result.limiter in ("blocks", "threads")
+
+    def test_full_occupancy_flag(self):
+        result = occupancy(KEPLER_K80, warps_per_block=4, regs_per_thread=64, smem_per_block=7168)
+        assert result.full_warp_occupancy
+
+    def test_zero_smem_allowed(self):
+        result = occupancy(KEPLER_K80, warps_per_block=4, regs_per_thread=32, smem_per_block=0)
+        assert result.blocks_per_sm == KEPLER_K80.max_blocks_per_sm
+
+    def test_maxwell_differs(self):
+        result = occupancy(MAXWELL_GM200, warps_per_block=2, regs_per_thread=32, smem_per_block=0)
+        assert result.blocks_per_sm == 32
+        assert result.full_warp_occupancy
+
+
+class TestLaunchValidation:
+    def test_too_many_registers(self):
+        with pytest.raises(LaunchError, match="architectural"):
+            occupancy(KEPLER_K80, warps_per_block=1, regs_per_thread=300, smem_per_block=0)
+
+    def test_too_much_smem(self):
+        with pytest.raises(LaunchError, match="per-block"):
+            occupancy(KEPLER_K80, warps_per_block=1, regs_per_thread=32, smem_per_block=100000)
+
+    def test_zero_warps(self):
+        with pytest.raises(LaunchError):
+            occupancy(KEPLER_K80, warps_per_block=0, regs_per_thread=32, smem_per_block=0)
+
+    def test_zero_regs(self):
+        with pytest.raises(LaunchError):
+            occupancy(KEPLER_K80, warps_per_block=1, regs_per_thread=0, smem_per_block=0)
+
+    def test_negative_smem(self):
+        with pytest.raises(LaunchError):
+            occupancy(KEPLER_K80, warps_per_block=1, regs_per_thread=32, smem_per_block=-1)

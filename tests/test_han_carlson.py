@@ -1,0 +1,63 @@
+"""Tests for the Han-Carlson hybrid prefix network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives.networks import (
+    brent_kung_schedule,
+    han_carlson_scan,
+    han_carlson_schedule,
+    kogge_stone_schedule,
+    schedule_depth,
+    schedule_work,
+)
+from repro.primitives.operators import MAX
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 512])
+    def test_computes_scan(self, n, rng):
+        data = rng.integers(-100, 100, n).astype(np.int64)
+        np.testing.assert_array_equal(han_carlson_scan(data), np.cumsum(data))
+
+    def test_batched(self, rng):
+        data = rng.integers(0, 100, (4, 7, 32)).astype(np.int64)
+        np.testing.assert_array_equal(han_carlson_scan(data), np.cumsum(data, axis=-1))
+
+    def test_max_operator(self, rng):
+        data = rng.integers(-100, 100, 128).astype(np.int32)
+        np.testing.assert_array_equal(
+            han_carlson_scan(data, MAX), np.maximum.accumulate(data)
+        )
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40)
+    def test_property(self, log_n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, 1 << log_n).astype(np.int64)
+        np.testing.assert_array_equal(han_carlson_scan(data), np.cumsum(data))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [8, 32, 256])
+    def test_depth_logn_plus_one(self, n):
+        log_n = n.bit_length() - 1
+        assert schedule_depth(han_carlson_schedule(n)) == log_n + 1
+
+    @pytest.mark.parametrize("n", [16, 64, 512])
+    def test_work_between_bk_and_ks(self, n):
+        """The whole point of the hybrid: KS-class depth at reduced work."""
+        hc = schedule_work(han_carlson_schedule(n))
+        ks = schedule_work(kogge_stone_schedule(n))
+        bk = schedule_work(brent_kung_schedule(n))
+        assert bk < hc < ks
+
+    def test_no_write_conflicts(self):
+        for step in han_carlson_schedule(64):
+            dsts = [d for d, _ in step]
+            assert len(set(dsts)) == len(dsts)
+
+    def test_degenerate_sizes(self):
+        assert han_carlson_schedule(1) == ()
+        assert han_carlson_schedule(2) == (((1, 0),),)

@@ -1,0 +1,83 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import scan, tsubame_kfc
+from repro.baselines import ALL_BASELINES
+from repro.core.params import NodeConfig
+from repro.core.tuner import PremiseTuner
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_quickstart(self):
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, (64, 4096)).astype(np.int32)
+        result = scan(data, topology=machine, W=4, V=4)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))
+        assert result.throughput_gelems > 0
+        assert result.total_time_s > 0
+
+
+class TestAllProposalsAgree:
+    def test_same_answer_everywhere(self, cluster, rng):
+        data = rng.integers(-500, 500, (8, 1 << 13)).astype(np.int64)
+        expected = np.cumsum(data, axis=1)
+        outputs = [
+            scan(data, topology=cluster, proposal="sp").output,
+            scan(data, topology=cluster, proposal="pp", W=4).output,
+            scan(data, topology=cluster, proposal="mps", W=4, V=4).output,
+            scan(data, topology=cluster, proposal="mppc", W=8, V=4).output,
+            scan(data, topology=cluster, proposal="mn-mps", W=4, V=4, M=2).output,
+        ]
+        for out in outputs:
+            np.testing.assert_array_equal(out, expected)
+
+
+class TestTunedEndToEnd:
+    def test_tuned_k_beats_or_matches_worst(self, machine, rng):
+        data = rng.integers(0, 100, (16, 1 << 13)).astype(np.int32)
+        tuner = PremiseTuner(machine)
+        outcome = tuner.tune_sp(data)
+        worst = max(c.time_s for c in outcome.candidates)
+        assert outcome.best.time_s <= worst
+
+
+class TestLibraryComparison:
+    def test_functional_agreement_with_baselines(self, machine, rng):
+        data = rng.integers(0, 100, (32, 1 << 12)).astype(np.int32)
+        expected = np.cumsum(data, axis=1, dtype=np.int32)
+        ours = scan(data, topology=machine, proposal="mppc", W=8, V=4)
+        np.testing.assert_array_equal(ours.output, expected)
+        for lib in ALL_BASELINES:
+            theirs = lib.run(data)
+            np.testing.assert_array_equal(theirs.output, expected)
+
+    def test_batch_proposal_wins_at_paper_scale(self, machine):
+        """At the paper's 2^28 total payload, the batch proposal beats every
+        library (estimated at full scale; small totals are overhead-bound
+        and are NOT expected to win — Figure 11's G=1 small-N story)."""
+        from repro.core.params import ProblemConfig
+        from repro.core.prioritized import ScanMPPC
+
+        problem = ProblemConfig.from_sizes(N=1 << 13, G=1 << 15)
+        ours = ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4)).estimate(problem)
+        for lib in ALL_BASELINES:
+            t_lib, _ = lib.time_batch(problem.N, problem.G)
+            assert ours.total_time_s < t_lib
+
+
+class TestScalesAcrossMachines:
+    @pytest.mark.parametrize("arch_name", ["k80", "maxwell", "pascal"])
+    def test_other_architectures(self, arch_name, rng):
+        """The premise derivation adapts to other architecture presets."""
+        from repro.gpusim.arch import get_architecture
+        from repro.interconnect.topology import SystemTopology
+
+        topo = SystemTopology(1, 2, 4, arch=get_architecture(arch_name))
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=topo, proposal="mps", W=4, V=4)
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1, dtype=np.int32))

@@ -1,0 +1,147 @@
+"""Tests for the system topology (Figure 2's machine model)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.gpusim.arch import PASCAL_P100
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+
+
+class TestStructure:
+    def test_tsubame_kfc_counts(self, machine):
+        assert machine.total_gpus == 8
+        assert machine.gpus_per_node == 8
+        assert machine.networks_per_node == 2
+        assert machine.gpus_per_network == 4
+
+    def test_multi_node(self, cluster):
+        assert cluster.num_nodes == 2
+        assert cluster.total_gpus == 16
+
+    def test_slots_are_dense_node_major(self, cluster):
+        slots = [cluster.slot(i) for i in range(16)]
+        assert slots[0].node == 0 and slots[0].network == 0 and slots[0].index == 0
+        assert slots[7].node == 0 and slots[7].network == 1 and slots[7].index == 3
+        assert slots[8].node == 1 and slots[8].network == 0
+
+    def test_graph_connectivity(self, machine):
+        import networkx as nx
+
+        assert nx.is_connected(machine.graph)
+        # GPU -> PCIe switch -> host is the route between networks.
+        path = machine.route(0, 4)
+        assert "host0" in path
+
+    def test_bad_indices_rejected(self, machine):
+        with pytest.raises(TopologyError):
+            machine.gpu(99)
+        with pytest.raises(TopologyError):
+            machine.gpus_in_network(0, 5)
+        with pytest.raises(TopologyError):
+            machine.gpus_in_node(3)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(TopologyError):
+            SystemTopology(0, 1, 1)
+
+
+class TestReachability:
+    def test_same_network_is_p2p(self, machine):
+        assert machine.p2p_capable(0, 1)
+        assert machine.p2p_capable(0, 3)
+
+    def test_cross_network_not_p2p(self, machine):
+        assert not machine.p2p_capable(0, 4)
+        assert machine.same_node(0, 4)
+
+    def test_cross_node(self, cluster):
+        assert not cluster.same_node(0, 8)
+        assert not cluster.p2p_capable(0, 8)
+
+    def test_same_pcie_network_symmetry(self, machine):
+        for a in range(8):
+            for b in range(8):
+                assert machine.same_pcie_network(a, b) == machine.same_pcie_network(b, a)
+
+
+class TestSelection:
+    def test_select_w4_v4_one_network(self, machine):
+        (group,) = machine.select_gpus(4, 4, 1)
+        assert len(group) == 4
+        nets = {machine.slot(g).network for g in group}
+        assert nets == {0}
+
+    def test_select_w8_v4_two_networks(self, machine):
+        (group,) = machine.select_gpus(8, 4, 1)
+        nets = {machine.slot(g).network for g in group}
+        assert nets == {0, 1}
+
+    def test_select_w2_v2_spreads_boards(self, machine):
+        """Picking one die per K80 board avoids boost throttling."""
+        (group,) = machine.select_gpus(2, 2, 1)
+        boards = {machine.board_of(g) for g in group}
+        assert len(boards) == 2
+
+    def test_select_multi_node(self, cluster):
+        groups = cluster.select_gpus(4, 4, 2)
+        assert len(groups) == 2
+        assert {cluster.slot(g).node for g in groups[0]} == {0}
+        assert {cluster.slot(g).node for g in groups[1]} == {1}
+
+    def test_w_not_multiple_of_v(self, machine):
+        with pytest.raises(TopologyError, match="multiple"):
+            machine.select_gpus(6, 4, 1)
+
+    def test_too_many_nodes(self, machine):
+        with pytest.raises(TopologyError):
+            machine.select_gpus(4, 4, 2)
+
+    def test_too_many_networks(self, machine):
+        with pytest.raises(TopologyError):
+            machine.select_gpus(8, 2, 1)  # would need Y=4 networks
+
+    def test_too_many_gpus_per_network(self, machine):
+        with pytest.raises(TopologyError):
+            machine.select_gpus(8, 8, 1)
+
+
+class TestBoards:
+    def test_board_pairs(self, machine):
+        assert machine.board_of(0) == machine.board_of(1)
+        assert machine.board_of(0) != machine.board_of(2)
+        assert machine.board_of(2) == machine.board_of(3)
+
+    def test_single_die_arch_has_no_pairs(self):
+        topo = SystemTopology(1, 2, 4, arch=PASCAL_P100)
+        assert topo.board_of(0) != topo.board_of(1)
+
+    def test_activate_derates_shared_boards(self, machine):
+        g0, g1, g2 = machine.gpu(0), machine.gpu(1), machine.gpu(2)
+        contention = g0.cost_model.params.dual_die_contention
+        with machine.activate([g0, g1, g2]):
+            assert g0.bandwidth_scale == contention  # shares board with g1
+            assert g1.bandwidth_scale == contention
+            assert g2.bandwidth_scale == 1.0  # board-mate g3 idle
+        assert g0.bandwidth_scale == 1.0  # restored
+
+    def test_activate_solo_gpu_unaffected(self, machine):
+        g0 = machine.gpu(0)
+        with machine.activate([g0]):
+            assert g0.bandwidth_scale == 1.0
+
+    def test_activate_restores_on_exception(self, machine):
+        g0, g1 = machine.gpu(0), machine.gpu(1)
+        with pytest.raises(RuntimeError):
+            with machine.activate([g0, g1]):
+                raise RuntimeError("boom")
+        assert g0.bandwidth_scale == 1.0
+
+    def test_spread_selection_order(self, machine):
+        spread = machine.spread_gpus_in_network(0, 0, 2)
+        assert [g.id for g in spread] == [0, 2]
+        full = machine.spread_gpus_in_network(0, 0, 4)
+        assert [g.id for g in full] == [0, 1, 2, 3]
+
+    def test_spread_overflow_rejected(self, machine):
+        with pytest.raises(TopologyError):
+            machine.spread_gpus_in_network(0, 0, 5)

@@ -1,0 +1,48 @@
+"""Exhaustive functional matrix: every proposal x a grid of small shapes.
+
+Broad, cheap coverage: tiny problems stress the template-shrinking logic,
+degenerate chunk counts, Ly^2 packing and every proposal's data movement,
+all verified against the numpy reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.interconnect.topology import tsubame_kfc
+
+SHAPES = [(n, g) for n in (4, 6, 8, 10, 12) for g in (0, 1, 3, 5)]
+PROPOSALS = [
+    ("sp", {}),
+    ("pp", {"W": 4, "V": 4}),
+    ("mps", {"W": 2, "V": 2}),
+    ("mps", {"W": 4, "V": 4}),
+    ("mppc", {"W": 8, "V": 4}),
+]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tsubame_kfc(1)
+
+
+@pytest.mark.parametrize("n,g", SHAPES)
+@pytest.mark.parametrize("proposal,kwargs", PROPOSALS,
+                         ids=lambda p: p if isinstance(p, str) else str(p))
+def test_matrix(machine, n, g, proposal, kwargs):
+    rng = np.random.default_rng(n * 100 + g)
+    data = rng.integers(-100, 100, (1 << g, 1 << n)).astype(np.int64)
+    if proposal in ("mps", "mppc") and (1 << n) < 2 * kwargs.get("W", 1):
+        pytest.skip("portion smaller than one element per GPU")
+    result = scan(data, topology=machine, proposal=proposal, **kwargs)
+    np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1))
+    assert result.total_time_s > 0
+
+
+@pytest.mark.parametrize("n,g", [(8, 2), (12, 4)])
+def test_matrix_multinode(n, g):
+    cluster = tsubame_kfc(2)
+    rng = np.random.default_rng(n + g)
+    data = rng.integers(-100, 100, (1 << g, 1 << n)).astype(np.int64)
+    result = scan(data, topology=cluster, proposal="mn-mps", W=4, V=4, M=2)
+    np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1))

@@ -1,0 +1,105 @@
+"""Tests for trace-derived performance metrics and the ASCII timeline."""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.gpusim.arch import KEPLER_K80
+from repro.gpusim.metrics import (
+    ascii_timeline,
+    communication_share,
+    kernel_metrics,
+    summarize,
+)
+from repro.gpusim.events import Trace
+
+
+class TestKernelMetrics:
+    def test_bandwidth_below_achievable(self, machine, rng):
+        data = rng.integers(0, 100, (8, 1 << 16)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        for km in kernel_metrics(result.trace, KEPLER_K80):
+            assert 0 < km.achieved_bandwidth_gbs
+            assert km.bandwidth_fraction <= 1.0 + 1e-9
+
+    def test_stage13_near_achievable_at_scale(self, machine):
+        from repro.core.params import ProblemConfig
+        from repro.core.single_gpu import ScanSP
+
+        problem = ProblemConfig.from_sizes(N=1 << 26, G=4)
+        result = ScanSP(machine.gpus[0]).estimate(problem)
+        stage1 = next(
+            km for km in kernel_metrics(result.trace, KEPLER_K80)
+            if km.name == "chunk_reduce"
+        )
+        assert stage1.bandwidth_fraction > 0.9  # memory-bound, saturated
+
+    def test_scan_is_low_intensity(self, machine, rng):
+        """The payload stages' arithmetic intensity is far below 1 op/byte:
+        the premise that the whole problem is memory-bound. (Stage 2 can
+        exceed 1 at tiny chunk counts — idle padded lanes still execute —
+        but it moves a rounding error's worth of bytes.)"""
+        data = rng.integers(0, 100, (4, 1 << 14)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        for km in kernel_metrics(result.trace, KEPLER_K80):
+            if km.name in ("chunk_reduce", "scan_add"):
+                assert km.arithmetic_intensity < 1.0
+
+
+class TestCommunicationShare:
+    def test_sp_has_no_communication(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        assert communication_share(result.trace) == 0.0
+
+    def test_w8_small_n_is_communication_bound(self, machine, rng):
+        """The Figure-9 cliff, restated as a metric: at W=8 with many
+        problems the critical path is the host-staged aux traffic."""
+        data = rng.integers(0, 100, (64, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=8, V=4)
+        assert communication_share(result.trace) > 0.5
+
+    def test_mppc_is_compute_bound(self, machine, rng):
+        data = rng.integers(0, 100, (64, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mppc", W=8, V=4)
+        assert communication_share(result.trace) < 0.5
+
+    def test_empty_trace(self):
+        assert communication_share(Trace()) == 0.0
+
+
+class TestSummarize:
+    def test_bundle_fields(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        s = summarize(result.trace, KEPLER_K80)
+        assert s["kernel_count"] == 9  # 3 stages x (4 GPUs for 1+3, 1 for 2)
+        assert s["total_time_s"] == pytest.approx(result.total_time_s)
+        assert s["bytes_moved_offchip"] > 0
+        assert s["busiest_kernel"] in ("chunk_reduce", "scan_add")
+
+
+class TestEffectiveBandwidth:
+    def test_reflects_payload_passes(self, machine):
+        """effective_bandwidth = 2*payload/time: for the 3-pass kernel plan
+        it sits below the DRAM rate by roughly the 2/3 pass ratio."""
+        from repro.core.params import ProblemConfig
+        from repro.core.single_gpu import ScanSP
+
+        problem = ProblemConfig.from_sizes(N=1 << 26, G=4)
+        result = ScanSP(machine.gpus[0]).estimate(problem)
+        eff = result.effective_bandwidth_gbs
+        achievable = machine.arch.achievable_bandwidth_bytes / 1e9
+        assert 0.5 * achievable < eff < achievable
+
+
+class TestTimeline:
+    def test_renders_lanes_and_phases(self, machine, rng):
+        data = rng.integers(0, 100, (4, 1 << 13)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        text = ascii_timeline(result.trace)
+        assert "gpu:0" in text and "gpu:3" in text
+        assert "#" in text and "ms" in text
+
+    def test_empty(self):
+        assert ascii_timeline(Trace()) == "(empty trace)"

@@ -1,0 +1,122 @@
+"""Tests for the extended MPI surface (send/recv, reduce, allreduce, alltoall)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.gpusim.events import Trace
+from repro.mpisim.communicator import Communicator
+
+
+@pytest.fixture
+def comm(cluster):
+    gpus = cluster.select_gpus(4, 4, 2)
+    return Communicator(cluster, [g for group in gpus for g in group])
+
+
+class TestSendRecv:
+    def test_functional(self, comm, rng):
+        payload = rng.integers(0, 100, 64).astype(np.int32)
+        send = comm.gpus[2].upload(payload)
+        recv = comm.gpus[6].alloc((64,), np.int32, fill=0)
+        trace = Trace()
+        comm.send_recv(trace, "p2p", send, recv, src=2, dst=6)
+        np.testing.assert_array_equal(recv.to_host(), payload)
+        assert len(trace.mpi_records()) == 1
+
+    def test_internode_rides_ib(self, comm):
+        send = comm.gpus[0].alloc((32,), np.int32, fill=1)
+        recv = comm.gpus[4].alloc((32,), np.int32, fill=0)
+        trace = Trace()
+        comm.send_recv(trace, "p2p", send, recv, src=0, dst=4)
+        assert trace.mpi_records()[0].lane == "ib"
+
+    def test_intranode_rides_pcie(self, comm):
+        send = comm.gpus[0].alloc((32,), np.int32, fill=1)
+        recv = comm.gpus[1].alloc((32,), np.int32, fill=0)
+        trace = Trace()
+        comm.send_recv(trace, "p2p", send, recv, src=0, dst=1)
+        assert trace.mpi_records()[0].lane.startswith("pcie")
+
+    def test_bad_ranks(self, comm):
+        buf = comm.gpus[0].alloc((4,), np.int32, fill=0)
+        with pytest.raises(MPIError):
+            comm.send_recv(Trace(), "p", buf, buf, src=0, dst=99)
+
+    def test_shape_mismatch(self, comm):
+        send = comm.gpus[0].alloc((4,), np.int32, fill=0)
+        recv = comm.gpus[1].alloc((8,), np.int32, fill=0)
+        with pytest.raises(MPIError, match="mismatch"):
+            comm.send_recv(Trace(), "p", send, recv, src=0, dst=1)
+
+
+class TestReduce:
+    def test_sum(self, comm):
+        sends = [g.upload(np.full(16, rank, dtype=np.int64))
+                 for rank, g in enumerate(comm.gpus)]
+        recv = comm.gpus[0].alloc((16,), np.int64, fill=-1)
+        comm.reduce(Trace(), "r", sends, recv)
+        np.testing.assert_array_equal(recv.to_host(), np.full(16, sum(range(8))))
+
+    def test_max(self, comm, rng):
+        rows = [rng.integers(-100, 100, 32).astype(np.int32) for _ in comm.gpus]
+        sends = [g.upload(row) for g, row in zip(comm.gpus, rows)]
+        recv = comm.gpus[0].alloc((32,), np.int32)
+        comm.reduce(Trace(), "r", sends, recv, op="max")
+        np.testing.assert_array_equal(recv.to_host(), np.max(rows, axis=0))
+
+    def test_priced_like_gather(self, comm):
+        sends = [g.alloc((1024,), np.int32, fill=0) for g in comm.gpus]
+        recv = comm.gpus[0].alloc((1024,), np.int32)
+        t_reduce, t_gather = Trace(), Trace()
+        comm.reduce(t_reduce, "r", sends, recv)
+        big_recv = comm.gpus[0].alloc((8 * 1024,), np.int32)
+        comm.gather(t_gather, "g", sends, big_recv)
+        assert t_reduce.total_time() == pytest.approx(t_gather.total_time())
+
+    def test_shape_validation(self, comm):
+        sends = [g.alloc((8,), np.int32, fill=0) for g in comm.gpus]
+        recv = comm.gpus[0].alloc((4,), np.int32)
+        with pytest.raises(MPIError):
+            comm.reduce(Trace(), "r", sends, recv)
+
+
+class TestAllreduce:
+    def test_every_rank_gets_total(self, comm):
+        sends = [g.upload(np.full(8, rank + 1, dtype=np.int64))
+                 for rank, g in enumerate(comm.gpus)]
+        recvs = [g.alloc((8,), np.int64, fill=0) for g in comm.gpus]
+        comm.allreduce(Trace(), "ar", sends, recvs)
+        for buf in recvs:
+            np.testing.assert_array_equal(buf.to_host(), np.full(8, 36))
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self, comm):
+        size = comm.size
+        sends = [
+            g.upload(np.full((size, 4), rank * 10 + np.arange(size)[:, None],
+                             dtype=np.int32))
+            for rank, g in enumerate(comm.gpus)
+        ]
+        recvs = [g.alloc((size, 4), np.int32, fill=-1) for g in comm.gpus]
+        comm.alltoall(Trace(), "a2a", sends, recvs)
+        for j, buf in enumerate(recvs):
+            out = buf.to_host()
+            for i in range(size):
+                assert (out[i] == i * 10 + j).all()
+
+    def test_mixed_lanes(self, comm):
+        sends = [g.alloc((comm.size, 16), np.int32, fill=0) for g in comm.gpus]
+        recvs = [g.alloc((comm.size, 16), np.int32, fill=0) for g in comm.gpus]
+        trace = Trace()
+        comm.alltoall(trace, "a2a", sends, recvs)
+        lanes = {r.lane for r in trace.mpi_records()}
+        assert "ib" in lanes
+        assert any(lane.startswith("pcie") for lane in lanes)
+
+    def test_leading_dim_validation(self, comm):
+        sends = [g.alloc((2, 4), np.int32, fill=0) for g in comm.gpus]
+        recvs = [g.alloc((2, 4), np.int32, fill=0) for g in comm.gpus]
+        with pytest.raises(MPIError, match="comm size"):
+            comm.alltoall(Trace(), "a2a", sends, recvs)

@@ -1,0 +1,76 @@
+"""Simulated-performance snapshots: the model's regression harness.
+
+The cost model is fully deterministic, so canonical configurations have
+exact expected times. These snapshots pin the calibrated model: an
+unintended change to any constant or counter trips them immediately. If
+you *intend* to recalibrate, regenerate the values and update
+EXPERIMENTS.md in the same change (see CONTRIBUTING.md rule 3).
+"""
+
+import pytest
+
+from repro import tsubame_kfc
+from repro.core import (
+    NodeConfig,
+    ProblemConfig,
+    ScanChained,
+    ScanMPPC,
+    ScanMPS,
+    ScanMultiNodeMPS,
+    ScanSP,
+)
+
+#: name -> (expected seconds, builder)
+SNAPSHOTS = {
+    "sp_n24_g4": 0.017973322488888888,
+    "sp_n28_g1": 0.018115317155555553,
+    "mps_w4_n20_g8": 0.005627253214814814,
+    "mps_w8_n13_g15": 7.868018471308643,
+    "mppc_w8_n16_g12": 0.0035876266074074074,
+    "mn_m2w4_n20_g8": 0.003258890469135802,
+    "chained_n24_g4": 0.011988647288888888,
+}
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return tsubame_kfc(1), tsubame_kfc(2)
+
+
+def run_snapshot(name, machines):
+    m1, m2 = machines
+    if name == "sp_n24_g4":
+        return ScanSP(m1.gpus[0]).estimate(ProblemConfig.from_sizes(N=1 << 24, G=16))
+    if name == "sp_n28_g1":
+        return ScanSP(m1.gpus[0]).estimate(ProblemConfig.from_sizes(N=1 << 28, G=1))
+    if name == "mps_w4_n20_g8":
+        return ScanMPS(m1, NodeConfig.from_counts(W=4, V=4)).estimate(
+            ProblemConfig.from_sizes(N=1 << 20, G=256)
+        )
+    if name == "mps_w8_n13_g15":
+        return ScanMPS(m1, NodeConfig.from_counts(W=8, V=4)).estimate(
+            ProblemConfig.from_sizes(N=1 << 13, G=1 << 15)
+        )
+    if name == "mppc_w8_n16_g12":
+        return ScanMPPC(m1, NodeConfig.from_counts(W=8, V=4)).estimate(
+            ProblemConfig.from_sizes(N=1 << 16, G=1 << 12)
+        )
+    if name == "mn_m2w4_n20_g8":
+        return ScanMultiNodeMPS(m2, NodeConfig.from_counts(W=4, V=4, M=2)).estimate(
+            ProblemConfig.from_sizes(N=1 << 20, G=256)
+        )
+    if name == "chained_n24_g4":
+        return ScanChained(m1.gpus[0]).estimate(ProblemConfig.from_sizes(N=1 << 24, G=16))
+    raise KeyError(name)
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOTS))
+def test_snapshot(name, machines):
+    result = run_snapshot(name, machines)
+    assert result.total_time_s == pytest.approx(SNAPSHOTS[name], rel=1e-9)
+
+
+def test_snapshots_are_deterministic(machines):
+    a = run_snapshot("mppc_w8_n16_g12", machines).total_time_s
+    b = run_snapshot("mppc_w8_n16_g12", machines).total_time_s
+    assert a == b

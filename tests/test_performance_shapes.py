@@ -1,0 +1,187 @@
+"""Performance-shape assertions: the qualitative claims of the paper's
+evaluation section, checked against the simulator at paper scale (analytic
+estimate path). These are the machine-checked form of EXPERIMENTS.md."""
+
+import pytest
+
+from repro.baselines import CUB, CUDPP, LIGHTSCAN, MODERNGPU, THRUST
+from repro.bench.runner import best_estimate_over_k
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.interconnect.topology import tsubame_kfc
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tsubame_kfc(1)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return tsubame_kfc(8)
+
+
+def ours(topology, n, g, proposal, node=None):
+    problem = ProblemConfig.from_sizes(N=1 << n, G=1 << g)
+    return best_estimate_over_k(topology, problem, proposal, node)
+
+
+class TestFigure9Shapes:
+    def test_w_scales_on_p2p(self, machine):
+        """W=1 -> 2 -> 4 improves throughput (no host-memory traffic)."""
+        n, g = 20, 8
+        t1 = ours(machine, n, g, "sp").total_time_s
+        t2 = ours(machine, n, g, "mps", NodeConfig.from_counts(W=2, V=2)).total_time_s
+        t4 = ours(machine, n, g, "mps", NodeConfig.from_counts(W=4, V=4)).total_time_s
+        assert t2 < t1
+        assert t4 < t2
+
+    def test_w8_cliff_at_small_n(self, machine):
+        """W=8 collapses when G is large (host-staged copies per problem)."""
+        node8 = NodeConfig.from_counts(W=8, V=4)
+        node4 = NodeConfig.from_counts(W=4, V=4)
+        t8 = ours(machine, 13, 15, "mps", node8).total_time_s
+        t4 = ours(machine, 13, 15, "mps", node4).total_time_s
+        assert t8 > 10 * t4
+
+    def test_w8_recovers_as_g_shrinks(self, machine):
+        """'As fast as N grows and G decreases ... raising performance'."""
+        node8 = NodeConfig.from_counts(W=8, V=4)
+        tp = {}
+        for n in (13, 20, 28):
+            result = ours(machine, n, 28 - n, "mps", node8)
+            tp[n] = result.throughput_gelems
+        assert tp[13] < tp[20] < tp[28]
+
+    def test_w8_beats_w4_at_largest_n(self, machine):
+        """At n=28 (G=1) the aux traffic is tiny; 8 GPUs win again."""
+        t8 = ours(machine, 28, 0, "mps", NodeConfig.from_counts(W=8, V=4)).total_time_s
+        t4 = ours(machine, 28, 0, "mps", NodeConfig.from_counts(W=4, V=4)).total_time_s
+        assert t8 < t4
+
+
+class TestFigure10Shapes:
+    def test_mppc_flat_across_n(self, machine):
+        """MP-PC has no host staging: throughput stays near-constant."""
+        node = NodeConfig.from_counts(W=8, V=4)
+        tps = [ours(machine, n, 28 - n, "mppc", node).throughput_gelems
+               for n in (13, 18, 23, 27)]
+        assert max(tps) / min(tps) < 1.25
+
+    def test_w8v4_beats_w4v2(self, machine):
+        """More GPUs per problem with P2P-only traffic helps."""
+        t84 = ours(machine, 20, 8, "mppc", NodeConfig.from_counts(W=8, V=4)).total_time_s
+        t42 = ours(machine, 20, 8, "mppc", NodeConfig.from_counts(W=4, V=2)).total_time_s
+        assert t84 < t42
+
+    def test_mppc_beats_mps_at_w8_batch(self, machine):
+        node = NodeConfig.from_counts(W=8, V=4)
+        t_mppc = ours(machine, 16, 12, "mppc", node).total_time_s
+        t_mps = ours(machine, 16, 12, "mps", node).total_time_s
+        assert t_mppc < t_mps
+
+
+class TestFigure11Shapes:
+    def test_multi_gpu_unimpressive_at_g1_small_n(self, machine):
+        """'Multi-GPU proposals cannot be competitive for small problem
+        sizes when G=1' — and CUB wins there."""
+        result = ours(machine, 13, 0, "sp")
+        cub_time = CUB.time_single(1 << 13)
+        assert result.total_time_s > cub_time
+
+    def test_sp_competitive_with_cub_at_large_n(self, machine):
+        result = ours(machine, 28, 0, "sp")
+        cub_time = CUB.time_single(1 << 28)
+        ratio = cub_time / result.total_time_s
+        assert 0.8 < ratio < 1.5  # paper: 1.04x average
+
+    def test_multi_gpu_wins_at_g1_large_n(self, machine):
+        node = NodeConfig.from_counts(W=8, V=4)
+        t_multi = ours(machine, 28, 0, "mps", node).total_time_s
+        t_sp = ours(machine, 28, 0, "sp").total_time_s
+        assert t_multi < t_sp
+
+
+class TestFigure12Shapes:
+    def test_batch_speedups_decrease_with_n(self, machine):
+        """'performance increases in Thrust, ModernGPU, CUB and LightScan
+        libraries in line with the rise in N' -> our speedup shrinks."""
+        node = NodeConfig.from_counts(W=8, V=4)
+        speedups = []
+        for n in (13, 20, 25):
+            g = 28 - n
+            t_ours = ours(machine, n, g, "mppc", node).total_time_s
+            t_lib, _ = MODERNGPU.time_batch(1 << n, 1 << g)
+            speedups.append(t_lib / t_ours)
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_we_beat_every_library_on_batches(self, machine):
+        node = NodeConfig.from_counts(W=8, V=4)
+        for n in (13, 18, 24):
+            g = 28 - n
+            t_ours = ours(machine, n, g, "mppc", node).total_time_s
+            for lib in (CUDPP, THRUST, MODERNGPU, CUB, LIGHTSCAN):
+                t_lib, _ = lib.time_batch(1 << n, 1 << g)
+                assert t_lib > t_ours, (n, lib.name)
+
+    def test_lightscan_worst_on_small_batches(self, machine):
+        """The paper's largest speedup (549.79x) is against LightScan."""
+        t_light, _ = LIGHTSCAN.time_batch(1 << 13, 1 << 15)
+        for lib in (CUDPP, THRUST, MODERNGPU, CUB):
+            t_lib, _ = lib.time_batch(1 << 13, 1 << 15)
+            assert t_light > t_lib
+
+    def test_drop_at_n28(self, machine):
+        """'performance drops when n=28, as G=1 and only one PCI-e network
+        is used' (MP-PC degenerates to a single network)."""
+        node = NodeConfig.from_counts(W=8, V=4)
+        tp27 = ours(machine, 27, 1, "mppc", node).throughput_gelems
+        tp28 = ours(machine, 28, 0, "mppc", node).throughput_gelems
+        assert tp28 < 0.7 * tp27
+
+
+class TestFigure13And14Shapes:
+    def test_m2w4_beats_m8w1_at_small_n(self, cluster):
+        """'the best performance is achieved with M=2, W=4 ... whereas
+        M=8, W=1 obtains the worst results' (among same-W-per-node splits)."""
+        n, g = 13, 15
+        node24 = NodeConfig.from_counts(W=4, V=4, M=2)
+        node81 = NodeConfig.from_counts(W=1, V=1, M=8)
+        t24 = ours(cluster, n, g, "mn-mps", node24).total_time_s
+        t81 = ours(cluster, n, g, "mn-mps", node81).total_time_s
+        assert t81 > t24
+
+    def test_gap_shrinks_at_large_n(self, cluster):
+        """1.48x at 2^13 vs only 1.03x at 2^28."""
+        node24 = NodeConfig.from_counts(W=4, V=4, M=2)
+        node81 = NodeConfig.from_counts(W=1, V=1, M=8)
+        ratio_small = (
+            ours(cluster, 13, 15, "mn-mps", node81).total_time_s
+            / ours(cluster, 13, 15, "mn-mps", node24).total_time_s
+        )
+        ratio_large = (
+            ours(cluster, 28, 0, "mn-mps", node81).total_time_s
+            / ours(cluster, 28, 0, "mn-mps", node24).total_time_s
+        )
+        assert ratio_small > ratio_large
+
+    def test_mpi_overhead_constant_kernels_scale(self, cluster):
+        """Figure 14: gather/scatter shrink with G; stages track data size."""
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        bd = {}
+        for n in (13, 28):
+            result = ours(cluster, n, 28 - n, "mn-mps", node)
+            bd[n] = result.breakdown
+        mpi13 = bd[13]["mpi_gather"] + bd[13]["mpi_scatter"]
+        mpi28 = bd[28]["mpi_gather"] + bd[28]["mpi_scatter"]
+        assert mpi28 <= mpi13  # fewer aux elements at G=1
+        # Stage times are within ~2x across the sweep (same total payload).
+        assert bd[28]["stage1"] == pytest.approx(bd[13]["stage1"], rel=1.0)
+
+    def test_multinode_beats_libraries(self, cluster):
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        for n in (14, 20, 28):
+            g = 28 - n
+            t_ours = ours(cluster, n, g, "mn-mps", node).total_time_s
+            for lib in (CUDPP, THRUST, MODERNGPU, CUB, LIGHTSCAN):
+                t_lib, _ = lib.time_batch(1 << n, 1 << g)
+                assert t_lib > t_ours, (n, lib.name)

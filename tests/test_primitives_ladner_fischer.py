@@ -1,0 +1,79 @@
+"""Tests for the Ladner-Fischer LF(k) family (the paper's chosen pattern)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.ladner_fischer import (
+    ladner_fischer_scan,
+    ladner_fischer_schedule,
+)
+from repro.primitives.networks import (
+    schedule_depth,
+    schedule_work,
+    sklansky_schedule,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 256])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_all_members_compute_scan(self, n, k, rng):
+        data = rng.integers(-100, 100, n).astype(np.int64)
+        np.testing.assert_array_equal(
+            ladner_fischer_scan(data, k=k), np.cumsum(data)
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60)
+    def test_property_every_size_and_k(self, log_n, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, 1 << log_n).astype(np.int64)
+        np.testing.assert_array_equal(ladner_fischer_scan(data, k=k), np.cumsum(data))
+
+    def test_batched(self, rng):
+        data = rng.integers(0, 50, (6, 32)).astype(np.int64)
+        np.testing.assert_array_equal(
+            ladner_fischer_scan(data, axis=-1), np.cumsum(data, axis=-1)
+        )
+
+
+class TestFamilyStructure:
+    @pytest.mark.parametrize("n", [8, 32, 128, 512])
+    def test_lf0_matches_sklansky_structure(self, n):
+        """LF(0) is the minimum-depth member == Sklansky's construction."""
+        lf0 = ladner_fischer_schedule(n, 0)
+        sk = sklansky_schedule(n)
+        assert schedule_depth(lf0) == schedule_depth(sk)
+        assert schedule_work(lf0) == schedule_work(sk)
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_depth_is_logn_plus_k(self, n):
+        log_n = n.bit_length() - 1
+        for k in range(0, log_n - 1):
+            assert schedule_depth(ladner_fischer_schedule(n, k)) == log_n + k
+
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_work_decreases_with_k(self, n):
+        """The family trades one stage of depth for less work per level."""
+        log_n = n.bit_length() - 1
+        works = [schedule_work(ladner_fischer_schedule(n, k)) for k in range(log_n - 1)]
+        assert all(a >= b for a, b in zip(works, works[1:]))
+        assert works[0] > works[-1]
+
+    def test_k_clamped_at_recursion_floor(self):
+        deep = ladner_fischer_schedule(8, 100)
+        assert schedule_depth(deep) <= 2 * 3  # never deeper than ~2 log n
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ladner_fischer_schedule(8, -1)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ladner_fischer_schedule(12, 0)

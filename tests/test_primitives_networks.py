@@ -1,0 +1,136 @@
+"""Tests for the prefix-network schedules (Kogge-Stone, Sklansky, Brent-Kung).
+
+Every network, run to completion, must turn any input into its inclusive
+scan — the defining property. Depth/work match the textbook formulas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.networks import (
+    brent_kung_scan,
+    brent_kung_schedule,
+    kogge_stone_scan,
+    kogge_stone_schedule,
+    run_schedule,
+    schedule_depth,
+    schedule_work,
+    sklansky_scan,
+    sklansky_schedule,
+)
+from repro.primitives.operators import ADD, MAX, MUL
+
+SIZES = [1, 2, 4, 8, 16, 32, 64, 256]
+SCANS = [
+    ("kogge_stone", kogge_stone_scan),
+    ("sklansky", sklansky_scan),
+    ("brent_kung", brent_kung_scan),
+]
+SCHEDULES = [
+    ("kogge_stone", kogge_stone_schedule),
+    ("sklansky", sklansky_schedule),
+    ("brent_kung", brent_kung_schedule),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,scan_fn", SCANS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inclusive_scan(self, name, scan_fn, n, rng):
+        data = rng.integers(-100, 100, n).astype(np.int64)
+        np.testing.assert_array_equal(scan_fn(data), np.cumsum(data), err_msg=name)
+
+    @pytest.mark.parametrize("name,scan_fn", SCANS)
+    def test_batched_leading_axes(self, name, scan_fn, rng):
+        data = rng.integers(0, 100, (3, 5, 32)).astype(np.int64)
+        np.testing.assert_array_equal(scan_fn(data), np.cumsum(data, axis=-1))
+
+    @pytest.mark.parametrize("name,scan_fn", SCANS)
+    def test_max_operator(self, name, scan_fn, rng):
+        data = rng.integers(-100, 100, 64).astype(np.int32)
+        np.testing.assert_array_equal(scan_fn(data, MAX), np.maximum.accumulate(data))
+
+    @pytest.mark.parametrize("name,scan_fn", SCANS)
+    def test_mul_operator(self, name, scan_fn, rng):
+        data = rng.integers(1, 3, 16).astype(np.int64)
+        np.testing.assert_array_equal(scan_fn(data, MUL), np.multiply.accumulate(data))
+
+    @pytest.mark.parametrize("name,scan_fn", SCANS)
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30)
+    def test_property_random_sizes(self, name, scan_fn, log_n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, 1 << log_n).astype(np.int64)
+        np.testing.assert_array_equal(scan_fn(data), np.cumsum(data))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_kogge_stone_depth_and_work(self, n):
+        sched = kogge_stone_schedule(n)
+        log_n = n.bit_length() - 1
+        assert schedule_depth(sched) == log_n
+        assert schedule_work(sched) == sum(n - (1 << d) for d in range(log_n))
+
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_sklansky_depth_and_work(self, n):
+        sched = sklansky_schedule(n)
+        log_n = n.bit_length() - 1
+        assert schedule_depth(sched) == log_n
+        assert schedule_work(sched) == (n // 2) * log_n
+
+    @pytest.mark.parametrize("n", [4, 8, 32, 128])
+    def test_brent_kung_work_efficient(self, n):
+        # Brent-Kung does at most 2n operator applications: work-efficient.
+        assert schedule_work(brent_kung_schedule(n)) < 2 * n
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_brent_kung_deeper_than_sklansky(self, n):
+        assert schedule_depth(brent_kung_schedule(n)) > schedule_depth(
+            sklansky_schedule(n)
+        )
+
+    @pytest.mark.parametrize("name,builder", SCHEDULES)
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_no_write_conflicts_within_steps(self, name, builder, n):
+        for step in builder(n):
+            dsts = [d for d, _ in step]
+            assert len(set(dsts)) == len(dsts)
+
+    @pytest.mark.parametrize("name,builder", SCHEDULES)
+    def test_size_one_is_empty(self, name, builder):
+        assert builder(1) == ()
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            kogge_stone_schedule(12)
+        with pytest.raises(ConfigurationError):
+            sklansky_schedule(0)
+
+
+class TestRunSchedule:
+    def test_does_not_mutate_input(self, rng):
+        data = rng.integers(0, 10, 16).astype(np.int64)
+        original = data.copy()
+        run_schedule(data, kogge_stone_schedule(16))
+        np.testing.assert_array_equal(data, original)
+
+    def test_axis_argument(self, rng):
+        data = rng.integers(0, 10, (8, 4)).astype(np.int64)
+        out = run_schedule(data, kogge_stone_schedule(8), axis=0)
+        np.testing.assert_array_equal(out, np.cumsum(data, axis=0))
+
+    def test_rejects_duplicate_destinations(self):
+        bad = [[(1, 0), (1, 2)]]
+        with pytest.raises(ConfigurationError, match="destination"):
+            run_schedule(np.arange(4), bad)
+
+    def test_simultaneous_read_semantics(self):
+        # Step where one pair's source is another pair's destination: the
+        # read must observe the PRE-step value.
+        data = np.array([1, 10, 100], dtype=np.int64)
+        step = [(1, 0), (2, 1)]  # x1 += x0 ; x2 += old x1
+        out = run_schedule(data, [step])
+        np.testing.assert_array_equal(out, [1, 11, 110])

@@ -1,0 +1,120 @@
+"""Tests for segmented scans (the Thrust/CUB baseline mode of Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.operators import ADD, MAX
+from repro.primitives.segmented import (
+    segmented_exclusive_scan,
+    segmented_inclusive_scan,
+    segments_to_flags,
+)
+
+
+def reference_segmented(data, flags, op=np.add):
+    out = np.empty_like(data)
+    starts = [i for i, f in enumerate(flags) if f] or [0]
+    if starts[0] != 0:
+        starts = [0] + starts
+    bounds = starts + [len(data)]
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        out[a:b] = op.accumulate(data[a:b])
+    return out
+
+
+class TestFlags:
+    def test_from_lengths(self):
+        flags = segments_to_flags(np.array([2, 3, 1]))
+        np.testing.assert_array_equal(flags, [1, 0, 1, 0, 0, 1])
+
+    def test_total_validation(self):
+        with pytest.raises(ConfigurationError):
+            segments_to_flags(np.array([2, 2]), total=5)
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ConfigurationError):
+            segments_to_flags(np.array([2, 0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            segments_to_flags(np.array([], dtype=np.int64))
+
+
+class TestInclusive:
+    def test_single_segment_is_plain_scan(self, rng):
+        data = rng.integers(0, 100, 64).astype(np.int64)
+        flags = np.zeros(64, dtype=bool)
+        flags[0] = True
+        np.testing.assert_array_equal(
+            segmented_inclusive_scan(data, flags), np.cumsum(data)
+        )
+
+    def test_restarts_at_heads(self, rng):
+        data = rng.integers(0, 100, 10).astype(np.int64)
+        flags = segments_to_flags(np.array([4, 3, 3]))
+        np.testing.assert_array_equal(
+            segmented_inclusive_scan(data, flags), reference_segmented(data, flags)
+        )
+
+    def test_every_element_own_segment(self, rng):
+        data = rng.integers(0, 100, 16).astype(np.int64)
+        flags = np.ones(16, dtype=bool)
+        np.testing.assert_array_equal(segmented_inclusive_scan(data, flags), data)
+
+    def test_generic_operator_path(self, rng):
+        data = rng.integers(-50, 50, 20).astype(np.int32)
+        flags = segments_to_flags(np.array([7, 6, 7]))
+        expected = reference_segmented(data, flags, np.maximum)
+        np.testing.assert_array_equal(
+            segmented_inclusive_scan(data, flags, MAX), expected
+        )
+
+    def test_implicit_first_head(self, rng):
+        data = rng.integers(0, 10, 8).astype(np.int64)
+        flags = np.zeros(8, dtype=bool)  # position 0 unset: tolerated
+        flags[4] = True
+        out = segmented_inclusive_scan(data, flags)
+        np.testing.assert_array_equal(out[:4], np.cumsum(data[:4]))
+        np.testing.assert_array_equal(out[4:], np.cumsum(data[4:]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            segmented_inclusive_scan(np.arange(8), np.zeros(4, dtype=bool))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60)
+    def test_property_matches_reference(self, lengths, seed):
+        rng = np.random.default_rng(seed)
+        flags = segments_to_flags(np.asarray(lengths))
+        data = rng.integers(-100, 100, flags.size).astype(np.int64)
+        np.testing.assert_array_equal(
+            segmented_inclusive_scan(data, flags), reference_segmented(data, flags)
+        )
+
+
+class TestExclusive:
+    def test_heads_get_identity(self, rng):
+        data = rng.integers(1, 100, 12).astype(np.int64)
+        flags = segments_to_flags(np.array([5, 7]))
+        out = segmented_exclusive_scan(data, flags)
+        assert out[0] == 0 and out[5] == 0
+        np.testing.assert_array_equal(out[1:5], np.cumsum(data[:5])[:-1])
+        np.testing.assert_array_equal(out[6:], np.cumsum(data[5:])[:-1])
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40)
+    def test_property_inclusive_relation(self, lengths, seed):
+        rng = np.random.default_rng(seed)
+        flags = segments_to_flags(np.asarray(lengths))
+        data = rng.integers(-100, 100, flags.size).astype(np.int64)
+        inc = segmented_inclusive_scan(data, flags)
+        exc = segmented_exclusive_scan(data, flags)
+        np.testing.assert_array_equal(inc, exc + data)

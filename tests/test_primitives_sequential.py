@@ -1,0 +1,64 @@
+"""Unit tests for the reference sequential scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives.operators import ADD, MAX, MUL
+from repro.primitives.sequential import exclusive_scan, inclusive_scan, reduce
+
+
+class TestInclusive:
+    def test_matches_cumsum(self, rng):
+        data = rng.integers(0, 100, (4, 64)).astype(np.int64)
+        np.testing.assert_array_equal(inclusive_scan(data), np.cumsum(data, axis=-1))
+
+    def test_axis_zero(self, rng):
+        data = rng.integers(0, 100, (8, 8)).astype(np.int64)
+        np.testing.assert_array_equal(
+            inclusive_scan(data, axis=0), np.cumsum(data, axis=0)
+        )
+
+    def test_max_operator(self, rng):
+        data = rng.integers(-50, 50, 128).astype(np.int32)
+        np.testing.assert_array_equal(
+            inclusive_scan(data, MAX), np.maximum.accumulate(data)
+        )
+
+
+class TestExclusive:
+    def test_shifted_inclusive(self, rng):
+        data = rng.integers(0, 100, 64).astype(np.int64)
+        exc = exclusive_scan(data)
+        assert exc[0] == 0
+        np.testing.assert_array_equal(exc[1:], np.cumsum(data)[:-1])
+
+    def test_mul_starts_at_one(self, rng):
+        data = rng.integers(1, 4, 16).astype(np.int64)
+        exc = exclusive_scan(data, MUL)
+        assert exc[0] == 1
+        np.testing.assert_array_equal(exc[1:], np.multiply.accumulate(data)[:-1])
+
+    def test_batched(self, rng):
+        data = rng.integers(0, 100, (5, 32)).astype(np.int64)
+        exc = exclusive_scan(data)
+        for row_in, row_out in zip(data, exc):
+            np.testing.assert_array_equal(row_out, exclusive_scan(row_in))
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_inclusive_exclusive_relation(self, values):
+        data = np.asarray(values, dtype=np.int64)
+        inc = inclusive_scan(data)
+        exc = exclusive_scan(data)
+        np.testing.assert_array_equal(inc, exc + data)
+
+
+class TestReduce:
+    def test_matches_sum(self, rng):
+        data = rng.integers(0, 100, (3, 77)).astype(np.int64)
+        np.testing.assert_array_equal(reduce(data), data.sum(axis=-1))
+
+    def test_operator(self, rng):
+        data = rng.integers(0, 100, 50).astype(np.int64)
+        assert reduce(data, MAX) == data.max()

@@ -1,0 +1,136 @@
+"""Hypothesis property tests over the planning/premise layer.
+
+These pin the algebraic invariants the executors rely on, across randomly
+drawn problem shapes, cascade depths and GPU-sharing factors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ReproError
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200, PASCAL_P100
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.core.premises import (
+    derive_stage_kernel_params,
+    k_search_space,
+    premise3_k_max,
+)
+from repro.core.single_gpu import shrink_template_to_fit
+
+ARCHS = [KEPLER_K80, MAXWELL_GM200, PASCAL_P100]
+
+
+class TestPlanInvariants:
+    @given(
+        n=st.integers(min_value=10, max_value=26),
+        g=st.integers(min_value=0, max_value=8),
+        log_k=st.integers(min_value=0, max_value=8),
+        log_share=st.sampled_from([0, 1, 2, 3]),
+        arch_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_valid_plans_tile_exactly(self, n, g, log_k, log_share, arch_idx):
+        arch = ARCHS[arch_idx]
+        problem = ProblemConfig.from_sizes(N=1 << n, G=1 << g)
+        share = 1 << log_share
+        n_local = problem.N // share
+        template = derive_stage_kernel_params(arch, problem.dtype)
+        try:
+            template = shrink_template_to_fit(template, n_local)
+        except ConfigurationError:
+            assume(False)
+        k = 1 << log_k
+        assume(k * template.elements_per_iteration <= n_local)
+        plan = build_execution_plan(
+            arch, problem, K=k, gpus_sharing_problem=share,
+            stage1_template=template,
+        )
+        # Chunks tile the local portion exactly.
+        assert plan.stage1.bx * plan.chunk_size == n_local
+        # Section 3.1 identities.
+        assert plan.stage1.bx == plan.stage3.bx
+        assert plan.stage2.params.K == 1
+        assert plan.stage2.bx == 1
+        # Stage 2 covers exactly the problems it is given.
+        assert plan.stage2.by * plan.stage2.params.Ly == problem.G
+        # Chunk bookkeeping across GPUs.
+        assert plan.chunks_total == plan.stage1.bx * share
+
+    @given(
+        n=st.integers(min_value=10, max_value=28),
+        g=st.integers(min_value=0, max_value=15),
+        arch_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_search_space_k_all_buildable(self, n, g, arch_idx):
+        """Every K the premises admit must produce a valid plan."""
+        arch = ARCHS[arch_idx]
+        problem = ProblemConfig.from_sizes(N=1 << n, G=1 << g)
+        template = derive_stage_kernel_params(arch, problem.dtype)
+        try:
+            space = k_search_space(problem, template, template, arch)
+        except ReproError:
+            assume(False)
+        for k in space:
+            plan = build_execution_plan(
+                arch, problem, K=k, stage1_template=template
+            )
+            assert plan.stage1.params.K == k
+
+    @given(
+        n=st.integers(min_value=13, max_value=28),
+        g=st.integers(min_value=0, max_value=10),
+        w=st.sampled_from([2, 4, 8]),
+        v=st.sampled_from([1, 2, 4]),
+        m=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_eq2_guarantees_chunks_per_gpu(self, n, g, w, v, m):
+        assume(v <= w)
+        problem = ProblemConfig.from_sizes(N=1 << n, G=1 << g)
+        node = NodeConfig.from_counts(W=w, V=v, M=m)
+        template = derive_stage_kernel_params(KEPLER_K80, problem.dtype)
+        try:
+            space = k_search_space(
+                problem, template, template, KEPLER_K80, node=node, proposal="mps"
+            )
+        except ReproError:
+            assume(False)
+        for k in space:
+            chunks = problem.N // (k * template.elements_per_iteration)
+            assert chunks >= node.M * node.W
+
+    @given(
+        n=st.integers(min_value=12, max_value=28),
+        g=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_eq1_bound_scales_with_total(self, n, g):
+        """Doubling the total payload never shrinks the Eq.-1 K bound."""
+        kp = derive_stage_kernel_params(KEPLER_K80, np.int32)
+        small = premise3_k_max(
+            ProblemConfig.from_sizes(N=1 << n, G=1 << g), kp, kp, KEPLER_K80
+        )
+        large = premise3_k_max(
+            ProblemConfig.from_sizes(N=1 << n, G=1 << (g + 1)), kp, kp, KEPLER_K80
+        )
+        assert large >= small
+
+
+class TestShrinkInvariants:
+    @given(
+        n_local=st.integers(min_value=1, max_value=1 << 22),
+        arch_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_shrunk_template_always_fits(self, n_local, arch_idx):
+        template = derive_stage_kernel_params(ARCHS[arch_idx], np.int32)
+        shrunk = shrink_template_to_fit(template, n_local)
+        assert shrunk.elements_per_iteration <= n_local
+        # Never grows beyond the original.
+        assert shrunk.p <= template.p
+        assert shrunk.lx <= template.lx
+        # Shuffle bound survives shrinking.
+        assert shrunk.s <= 5

@@ -1,0 +1,86 @@
+"""Hypothesis property tests on trace invariants across random runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import scan
+from repro.gpusim.events import MPIRecord, TransferRecord
+from repro.interconnect.topology import tsubame_kfc
+
+PROPOSALS = [
+    ("sp", {}),
+    ("mps", {"W": 4, "V": 4}),
+    ("mps", {"W": 8, "V": 4}),
+    ("mppc", {"W": 8, "V": 4}),
+]
+
+
+@st.composite
+def run_configs(draw):
+    log_n = draw(st.integers(min_value=8, max_value=14))
+    log_g = draw(st.integers(min_value=0, max_value=4))
+    proposal, kwargs = draw(st.sampled_from(PROPOSALS))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return log_n, log_g, proposal, kwargs, seed
+
+
+class TestTraceInvariants:
+    @given(cfg=run_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_time_composition_laws(self, cfg):
+        log_n, log_g, proposal, kwargs, seed = cfg
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, (1 << log_g, 1 << log_n)).astype(np.int32)
+        result = scan(data, topology=machine, proposal=proposal, **kwargs)
+        trace = result.trace
+
+        # Law 1: total is the sum of phase times.
+        assert result.total_time_s == pytest.approx(sum(trace.breakdown().values()))
+        # Law 2: a phase is at least its longest single record and at most
+        # the sum of all its records.
+        for phase in trace.phases():
+            records = [r for r in trace.records if r.phase == phase]
+            pt = trace.phase_time(phase)
+            assert pt >= max(r.time_s for r in records) - 1e-18
+            assert pt <= sum(r.time_s for r in records) + 1e-18
+        # Law 3: every record has positive-or-zero time and a lane.
+        for rec in trace.records:
+            assert rec.time_s >= 0
+            assert rec.lane
+
+    @given(cfg=run_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_of_aux_bytes(self, cfg):
+        """Whatever the gather moved, the scatter moves back."""
+        log_n, log_g, proposal, kwargs, seed = cfg
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, (1 << log_g, 1 << log_n)).astype(np.int32)
+        result = scan(data, topology=machine, proposal=proposal, **kwargs)
+        gathers = [
+            r for r in result.trace.transfer_records()
+            if r.phase == "aux_gather" and r.kind != "dispatch"
+        ]
+        scatters = [
+            r for r in result.trace.transfer_records()
+            if r.phase == "aux_scatter" and r.kind != "dispatch"
+        ]
+        assert sum(r.nbytes for r in gathers) == sum(r.nbytes for r in scatters)
+
+    @given(cfg=run_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_traffic_covers_payload(self, cfg):
+        """Stages 1+3 together read the payload at least twice and write it
+        at least once — no silent skipping of data."""
+        log_n, log_g, proposal, kwargs, seed = cfg
+        machine = tsubame_kfc()
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, (1 << log_g, 1 << log_n)).astype(np.int32)
+        result = scan(data, topology=machine, proposal=proposal, **kwargs)
+        payload = data.nbytes
+        reads = sum(r.global_bytes_read for r in result.trace.kernel_records())
+        writes = sum(r.global_bytes_written for r in result.trace.kernel_records())
+        assert reads >= 2 * payload
+        assert writes >= payload

@@ -1,0 +1,86 @@
+"""Tests for the device-level batched segmented scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.segmented_device import scan_segmented_device
+from repro.interconnect.topology import tsubame_kfc
+from repro.primitives.segmented import segmented_inclusive_scan, segments_to_flags
+
+
+class TestSegmentedDevice:
+    def test_matches_host_reference(self, machine, rng):
+        lengths = [100, 28, 300, 84]  # sums to 512
+        flags = segments_to_flags(np.asarray(lengths))
+        data = rng.integers(-100, 100, 512).astype(np.int64)
+        out, result = scan_segmented_device(data, flags, machine.gpus[0])
+        np.testing.assert_array_equal(
+            out[0], segmented_inclusive_scan(data, flags)
+        )
+        assert result.proposal == "scan-segmented"
+
+    def test_batched_rows_with_distinct_flags(self, machine, rng):
+        g, n = 4, 256
+        data = rng.integers(0, 50, (g, n)).astype(np.int32)
+        flags = (rng.random((g, n)) < 0.05)
+        flags[:, 0] = True
+        out, _ = scan_segmented_device(data, flags, machine.gpus[0])
+        for row, frow, orow in zip(data, flags, out):
+            np.testing.assert_array_equal(
+                orow, segmented_inclusive_scan(row.astype(np.int64), frow).astype(np.int32)
+            )
+
+    def test_single_segment_is_plain_scan(self, machine, rng):
+        data = rng.integers(0, 100, 1024).astype(np.int64)
+        flags = np.zeros(1024, dtype=bool)
+        out, _ = scan_segmented_device(data, flags, machine.gpus[0])
+        np.testing.assert_array_equal(out[0], np.cumsum(data))
+
+    def test_every_position_a_head(self, machine, rng):
+        data = rng.integers(0, 100, 128).astype(np.int64)
+        flags = np.ones(128, dtype=bool)
+        out, _ = scan_segmented_device(data, flags, machine.gpus[0])
+        np.testing.assert_array_equal(out[0], data)
+
+    def test_trace_has_three_passes(self, machine, rng):
+        data = rng.integers(0, 10, 256).astype(np.int64)
+        flags = np.zeros(256, dtype=bool)
+        _, result = scan_segmented_device(data, flags, machine.gpus[0])
+        names = [r.name for r in result.trace.kernel_records()]
+        assert names.count("chunk_reduce") == 2  # add pass + max pass
+        assert names.count("segment_fixup") == 1
+
+    def test_float_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="integer"):
+            scan_segmented_device(
+                np.zeros(16, dtype=np.float32), np.zeros(16, dtype=bool),
+                machine.gpus[0],
+            )
+
+    def test_flag_shape_mismatch(self, machine):
+        with pytest.raises(ConfigurationError, match="match"):
+            scan_segmented_device(
+                np.zeros(16, dtype=np.int32), np.zeros(8, dtype=bool),
+                machine.gpus[0],
+            )
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=40),
+                         min_size=1, max_size=10),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_segments(self, lengths, seed):
+        machine = tsubame_kfc()
+        total = sum(lengths)
+        padded = 1 << (total - 1).bit_length() if total > 1 else 1
+        lengths = list(lengths)
+        if padded > total:
+            lengths.append(padded - total)
+        flags = segments_to_flags(np.asarray(lengths))
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-100, 100, padded).astype(np.int64)
+        out, _ = scan_segmented_device(data, flags, machine.gpus[0])
+        np.testing.assert_array_equal(out[0], segmented_inclusive_scan(data, flags))

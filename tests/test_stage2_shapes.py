@@ -1,0 +1,49 @@
+"""Regression tests for extreme Stage-2 block shapes.
+
+A batch with tiny problems and large G packs many problem rows into each
+Stage-2 block (Ly^2 large, Lx^2 tiny) — the configuration Section 3.1
+introduces Ly^2 > 1 for. The row-level core's shared-memory exponent must
+shrink with the row (regression: S <= P*L violated for Lx^2 = 1 rows).
+"""
+
+import numpy as np
+import pytest
+
+from repro import scan
+from repro.core.kernels import _stage2_row_params
+from repro.core.params import KernelParams, ProblemConfig
+from repro.core.plan import build_execution_plan
+from repro.gpusim.arch import KEPLER_K80
+
+
+class TestStage2RowParams:
+    def test_tiny_row_caps_s(self):
+        kp2 = KernelParams(s=2, p=0, l=7, lx=0, ly=7, K=1)
+        row = _stage2_row_params(kp2)
+        assert row.S <= row.P * row.L
+
+    def test_full_row_keeps_s(self):
+        kp2 = KernelParams(s=2, p=3, l=7, lx=7, ly=0, K=1)
+        row = _stage2_row_params(kp2)
+        assert row.s == 2
+
+
+class TestManyTinyProblems:
+    @pytest.mark.parametrize("n,g", [(5, 10), (6, 8), (9, 7), (4, 6)])
+    def test_small_n_large_g(self, machine, rng, n, g):
+        """Regression: exercised via scan_ragged's small padded groups."""
+        data = rng.integers(0, 100, (1 << g, 1 << n)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        np.testing.assert_array_equal(
+            result.output, np.cumsum(data, axis=1, dtype=np.int32)
+        )
+
+    def test_stage2_packs_maximally(self):
+        problem = ProblemConfig.from_sizes(N=1 << 10, G=1 << 10)
+        plan = build_execution_plan(KEPLER_K80, problem, K=1)
+        # Every chunk array is a single element: the whole block capacity
+        # goes to problem-packing.
+        assert plan.chunks_total == 1
+        assert plan.stage2.params.Ly == plan.stage2.params.L
+        # ... and the launch geometry still covers all problems exactly.
+        assert plan.stage2.by * plan.stage2.params.Ly == problem.G

@@ -1,0 +1,29 @@
+"""Tests for the machine-description renderer."""
+
+from repro.gpusim.arch import PASCAL_P100
+from repro.interconnect.topology import SystemTopology, tsubame_kfc
+
+
+class TestDescribe:
+    def test_single_node(self, machine):
+        text = machine.describe()
+        assert "8 GPUs total" in text
+        assert "pcie0.0" in text and "pcie0.1" in text
+        assert "dual-die board" in text
+        assert "ib switch" not in text
+
+    def test_multi_node_mentions_ib(self, cluster):
+        text = cluster.describe()
+        assert "ib switch connects host0..host1" in text
+        assert "node 1 (host1)" in text
+
+    def test_single_die_arch_no_board_note(self):
+        topo = SystemTopology(1, 2, 2, arch=PASCAL_P100)
+        text = topo.describe()
+        assert "dual-die" not in text
+        assert text.count("board") == 4  # one per GPU
+
+    def test_every_gpu_listed(self, machine):
+        text = machine.describe()
+        for gid in range(8):
+            assert f"gpu:{gid}" in text

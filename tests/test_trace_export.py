@@ -1,0 +1,58 @@
+"""Tests for trace serialisation and custom user-defined operators."""
+
+import json
+
+import numpy as np
+
+from repro import scan
+from repro.primitives.operators import Operator
+from repro.core.single_gpu import scan_single_gpu
+
+
+class TestTraceExport:
+    def test_json_roundtrip(self, machine, rng):
+        data = rng.integers(0, 100, (4, 2048)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        payload = json.loads(result.trace.to_json())
+        assert payload["phases"] == [
+            "stage1", "aux_gather", "stage2", "aux_scatter", "stage3",
+        ]
+        assert abs(payload["total_time_s"] - result.total_time_s) < 1e-15
+        kinds = {r["type"] for r in payload["records"]}
+        assert "KernelRecord" in kinds and "TransferRecord" in kinds
+
+    def test_dicts_carry_counters(self, machine, rng):
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        kernels = [r for r in result.trace.to_dicts() if r["type"] == "KernelRecord"]
+        assert len(kernels) == 3
+        assert all(r["global_bytes_read"] > 0 for r in kernels)
+
+
+class TestCustomOperator:
+    def test_gcd_monoid(self, machine, rng):
+        """The kernels are operator-generic: any associative ufunc monoid
+        works — here gcd (identity 0)."""
+        gcd = Operator(
+            name="gcd",
+            fn=np.gcd,
+            identity_for=lambda dtype: dtype.type(0),
+            ufunc=np.gcd,
+            commutative=True,
+        )
+        data = (rng.integers(1, 1000, (2, 1024)) * 6).astype(np.int64)
+        result = scan_single_gpu(machine.gpus[0], data, operator=gcd)
+        np.testing.assert_array_equal(result.output, np.gcd.accumulate(data, axis=-1))
+
+    def test_gcd_exclusive(self, machine, rng):
+        gcd = Operator(
+            name="gcd",
+            fn=np.gcd,
+            identity_for=lambda dtype: dtype.type(0),
+            ufunc=np.gcd,
+        )
+        data = (rng.integers(1, 100, (1, 256)) * 4).astype(np.int64)
+        result = scan_single_gpu(machine.gpus[0], data, operator=gcd, inclusive=False)
+        expected = np.zeros_like(data)
+        expected[:, 1:] = np.gcd.accumulate(data, axis=-1)[:, :-1]
+        np.testing.assert_array_equal(result.output, expected)

@@ -1,0 +1,113 @@
+"""Structural assertions on the traces every proposal produces.
+
+These tests pin *where* work happens, not just how long it takes: which
+lanes carry which phases, which GPU runs Stage 2, which routes the
+auxiliary traffic takes — the observable form of the paper's Figures 7/8
+data-flow diagrams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_gpu import ScanMPS
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig
+from repro.core.prioritized import ScanMPPC
+from repro.gpusim.events import KernelRecord, MPIRecord, TransferRecord
+
+
+def records_in(trace, phase, cls):
+    return [r for r in trace.records if r.phase == phase and isinstance(r, cls)]
+
+
+class TestMPSStructure:
+    @pytest.fixture
+    def result(self, machine, rng):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        return ScanMPS(machine, NodeConfig.from_counts(W=4, V=4)).run(data)
+
+    def test_stage1_runs_on_every_gpu(self, result):
+        kernels = records_in(result.trace, "stage1", KernelRecord)
+        assert sorted(k.gpu_id for k in kernels) == [0, 1, 2, 3]
+
+    def test_stage2_runs_on_master_only(self, result):
+        kernels = records_in(result.trace, "stage2", KernelRecord)
+        assert [k.gpu_id for k in kernels] == [0]
+
+    def test_gather_targets_master(self, result):
+        copies = [r for r in records_in(result.trace, "aux_gather", TransferRecord)
+                  if r.kind != "dispatch"]
+        assert len(copies) == 3  # W-1 senders
+        assert all(c.dst_gpu == 0 for c in copies)
+        assert all(c.kind == "p2p" for c in copies)
+
+    def test_scatter_mirrors_gather(self, result):
+        gathers = [r for r in records_in(result.trace, "aux_gather", TransferRecord)
+                   if r.kind != "dispatch"]
+        scatters = [r for r in records_in(result.trace, "aux_scatter", TransferRecord)
+                    if r.kind != "dispatch"]
+        assert {(g.src_gpu, g.dst_gpu) for g in gathers} == {
+            (s.dst_gpu, s.src_gpu) for s in scatters
+        }
+        assert sum(g.nbytes for g in gathers) == sum(s.nbytes for s in scatters)
+
+    def test_dispatch_ordinals_grow(self, result):
+        dispatches = [
+            r for r in result.trace.records
+            if isinstance(r, TransferRecord) and r.kind == "dispatch"
+            and r.phase == "stage1"
+        ]
+        times = [d.time_s for d in dispatches]
+        assert times == sorted(times)
+        assert len(dispatches) == 4
+
+
+class TestMPPCStructure:
+    def test_two_independent_masters(self, machine, rng):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        result = ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4)).run(data)
+        stage2 = records_in(result.trace, "stage2", KernelRecord)
+        # One Stage-2 master per PCIe network: GPUs 0 and 4.
+        assert sorted(k.gpu_id for k in stage2) == [0, 4]
+
+    def test_traffic_stays_in_network(self, machine, rng):
+        data = rng.integers(0, 100, (8, 1 << 13)).astype(np.int32)
+        result = ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4)).run(data)
+        for rec in result.trace.transfer_records():
+            if rec.kind == "dispatch":
+                continue
+            assert machine.p2p_capable(rec.src_gpu, rec.dst_gpu)
+
+
+class TestMultiNodeStructure:
+    @pytest.fixture
+    def result(self, cluster, rng):
+        data = rng.integers(0, 100, (4, 1 << 14)).astype(np.int32)
+        node = NodeConfig.from_counts(W=4, V=4, M=2)
+        return ScanMultiNodeMPS(cluster, node).run(data)
+
+    def test_stage1_on_all_eight_ranks(self, result):
+        kernels = records_in(result.trace, "stage1", KernelRecord)
+        assert len(kernels) == 8
+        assert len({k.gpu_id for k in kernels}) == 8
+
+    def test_stage2_on_global_master(self, result):
+        kernels = records_in(result.trace, "stage2", KernelRecord)
+        assert [k.gpu_id for k in kernels] == [0]
+
+    def test_gather_has_one_ib_leg(self, result):
+        """Hierarchical gather: the remote node aggregates into ONE
+        InfiniBand message."""
+        legs = records_in(result.trace, "mpi_gather", MPIRecord)
+        ib = [l for l in legs if l.lane == "ib"]
+        assert len(ib) == 1
+
+    def test_barrier_before_gather(self, result):
+        phases = result.trace.phases()
+        assert phases.index("mpi_barrier") < phases.index("mpi_gather")
+
+    def test_no_direct_cross_node_pcie(self, result):
+        for rec in result.trace.transfer_records():
+            if rec.kind in ("p2p", "host_staged"):
+                # PCIe copies never cross nodes; that is MPI's job.
+                assert rec.src_gpu // 8 == rec.dst_gpu // 8

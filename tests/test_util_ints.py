@@ -1,0 +1,98 @@
+"""Unit tests for power-of-two integer helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.ints import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two_between,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for e in range(31):
+            assert is_power_of_two(1 << e)
+
+    def test_rejects_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(v)
+
+    def test_rejects_non_integers(self):
+        assert not is_power_of_two(2.0)
+        assert not is_power_of_two("4")
+
+
+class TestIlog2:
+    def test_exact_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(1024) == 10
+        assert ilog2(1 << 28) == 28
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(3)
+        with pytest.raises(ConfigurationError):
+            ilog2(0)
+        with pytest.raises(ConfigurationError):
+            ilog2(-8)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, e):
+        assert ilog2(1 << e) == e
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1025) == 2048
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    def test_is_smallest_bound(self, v):
+        p = next_power_of_two(v)
+        assert is_power_of_two(p)
+        assert p >= v
+        assert p // 2 < v
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_math(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestPowersOfTwoBetween:
+    def test_inclusive_range(self):
+        assert list(powers_of_two_between(1, 16)) == [1, 2, 4, 8, 16]
+
+    def test_low_rounds_up(self):
+        assert list(powers_of_two_between(3, 16)) == [4, 8, 16]
+
+    def test_empty_when_inverted(self):
+        assert list(powers_of_two_between(32, 16)) == []
+
+    def test_low_below_one_clamped(self):
+        assert list(powers_of_two_between(-5, 4)) == [1, 2, 4]

@@ -1,0 +1,44 @@
+"""Unit tests for byte/time/throughput formatting."""
+
+import pytest
+
+from repro.util.units import GIB, KIB, MIB, format_bytes, format_seconds, format_throughput
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_binary_suffixes(self):
+        assert format_bytes(KIB) == "1.00 KiB"
+        assert format_bytes(MIB) == "1.00 MiB"
+        assert format_bytes(3 * GIB) == "3.00 GiB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatSeconds:
+    def test_unit_selection(self):
+        assert format_seconds(2.0) == "2.000 s"
+        assert format_seconds(2e-3) == "2.000 ms"
+        assert format_seconds(2e-6) == "2.000 us"
+        assert format_seconds(2e-9) == "2.0 ns"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestFormatThroughput:
+    def test_gelems(self):
+        assert format_throughput(2e9, 1.0) == "2.000 Gelem/s"
+
+    def test_melems(self):
+        assert format_throughput(5e6, 1.0) == "5.000 Melem/s"
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            format_throughput(10, 0.0)
