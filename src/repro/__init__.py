@@ -22,6 +22,7 @@ from repro.core.api import batch_scan, recommend_proposal, scan
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.ragged import scan_ragged, scan_segments
 from repro.core.results import ScanResult
+from repro.core.session import ScanSession
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
 from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200, PASCAL_P100, get_architecture
 
@@ -36,6 +37,7 @@ __all__ = [
     "NodeConfig",
     "ProblemConfig",
     "ScanResult",
+    "ScanSession",
     "SystemTopology",
     "tsubame_kfc",
     "KEPLER_K80",

@@ -2,8 +2,11 @@
 
 ``scan(...)`` scans a host batch on a simulated machine, picking the
 proposal with the Premise-4 decision rules unless told otherwise, and
-optionally sweeping K empirically. Lower-level control lives in the
-executor classes (:class:`~repro.core.single_gpu.ScanSP`,
+optionally sweeping K empirically. Calls are served through a per-machine
+:class:`~repro.core.session.ScanSession`, so repeated scans of the same
+configuration reuse the proposal choice, the execution plan, the tuned K
+and the executor objects (warm-path serving). Lower-level control lives in
+the executor classes (:class:`~repro.core.single_gpu.ScanSP`,
 :class:`~repro.core.multi_gpu.ScanMPS`,
 :class:`~repro.core.prioritized.ScanMPPC`,
 :class:`~repro.core.multi_node.ScanMultiNodeMPS`).
@@ -15,14 +18,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpusim.events import Trace
-from repro.interconnect.topology import SystemTopology, tsubame_kfc
-from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
-from repro.core.multi_node import ScanMultiNodeMPS
+from repro.interconnect.topology import SystemTopology
 from repro.core.params import NodeConfig, ProblemConfig
-from repro.core.prioritized import ScanMPPC
 from repro.core.results import ScanResult
-from repro.core.single_gpu import ScanSP, coerce_batch
-from repro.core.tuner import PremiseTuner
+from repro.core.session import default_session, session_for
 
 
 def recommend_proposal(
@@ -96,64 +95,24 @@ def scan(
         account the host->device distribution and device->host collection
         over PCIe (phases ``distribute`` / ``collect`` in the breakdown) —
         an extension for end-to-end studies.
+
+    Caching does not change simulated time: the cost model is a closed
+    form of the plan geometry, so a warm call reports exactly the trace a
+    cold call would.
     """
-    if topology is None:
-        topology = tsubame_kfc(max(1, M))
-    if V is None:
-        V = min(W, topology.gpus_per_network)
-    node = NodeConfig.from_counts(W=W, V=V, M=M)
-    batch = coerce_batch(data)
-    problem = ProblemConfig.from_sizes(
-        N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype,
-        operator=operator, inclusive=inclusive,
+    session = default_session(M) if topology is None else session_for(topology)
+    return session.scan(
+        data,
+        proposal=proposal,
+        W=W,
+        V=V,
+        M=M,
+        operator=operator,
+        inclusive=inclusive,
+        K=K,
+        collect=collect,
+        include_distribution=include_distribution,
     )
-    if proposal == "auto":
-        proposal = recommend_proposal(topology, node, problem)
-
-    k_value: int | None
-    if K == "tune":
-        tuner = PremiseTuner(topology)
-        if proposal == "sp":
-            k_value = tuner.tune_sp(batch, operator=operator).best_k
-        elif proposal in ("mps", "mn-mps"):
-            k_value = tuner.tune_mps(node, batch, operator=operator).best_k
-        elif proposal == "mppc":
-            k_value = tuner.tune_mppc(node, batch, operator=operator).best_k
-        else:
-            k_value = None
-    elif K is None or isinstance(K, int):
-        k_value = K
-    else:
-        raise ConfigurationError(f"K must be an int, None or 'tune', got {K!r}")
-
-    if proposal == "sp":
-        executor = ScanSP(topology.gpus[0], K=k_value)
-        result = executor.run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-    elif proposal == "pp":
-        result = ScanProblemParallel(topology, node, K=k_value).run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-    elif proposal == "mps":
-        result = ScanMPS(topology, node, K=k_value).run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-    elif proposal == "mppc":
-        result = ScanMPPC(topology, node, K=k_value).run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-    elif proposal == "mn-mps":
-        result = ScanMultiNodeMPS(topology, node, K=k_value).run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-    else:
-        raise ConfigurationError(
-            f"unknown proposal {proposal!r}; use auto/sp/pp/mps/mppc/mn-mps"
-        )
-    if include_distribution:
-        add_distribution_records(result, topology)
-    return result
 
 
 def add_distribution_records(result: ScanResult, topology: SystemTopology) -> None:
@@ -177,7 +136,7 @@ def add_distribution_records(result: ScanResult, topology: SystemTopology) -> No
         engine.device_to_host(
             result.trace, "collect", topology.gpu(gid), portion_bytes
         )
-    result.trace.records[:0] = upload.records
+    result.trace.prepend(upload.records)
 
 
 def batch_scan(

@@ -131,7 +131,10 @@ class CachedTuner:
         cache was written).
         """
         key = cache_key(self.topology.arch, problem, proposal, node)
-        space = self.tuner.search_space(problem, proposal, node)
+        # mn-mps sweeps the mps search space (Premise 4 bounds scattering
+        # over all M*W GPUs either way).
+        space_proposal = "mps" if proposal == "mn-mps" else proposal
+        space = self.tuner.search_space(problem, space_proposal, node)
         hit = self.cache.get(key)
         if hit is not None and hit.best_k in space:
             self.cache.hits += 1

@@ -36,6 +36,7 @@ from repro.gpusim.kernel import LaunchStats
 from repro.gpusim.warp import warp_exclusive_scan, warp_scan_cost
 from repro.core.params import ExecutionPlan, KernelParams
 from repro.primitives.operators import Operator
+from repro.util.hotpath import fast_enabled
 from repro.util.ints import ceil_div
 
 
@@ -52,6 +53,32 @@ def _launch_config(params: KernelParams, bx: int, by: int, itemsize: int) -> Lau
 
 def _identity_like(op: Operator, shape: tuple[int, ...], dtype) -> np.ndarray:
     return np.full(shape, op.identity(np.dtype(dtype)), dtype=dtype)
+
+
+#: Reusable scratch buffers for the vectorized hot path, keyed by
+#: (shape, dtype). Buffers never escape a single kernel-body invocation
+#: (results are copied into the device arrays before returning), so reuse
+#: across launches is safe; the cap bounds memory for long-running servers.
+_SCRATCH: dict[tuple, np.ndarray] = {}
+_SCRATCH_CAP = 32
+
+
+def _scratch(shape: tuple[int, ...], dtype, fill=None) -> np.ndarray:
+    if not fast_enabled():
+        buf = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            buf[...] = fill
+        return buf
+    key = (shape, np.dtype(dtype).str)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= _SCRATCH_CAP:
+            _SCRATCH.clear()
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[key] = buf
+    if fill is not None:
+        buf[...] = fill
+    return buf
 
 
 class _BlockScanCore:
@@ -81,6 +108,10 @@ class _BlockScanCore:
     def run(self, chunks: np.ndarray) -> dict[str, np.ndarray]:
         """Execute the block flow over ``chunks`` of shape (nb, K, Lx, P).
 
+        ``chunks`` must be scratch the caller owns (a gather copy or a
+        staging buffer): the thread-local scan runs in place over it, the
+        way registers are overwritten on the device.
+
         Returns the partial results keyed by name:
 
         - ``local``: per-thread inclusive scans of the P register elements,
@@ -97,8 +128,9 @@ class _BlockScanCore:
         width, nw = self.width, self.num_warps
         lanes = chunks.reshape(nb, K, nw, width, P)
 
-        # (1) thread-local scan of the P register elements.
-        local = op.accumulate(lanes, axis=-1)
+        # (1) thread-local scan of the P register elements (in place: the
+        # raw values are never needed once their prefix is computed).
+        local = op.accumulate(lanes, axis=-1, out=lanes)
         thread_totals = local[..., -1]  # (nb, K, nw, width)
 
         # (2) intra-warp exclusive shuffle scan of the thread totals.
@@ -383,20 +415,29 @@ def launch_intermediate_scan(
         npb = len(problems)
         rows = arr[problems]  # (npb, cx) gather-copy
         # Identity-pad up to whole rounds; idle lanes execute but cannot
-        # perturb any real element's prefix.
-        staged = np.full((npb, padded), identity, dtype=rows.dtype)
+        # perturb any real element's prefix. The staging buffer is reused
+        # scratch (fully re-filled each call).
+        staged = _scratch((npb, padded), rows.dtype, fill=identity)
         staged[:, :cx] = rows
         view = staged.reshape(npb, rounds, kp2.Lx, kp2.P)
 
         partials = core.run(view)
         carries = core.cascade_carries(partials["iteration_totals"])  # (npb, rounds)
         local = partials["local"]  # (npb, rounds, nw, width, P)
-        shifted = np.empty_like(local)
+        shifted = _scratch(local.shape, local.dtype)
         shifted[..., 0] = identity
         shifted[..., 1:] = local[..., :-1]
-        offset = op.combine(carries[:, :, None], partials["warp_offsets"])
-        offset = op.combine(offset[..., None], partials["thread_offsets"])
-        result = op.combine(offset[..., None], shifted)
+        # The offset chain updates the partials in place (they are scratch
+        # owned by this call) instead of allocating a fresh array per step.
+        offset = op.combine(
+            carries[:, :, None], partials["warp_offsets"],
+            out=partials["warp_offsets"],
+        )
+        offset = op.combine(
+            offset[..., None], partials["thread_offsets"],
+            out=partials["thread_offsets"],
+        )
+        result = op.combine(offset[..., None], shifted, out=shifted)
         arr[problems] = result.reshape(npb, padded)[:, :cx]
 
         ctx.stats.read_global(npb * cx * itemsize)
@@ -462,21 +503,24 @@ def launch_scan_add(
 
         local = partials["local"].reshape(nb, kp.K, nw, width, kp.P)
         if not inclusive_out:
-            shifted = np.empty_like(local)
+            shifted = _scratch(local.shape, local.dtype)
             shifted[..., 0] = op.identity(plan.problem.dtype)
             shifted[..., 1:] = local[..., :-1]
             local = shifted
 
         # offset = base . carry(k) . warp_offset . thread_offset, combined
-        # left-to-right so non-commutative operators would still be correct.
+        # left-to-right so non-commutative operators would still be correct;
+        # each step updates call-owned scratch in place.
         offset = op.combine(
-            base[:, None, None],
-            op.combine(carries[:, :, None], partials["warp_offsets"]),
-        )  # (nb, K, nw)
+            carries[:, :, None], partials["warp_offsets"],
+            out=partials["warp_offsets"],
+        )
+        offset = op.combine(base[:, None, None], offset, out=offset)  # (nb, K, nw)
         offset = op.combine(
-            offset[..., None], partials["thread_offsets"]
+            offset[..., None], partials["thread_offsets"],
+            out=partials["thread_offsets"],
         )  # (nb, K, nw, width)
-        result = op.combine(offset[..., None], local)
+        result = op.combine(offset[..., None], local, out=local)
         arr[g, bx] = result.reshape(nb, kp.K, kp.Lx, kp.P)
 
         ctx.stats.read_global(nb * kp.chunk_size * itemsize + nb * itemsize)

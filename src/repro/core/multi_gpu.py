@@ -207,8 +207,12 @@ class ScanMPS:
         if node_index != 0:
             offset = node_index * topology.gpus_per_node
             self.gpus = [topology.gpu(g.id + offset) for g in self.gpus]
+        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
 
     def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        cached = self._plan_cache.get(problem)
+        if cached is not None:
+            return cached
         w = self.node.W
         n_local = problem.N // w
         template = self.stage1_template or derive_stage_kernel_params(
@@ -223,13 +227,15 @@ class ScanMPS:
                 node=self.node, proposal="mps",
             )
             k = space[-1]
-        return build_execution_plan(
+        plan = build_execution_plan(
             self.topology.arch,
             problem,
             K=k,
             gpus_sharing_problem=w,
             stage1_template=template,
         )
+        self._plan_cache[problem] = plan
+        return plan
 
     def run(
         self,
@@ -335,6 +341,16 @@ class ScanProblemParallel:
         self.K = K
         self.stage1_template = stage1_template
         self.gpus = topology.select_gpus(node.W, node.V, 1)[0]
+        # One persistent Scan-SP worker per GPU; each carries its own plan
+        # cache, so repeated batches re-plan nothing.
+        self._workers: dict[int, ScanSP] = {}
+
+    def _worker(self, gpu: GPU) -> ScanSP:
+        worker = self._workers.get(gpu.id)
+        if worker is None:
+            worker = ScanSP(gpu, K=self.K, stage1_template=self.stage1_template)
+            self._workers[gpu.id] = worker
+        return worker
 
     def run(
         self,
@@ -361,7 +377,7 @@ class ScanProblemParallel:
         for i in range(w):
             gpu = self.gpus[i]
             sub = np.ascontiguousarray(batch[i * g_per_gpu : (i + 1) * g_per_gpu])
-            executor = ScanSP(gpu, K=self.K, stage1_template=self.stage1_template)
+            executor = self._worker(gpu)
             sub_problem = ProblemConfig.from_sizes(
                 N=n, G=g_per_gpu, dtype=batch.dtype,
                 operator=operator, inclusive=inclusive,

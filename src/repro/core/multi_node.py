@@ -67,12 +67,16 @@ class ScanMultiNodeMPS:
             topology, self.gpus, params=mpi_params, transfer_params=transfer_params
         )
         self.engine = TransferEngine(topology, transfer_params)
+        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
 
     @property
     def total_gpus(self) -> int:
         return self.node.M * self.node.W
 
     def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        cached = self._plan_cache.get(problem)
+        if cached is not None:
+            return cached
         parts = self.total_gpus
         n_local = problem.N // parts
         template = self.stage1_template or derive_stage_kernel_params(
@@ -87,13 +91,15 @@ class ScanMultiNodeMPS:
                 node=self.node, proposal="mps",
             )
             k = space[-1]
-        return build_execution_plan(
+        plan = build_execution_plan(
             self.topology.arch,
             problem,
             K=k,
             gpus_sharing_problem=parts,
             stage1_template=template,
         )
+        self._plan_cache[problem] = plan
+        return plan
 
     def run(
         self,

@@ -60,12 +60,16 @@ class ScanMPPC:
                 self.groups.append(
                     topology.spread_gpus_in_network(node_idx, net_idx, node.V)
                 )
+        self._plan_cache: dict[tuple[ProblemConfig, int], ExecutionPlan] = {}
 
     def groups_used(self, g: int) -> int:
         """Networks actually used: min(M*Y, G), kept a power of two."""
         return min(len(self.groups), g)
 
     def plan_for(self, problem: ProblemConfig, groups_used: int) -> ExecutionPlan:
+        cached = self._plan_cache.get((problem, groups_used))
+        if cached is not None:
+            return cached
         v = self.node.V
         n_local = problem.N // v
         g_per_group = problem.G // groups_used
@@ -81,7 +85,7 @@ class ScanMPPC:
                 node=self.node, proposal="mppc",
             )
             k = space[-1]
-        return build_execution_plan(
+        plan = build_execution_plan(
             self.topology.arch,
             problem,
             K=k,
@@ -89,6 +93,8 @@ class ScanMPPC:
             g_local=g_per_group,
             stage1_template=template,
         )
+        self._plan_cache[(problem, groups_used)] = plan
+        return plan
 
     def run(
         self,

@@ -93,6 +93,9 @@ class ScanSP:
         self.gpu = gpu
         self.K = K
         self.stage1_template = stage1_template
+        #: Plans are pure functions of (problem, K, template, arch); reusing
+        #: an executor across calls skips re-deriving them (warm serving).
+        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
         #: int4 vector loads (Section 3.1: "each thread reads P elements
         #: from global memory using the int4 customized data type,
         #: facilitating coalescence"). False simulates scalar loads, for
@@ -100,6 +103,9 @@ class ScanSP:
         self.vector_loads = vector_loads
 
     def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
+        plan = self._plan_cache.get(problem)
+        if plan is not None:
+            return plan
         template = self.stage1_template or derive_stage_kernel_params(
             self.gpu.arch, problem.dtype
         )
@@ -107,13 +113,15 @@ class ScanSP:
         k = self.K if self.K is not None else default_k(self.gpu.arch, problem, template)
         # K must keep at least one chunk per problem.
         k = min(k, problem.N // template.elements_per_iteration)
-        return build_execution_plan(
+        plan = build_execution_plan(
             self.gpu.arch,
             problem,
             K=k,
             gpus_sharing_problem=1,
             stage1_template=template,
         )
+        self._plan_cache[problem] = plan
+        return plan
 
     def run(
         self,

@@ -23,7 +23,7 @@ from repro.gpusim.kernel import (
     LaunchConfig,
     LaunchStats,
 )
-from repro.gpusim.memory import DeviceArray, MemoryPool
+from repro.gpusim.memory import BufferPool, DeviceArray, MemoryPool
 
 
 class GPU:
@@ -36,12 +36,17 @@ class GPU:
         engine: ExecutionEngine | None = None,
         cost_model: CostModel | None = None,
         memory_capacity: int | None = None,
+        buffer_pool: BufferPool | None = None,
     ):
         self.id = device_id
         self.arch = arch
         self.engine = engine or ExecutionEngine()
         self.cost_model = cost_model or CostModel(arch)
         self.pool = MemoryPool(memory_capacity or arch.global_memory_bytes)
+        #: Optional caching allocator: freed buffers are parked on a
+        #: free-list and recycled by later same-class allocations (the warm
+        #: serving path). ``None`` means every alloc is fresh storage.
+        self.buffer_pool = buffer_pool
         #: Runtime bandwidth factor; the topology's boost-contention
         #: context lowers it while a dual-die board-mate is busy.
         self.bandwidth_scale: float = 1.0
@@ -58,12 +63,28 @@ class GPU:
     # ---------------------------------------------------------------- memory
 
     def alloc(self, shape, dtype, fill: object | None = None) -> DeviceArray:
-        """Allocate a device buffer, accounting against the pool capacity."""
-        arr = np.empty(shape, dtype=dtype)
-        self.pool.allocate(arr.nbytes, owner=self.name)
+        """Allocate a device buffer, accounting against the pool capacity.
+
+        With a :class:`~repro.gpusim.memory.BufferPool` attached, retired
+        same-class buffers are recycled; contents are then whatever the
+        previous owner left (or the poison sentinel), matching the
+        uninitialized-memory semantics of ``cudaMalloc``.
+        """
+        if self.buffer_pool is None:
+            arr = np.empty(shape, dtype=dtype)
+            self.pool.allocate(arr.nbytes, owner=self.name)
+            if fill is not None:
+                arr[...] = fill
+            return DeviceArray(self, arr)
+        arr, block = self.buffer_pool.take(shape, dtype)
+        try:
+            self.pool.allocate(arr.nbytes, owner=self.name)
+        except Exception:
+            self.buffer_pool.put(block, arr.dtype)
+            raise
         if fill is not None:
             arr[...] = fill
-        return DeviceArray(self, arr)
+        return DeviceArray(self, arr, pool_block=block)
 
     def alloc_virtual(self, shape, dtype) -> DeviceArray:
         """Allocate a *virtual* buffer: shape/dtype and pool accounting only.
@@ -79,14 +100,34 @@ class GPU:
         return DeviceArray(self, logical, virtual=True)
 
     def upload(self, host: np.ndarray) -> DeviceArray:
-        """Copy a host array into a fresh device buffer."""
+        """Copy a host array into a (possibly recycled) device buffer."""
         host = np.ascontiguousarray(host)
-        self.pool.allocate(host.nbytes, owner=self.name)
-        return DeviceArray(self, host.copy())
+        if self.buffer_pool is None:
+            self.pool.allocate(host.nbytes, owner=self.name)
+            return DeviceArray(self, host.copy())
+        arr, block = self.buffer_pool.take(host.shape, host.dtype)
+        try:
+            self.pool.allocate(host.nbytes, owner=self.name)
+        except Exception:
+            self.buffer_pool.put(block, host.dtype)
+            raise
+        arr[...] = host
+        return DeviceArray(self, arr, pool_block=block)
 
     def free(self, buffer: DeviceArray) -> None:
-        """Release a buffer's bytes back to the pool (views must not be freed)."""
+        """Release a buffer's bytes back to the pool (views must not be freed).
+
+        Pooled buffers park their backing block on the device's free-list
+        for recycling; accounting is released either way, so capacity
+        semantics (the paper's Case-2 out-of-memory) are unchanged.
+        """
         buffer.require_on(self)
+        if buffer.pool_block is not None:
+            self.pool.release(buffer.nbytes)
+            if self.buffer_pool is not None:
+                self.buffer_pool.put(buffer.pool_block, buffer.dtype)
+            buffer.pool_block = None
+            return
         if not buffer.virtual and buffer.data.base is not None:
             raise LaunchError("cannot free a view; free the owning allocation")
         self.pool.release(buffer.nbytes)

@@ -86,6 +86,17 @@ class Trace:
     def extend(self, records: Iterable[TraceRecord]) -> None:
         self.records.extend(records)
 
+    def prepend(self, records: Iterable[TraceRecord]) -> None:
+        """Splice records in front of the log in one move.
+
+        Used to stitch an untimed preparation stage (e.g. the host-to-GPU
+        distribution upload) before an already-recorded timed region; a
+        single bulk splice instead of element-wise ``insert(0, ...)``.
+        """
+        merged = list(records)
+        merged.extend(self.records)
+        self.records = merged
+
     def merge(self, other: "Trace") -> None:
         self.records.extend(other.records)
 

@@ -28,14 +28,24 @@ class DeviceArray:
     kernels address sub-ranges of a single allocation.
     """
 
-    __slots__ = ("_device", "_data", "virtual")
+    __slots__ = ("_device", "_data", "virtual", "pool_block")
 
-    def __init__(self, device: "GPU", data: np.ndarray, virtual: bool = False):
+    def __init__(
+        self,
+        device: "GPU",
+        data: np.ndarray,
+        virtual: bool = False,
+        pool_block: np.ndarray | None = None,
+    ):
         self._device = device
         self._data = data
         #: Virtual buffers have a shape/dtype but no real storage (used by
         #: the analytic estimate path, which never touches element data).
         self.virtual = virtual
+        #: Backing block when the storage came from a :class:`BufferPool`
+        #: free-list; ``free`` returns the block there instead of dropping
+        #: it. ``None`` for ordinary (unpooled) allocations and for views.
+        self.pool_block = pool_block
 
     @property
     def device(self) -> "GPU":
@@ -106,7 +116,11 @@ class AllocationScope:
     Proposals allocate a handful of buffers across several GPUs before a
     timed region; if any allocation fails midway (the deliberate
     out-of-memory of the paper's Case 2), every earlier allocation must be
-    released or the device pools leak. Use as a context manager::
+    released or the device pools leak. Allocation and release both route
+    through the owning :class:`~repro.gpusim.device.GPU`, so when a device
+    has a :class:`BufferPool` attached every stage buffer a scope frees is
+    recycled for the next call instead of reallocated. Use as a context
+    manager::
 
         with AllocationScope() as scope:
             a = scope.alloc(gpu0, (n,), np.int32)
@@ -145,6 +159,121 @@ class AllocationScope:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.release()
+
+
+#: Byte written over every recycled buffer in poison mode. 0xA5 repeated
+#: makes a conspicuous value in any dtype (e.g. int32 -1515870811) that a
+#: kernel silently relying on zero-initialized memory cannot miss.
+POISON_BYTE = 0xA5
+
+#: Smallest free-list size class; sub-granule requests round up to it.
+_MIN_SIZE_CLASS = 256
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a request up to its power-of-two free-list class."""
+    if nbytes <= _MIN_SIZE_CLASS:
+        return _MIN_SIZE_CLASS
+    return 1 << (nbytes - 1).bit_length()
+
+
+class BufferPool:
+    """Per-GPU free-list of retired allocations, keyed by (size-class, dtype).
+
+    Warm serving paths allocate the same stage buffers over and over (data
+    portion, auxiliary array, staging); a CUDA deployment would sit a
+    caching allocator (cudaMemPool, CuPy/RAPIDS pool) under them for the
+    same reason this one exists — ``cudaMalloc``-per-call costs more than
+    the kernels. Blocks are raw byte arrays rounded up to power-of-two
+    classes so one retired buffer can serve any same-class request of the
+    same dtype.
+
+    ``poison=True`` fills every *recycled* buffer with :data:`POISON_BYTE`
+    before handing it out, proving no kernel relies on the zero-filled
+    pages a fresh allocation may happen to carry.
+
+    Counters: every pool-mediated allocation is a ``hit`` (served from the
+    free-list) or a ``miss`` (fresh backing storage), so
+    ``hits + misses == allocs`` always reconciles; ``bytes_reused`` sums
+    the payload bytes of hits.
+    """
+
+    __slots__ = ("poison", "hits", "misses", "allocs", "releases",
+                 "bytes_reused", "_free")
+
+    def __init__(self, poison: bool = False):
+        self.poison = poison
+        self.hits = 0
+        self.misses = 0
+        self.allocs = 0
+        self.releases = 0
+        self.bytes_reused = 0
+        self._free: dict[tuple[int, str], list[np.ndarray]] = {}
+
+    def take(self, shape, dtype) -> tuple[np.ndarray, np.ndarray]:
+        """An array of ``(shape, dtype)`` plus its backing block.
+
+        The array is a view over the block's first ``nbytes`` bytes; return
+        the block with :meth:`put` when the buffer is freed. Recycled
+        storage keeps whatever it last held (or the poison sentinel) —
+        exactly like device memory from a caching allocator.
+        """
+        dtype = np.dtype(dtype)
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        nbytes = dtype.itemsize
+        for dim in shape:
+            nbytes *= int(dim)
+        cls = _size_class(nbytes)
+        self.allocs += 1
+        stack = self._free.get((cls, dtype.str))
+        if stack:
+            block = stack.pop()
+            self.hits += 1
+            self.bytes_reused += nbytes
+            if self.poison:
+                block[...] = POISON_BYTE
+        else:
+            block = np.empty(cls, dtype=np.uint8)
+            self.misses += 1
+        array = block[:nbytes].view(dtype).reshape(shape)
+        return array, block
+
+    def put(self, block: np.ndarray, dtype) -> None:
+        """Return a backing block to the free-list for its (class, dtype)."""
+        dtype = np.dtype(dtype)
+        self.releases += 1
+        self._free.setdefault((block.nbytes, dtype.str), []).append(block)
+
+    @property
+    def pooled_buffers(self) -> int:
+        """Blocks currently parked in the free-list."""
+        return sum(len(stack) for stack in self._free.values())
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Backing bytes currently parked in the free-list."""
+        return sum(
+            block.nbytes for stack in self._free.values() for block in stack
+        )
+
+    def trim(self) -> int:
+        """Drop every parked block; returns the bytes released."""
+        released = self.pooled_bytes
+        self._free.clear()
+        return released
+
+    def stats(self) -> dict:
+        """Counter snapshot (also aggregated by ``gpusim.metrics``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "allocs": self.allocs,
+            "releases": self.releases,
+            "bytes_reused": self.bytes_reused,
+            "pooled_buffers": self.pooled_buffers,
+            "pooled_bytes": self.pooled_bytes,
+            "poison": self.poison,
+        }
 
 
 class MemoryPool:

@@ -96,6 +96,40 @@ def summarize(trace: Trace, arch: GPUArchitecture) -> dict:
     }
 
 
+def buffer_pool_stats(gpus) -> dict:
+    """Aggregate buffer-pool counters over a machine or a GPU list.
+
+    Accepts a :class:`~repro.interconnect.topology.SystemTopology` (or any
+    object with a ``gpus`` attribute) or an iterable of GPUs. GPUs without
+    a pool attached contribute nothing; ``enabled`` reports whether any GPU
+    had one. ``hits + misses == allocs`` holds by construction — tests use
+    it to prove no allocation bypasses the pool.
+    """
+    devices = getattr(gpus, "gpus", gpus)
+    agg = {
+        "enabled": False,
+        "hits": 0,
+        "misses": 0,
+        "allocs": 0,
+        "releases": 0,
+        "bytes_reused": 0,
+        "pooled_buffers": 0,
+        "pooled_bytes": 0,
+        "per_gpu": {},
+    }
+    for gpu in devices:
+        pool = getattr(gpu, "buffer_pool", None)
+        if pool is None:
+            continue
+        agg["enabled"] = True
+        stats = pool.stats()
+        agg["per_gpu"][gpu.id] = stats
+        for key in ("hits", "misses", "allocs", "releases", "bytes_reused",
+                    "pooled_buffers", "pooled_bytes"):
+            agg[key] += stats[key]
+    return agg
+
+
 def ascii_timeline(trace: Trace, width: int = 72) -> str:
     """Render the trace as a lane x time ASCII chart.
 

@@ -17,6 +17,7 @@ source lane is out of range" semantics of ``__shfl_up``/``__shfl_down``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.primitives.ladner_fischer import ladner_fischer_schedule
 from repro.primitives.networks import kogge_stone_schedule, schedule_depth, schedule_work
 from repro.primitives.operators import ADD, Operator, resolve_operator
+from repro.util.hotpath import fast_enabled
 from repro.util.ints import ilog2
 
 
@@ -83,6 +85,47 @@ class WarpScanCost:
     steps: int
 
 
+@lru_cache(maxsize=None)
+def _scan_schedule(width: int, pattern: str) -> tuple[tuple, ...]:
+    """The (dst, src) exchange schedule of one warp scan, memoized.
+
+    Schedules depend only on (width, pattern); rebuilding them per launch
+    dominated the vectorized hot path, so they are computed once.
+    """
+    if pattern == "ks":
+        return kogge_stone_schedule(width)
+    if pattern == "lf":
+        return ladner_fischer_schedule(width, 0)
+    raise ConfigurationError(f"unknown warp scan pattern {pattern!r}; use 'lf' or 'ks'")
+
+
+@lru_cache(maxsize=None)
+def _scan_steps(width: int, pattern: str) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Per-step (dsts, srcs) lane-index arrays, precomputed once per shape."""
+    steps = []
+    for step in _scan_schedule(width, pattern):
+        dsts = np.fromiter((d for d, _ in step), dtype=np.intp, count=len(step))
+        srcs = np.fromiter((s for _, s in step), dtype=np.intp, count=len(step))
+        dsts.setflags(write=False)
+        srcs.setflags(write=False)
+        steps.append((dsts, srcs))
+    return tuple(steps)
+
+
+@lru_cache(maxsize=None)
+def _inclusive_cost(width: int, pattern: str) -> WarpScanCost:
+    """Per-warp cost of one inclusive scan; every active lane issues one
+    shuffle and one operator instruction per exchange (inactive lanes still
+    occupy their warp slot but only active work is counted)."""
+    work = sum(len(dsts) for dsts, _ in _scan_steps(width, pattern))
+    return WarpScanCost(
+        shuffles=work,
+        operator_applications=work,
+        steps=len(_scan_schedule(width, pattern)),
+    )
+
+
+@lru_cache(maxsize=None)
 def warp_scan_cost(
     width: int, pattern: str = "lf", exclusive: bool = False
 ) -> WarpScanCost:
@@ -93,12 +136,7 @@ def warp_scan_cost(
     kernel launches produce byte- and instruction-identical traces to the
     functional path (asserted in the tests).
     """
-    if pattern == "ks":
-        schedule = kogge_stone_schedule(width)
-    elif pattern == "lf":
-        schedule = ladner_fischer_schedule(width, 0)
-    else:
-        raise ConfigurationError(f"unknown warp scan pattern {pattern!r}; use 'lf' or 'ks'")
+    schedule = _scan_schedule(width, pattern)
     shuffles = schedule_work(schedule)
     applications = schedule_work(schedule)
     steps = schedule_depth(schedule)
@@ -129,31 +167,22 @@ def warp_inclusive_scan(
     operator = resolve_operator(op)
     _check_lanes(values, width)
     ilog2(width)
+    cost = _inclusive_cost(width, pattern)
 
-    if pattern == "ks":
-        schedule = kogge_stone_schedule(width)
-    elif pattern == "lf":
-        schedule = ladner_fischer_schedule(width, 0)
-    else:
-        raise ConfigurationError(f"unknown warp scan pattern {pattern!r}; use 'lf' or 'ks'")
+    # Exact dtypes admit a fast path: the scan network computes the same
+    # left-to-right combination an ``accumulate`` does, and integer/bool
+    # arithmetic is associative *exactly*, so the results are bit-identical.
+    # Floats keep the lane-exact network walk (its combination order, and
+    # therefore its rounding, is what the device would produce).
+    if values.dtype.kind in "biu" and fast_enabled():
+        return operator.accumulate(values, axis=-1), cost
 
     out = values.copy()
-    shuffles = 0
-    applications = 0
-    for step in schedule:
-        dsts = np.fromiter((d for d, _ in step), dtype=np.intp, count=len(step))
-        srcs = np.fromiter((s for _, s in step), dtype=np.intp, count=len(step))
+    for dsts, srcs in _scan_steps(width, pattern):
         gathered = out[..., srcs]
-        out[..., dsts] = operator.combine(gathered, out[..., dsts])
-        # Every active lane issues one shuffle and one operator instruction;
-        # inactive lanes still occupy the warp slot but we count active work.
-        shuffles += len(step)
-        applications += len(step)
-    cost = WarpScanCost(
-        shuffles=shuffles,
-        operator_applications=applications,
-        steps=schedule_depth(schedule),
-    )
+        # In-place combine into the gathered copy, then scatter back: the
+        # gather is unavoidable (fancy indexing), the combine is not.
+        out[..., dsts] = operator.combine(gathered, out[..., dsts], out=gathered)
     return out, cost
 
 
@@ -171,7 +200,10 @@ def warp_exclusive_scan(
     """
     operator = resolve_operator(op)
     inclusive, cost = warp_inclusive_scan(values, operator, width=width, pattern=pattern)
-    shifted = shfl_up(inclusive, 1, width=width)
+    # The shfl_up-by-one without the copy shfl_up would make: the inclusive
+    # array is owned by this call, so build the shifted result directly.
+    shifted = np.empty_like(inclusive)
+    shifted[..., 1:] = inclusive[..., : width - 1]
     shifted[..., 0] = operator.identity(values.dtype)
     total_cost = WarpScanCost(
         shuffles=cost.shuffles + 1,

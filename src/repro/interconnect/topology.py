@@ -106,6 +106,28 @@ class SystemTopology:
 
     # ------------------------------------------------------------- structure
 
+    def enable_buffer_pooling(self, poison: bool = False) -> None:
+        """Attach a :class:`~repro.gpusim.memory.BufferPool` to every GPU.
+
+        Freed stage buffers are then recycled by later same-class
+        allocations (the warm serving path). Idempotent; calling with a
+        different ``poison`` flag updates the existing pools in place.
+        """
+        from repro.gpusim.memory import BufferPool
+
+        for gpu in self.gpus:
+            if gpu.buffer_pool is None:
+                gpu.buffer_pool = BufferPool(poison=poison)
+            else:
+                gpu.buffer_pool.poison = poison
+
+    def disable_buffer_pooling(self) -> None:
+        """Detach and drop every GPU's buffer pool (parked blocks are freed)."""
+        for gpu in self.gpus:
+            if gpu.buffer_pool is not None:
+                gpu.buffer_pool.trim()
+                gpu.buffer_pool = None
+
     @property
     def total_gpus(self) -> int:
         return len(self.gpus)

@@ -18,6 +18,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.util.hotpath import fast_enabled
 
 
 @dataclass(frozen=True)
@@ -52,21 +53,44 @@ class Operator:
         """Identity element of the operator for ``dtype``."""
         return self.identity_for(np.dtype(dtype))
 
-    def accumulate(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+    def accumulate(
+        self, array: np.ndarray, axis: int = -1, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Inclusive scan along ``axis`` using the numpy ufunc (reference path).
 
         The accumulator dtype is pinned to the input dtype: numpy promotes
         small integers to the platform int by default, but device scans
         compute in the element type (int8 wraps like it would in CUDA).
+        ``out`` may alias ``array`` for an in-place scan (the kernel hot
+        path scans freshly gathered chunk copies in place).
+
+        Short trailing axes (the per-thread P register elements) take an
+        unrolled path: ``ufunc.accumulate`` runs a scalar inner loop, while
+        ``n-1`` whole-slice combines vectorise across the leading axes.
+        The combination order is the same left-to-right sequence, so the
+        result is bit-identical for every dtype, floats included.
         """
-        return self.ufunc.accumulate(array, axis=axis, dtype=array.dtype)
+        n = array.shape[axis]
+        if 1 < n <= 8 and axis in (-1, array.ndim - 1) and fast_enabled():
+            if out is None:
+                out = array.copy()
+            elif out is not array:
+                out[...] = array
+            for i in range(1, n):
+                self.ufunc(out[..., i - 1], out[..., i], out=out[..., i])
+            return out
+        return self.ufunc.accumulate(array, axis=axis, dtype=array.dtype, out=out)
 
     def reduce(self, array: np.ndarray, axis: int | None = -1) -> np.ndarray:
         """Reduction along ``axis`` using the numpy ufunc (reference path)."""
         return self.ufunc.reduce(array, axis=axis, dtype=array.dtype)
 
-    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Apply the operator elementwise."""
+    def combine(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Apply the operator elementwise; ``out`` enables in-place updates."""
+        if out is not None:
+            return self.ufunc(a, b, out=out)
         return self.fn(a, b)
 
 

@@ -1,0 +1,32 @@
+"""Perf smoke test: the serving benchmark's warm path beats its cold path.
+
+Runs :func:`benchmarks.bench_serving_throughput.run_serving_benchmark` at
+tiny sizes so it finishes in seconds. The full-size benchmark asserts a
+>= 3x geomean; at toy sizes the kernel bodies are so cheap that the ratio
+is dominated by per-call construction, so the smoke test only demands the
+direction — warm must not be slower than cold — which still catches a
+broken session cache (every call missing) or a pool that thrashes.
+
+Marked ``perf``: wall-clock assertions are load-sensitive, so CI can
+deselect them with ``-m "not perf"``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_serving_throughput import (
+    format_serving_table,
+    run_serving_benchmark,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_warm_serving_not_slower_than_cold():
+    payload = run_serving_benchmark(
+        n_log2=11, g=4, repeats=5, proposals=("sp", "mps"), json_path=None
+    )
+    table = format_serving_table(payload)
+    for proposal, row in payload["proposals"].items():
+        assert row["warm_speedup"] >= 1.0, f"{proposal} slower warm than cold:\n{table}"
+    assert np.isfinite(payload["geomean_warm_speedup"])

@@ -1,0 +1,133 @@
+"""ScanSession: memoisation, counters, invalidation, and API fidelity.
+
+The session is pure mechanism — it may never change a result, a trace,
+or an error message relative to a cold :func:`repro.core.api.scan` call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import scan
+from repro.core.session import ScanSession, default_session, session_for
+from repro.errors import ConfigurationError
+from repro.gpusim.events import Trace, TransferRecord
+from repro.interconnect.topology import tsubame_kfc
+
+
+def _batch(g=4, n=4096, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-(2**16), 2**16, size=(g, n)).astype(np.int64)
+
+
+class TestMemoisation:
+    def test_repeat_calls_hit(self):
+        session = ScanSession(tsubame_kfc(1))
+        data = _batch()
+        first = session.scan(data, proposal="mps", W=4, V=4)
+        second = session.scan(data, proposal="mps", W=4, V=4)
+        assert (session.misses, session.hits) == (1, 1)
+        assert session.cached_configurations == 1
+        assert np.array_equal(first.output, second.output)
+        assert first.trace.total_time() == second.trace.total_time()
+
+    def test_executor_objects_are_reused(self):
+        session = ScanSession(tsubame_kfc(1))
+        data = _batch()
+        session.scan(data, proposal="sp")
+        (entry,) = session._entries.values()
+        executor = entry.executor
+        session.scan(data, proposal="sp")
+        (entry,) = session._entries.values()
+        assert entry.executor is executor and entry.calls == 2
+
+    def test_distinct_configurations_miss(self):
+        session = ScanSession(tsubame_kfc(1))
+        session.scan(_batch(), proposal="sp")
+        session.scan(_batch().astype(np.int32), proposal="sp")  # dtype key
+        session.scan(_batch(), proposal="sp", K=2)  # K key
+        assert session.misses == 3 and session.cached_configurations == 3
+
+    def test_tune_sweep_paid_once(self):
+        session = ScanSession(tsubame_kfc(1))
+        data = _batch()
+        session.scan(data, proposal="sp", K="tune")
+        tuner_misses = session.stats()["tuner_misses"]
+        assert tuner_misses >= 1
+        session.scan(data, proposal="sp", K="tune")
+        assert session.stats()["tuner_misses"] == tuner_misses
+        assert session.hits == 1
+
+    def test_reset_drops_everything(self):
+        session = ScanSession(tsubame_kfc(1))
+        session.scan(_batch(), proposal="sp")
+        session.reset()
+        assert session.cached_configurations == 0
+        assert (session.hits, session.misses) == (0, 0)
+        session.scan(_batch(), proposal="sp")
+        assert session.misses == 1
+
+    def test_session_matches_cold_scan(self):
+        data = _batch(seed=9)
+        cold = scan(data, topology=tsubame_kfc(1), proposal="mppc", W=8, V=4)
+        session = ScanSession(tsubame_kfc(1))
+        session.scan(data, proposal="mppc", W=8, V=4)
+        warm = session.scan(data, proposal="mppc", W=8, V=4)
+        assert np.array_equal(cold.output, warm.output)
+        assert cold.trace.total_time() == warm.trace.total_time()
+
+
+class TestApiFidelity:
+    def test_bad_k_message_preserved(self):
+        session = ScanSession(tsubame_kfc(1))
+        with pytest.raises(
+            ConfigurationError, match=r"K must be an int, None or 'tune', got 'best'"
+        ):
+            session.scan(_batch(), proposal="sp", K="best")
+
+    def test_unknown_proposal_message_preserved(self):
+        session = ScanSession(tsubame_kfc(1))
+        with pytest.raises(
+            ConfigurationError, match=r"unknown proposal 'tree'; use auto/"
+        ):
+            session.scan(_batch(), proposal="tree")
+
+    def test_topology_scan_routes_through_one_session(self):
+        topo = tsubame_kfc(1)
+        data = _batch()
+        scan(data, topology=topo, proposal="sp")
+        scan(data, topology=topo, proposal="sp")
+        session = session_for(topo)
+        assert session is session_for(topo)
+        assert session.hits == 1 and session.misses == 1
+
+    def test_default_session_is_shared(self):
+        assert default_session(1) is default_session(1)
+
+    def test_include_distribution_prepends(self):
+        topo = tsubame_kfc(1)
+        result = scan(
+            _batch(), topology=topo, proposal="sp", include_distribution=True
+        )
+        phases = [record.phase for record in result.trace.records]
+        assert phases[0] == "distribute" and phases[-1] == "collect"
+
+
+def _transfer(phase):
+    return TransferRecord(
+        phase=phase, lane="host", time_s=0.5, src_gpu=-1, dst_gpu=0,
+        nbytes=64, kind="host_staged",
+    )
+
+
+class TestTracePrepend:
+    def test_prepend_orders_records_before_existing(self):
+        trace = Trace()
+        trace.add(_transfer("body"))
+        trace.prepend([_transfer("distribute"), _transfer("distribute")])
+        assert [r.phase for r in trace.records] == ["distribute", "distribute", "body"]
+
+    def test_prepend_accepts_generators(self):
+        trace = Trace()
+        trace.add(_transfer("body"))
+        trace.prepend(_transfer("pre") for _ in range(1))
+        assert trace.records[0].phase == "pre"
