@@ -1,0 +1,118 @@
+"""Observability overhead — warm serving with the obs layer off vs on.
+
+The observability layer (:mod:`repro.obs`) is off by default and its
+instrumentation points reduce to one boolean check while off; the
+acceptance bar is that a default (disabled) warm serving path regresses
+by less than 5% relative to a build without the layer. We cannot run the
+pre-layer build here, so the guard measures the *enabled* overhead and
+the disabled path's absolute cost instead:
+
+- **off**: warm pooled session, observability disabled (the default) —
+  this is the configuration ``bench_serving_throughput.py`` gates at
+  >= 3x cold, which would fail if the disabled checks cost real time;
+- **on**: the same serving loop with ``obs.enable()`` — spans, counters,
+  and latency histograms all live.
+
+The enabled path may cost more (it does real work per span/counter) but
+must stay within a small constant factor of the disabled path, and both
+regimes must produce bit-identical outputs and simulated times. Writes
+``BENCH_obs_overhead.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.session import ScanSession
+from repro.interconnect.topology import tsubame_kfc
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Enabled-path budget: warm serving with full tracing/metrics on must
+#: stay within this factor of the disabled path (median wall-clock).
+MAX_ENABLED_RATIO = 3.0
+
+
+def _serve(session: ScanSession, data: np.ndarray, repeats: int):
+    samples: list[float] = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = session.scan(data, proposal="mps", W=4, V=4)
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples)), result
+
+
+def run_obs_overhead_benchmark(
+    n_log2: int = 13,
+    g: int = 16,
+    repeats: int = 25,
+    json_path: str | Path | None = REPO_ROOT / "BENCH_obs_overhead.json",
+) -> dict:
+    rng = np.random.default_rng(11)
+    data = rng.integers(-(2**20), 2**20, size=(g, 1 << n_log2)).astype(np.int64)
+
+    obs.disable()
+    obs.reset()
+    off_topology = tsubame_kfc(1)
+    off_topology.enable_buffer_pooling()
+    off_session = ScanSession(off_topology)
+    off_session.scan(data, proposal="mps", W=4, V=4)  # the miss
+    off_s, off_result = _serve(off_session, data, repeats)
+    assert len(obs.registry()) == 0 and obs.finished_spans() == []
+
+    obs.enable()
+    try:
+        on_topology = tsubame_kfc(1)
+        on_topology.enable_buffer_pooling()
+        on_session = ScanSession(on_topology)
+        on_session.scan(data, proposal="mps", W=4, V=4)
+        on_s, on_result = _serve(on_session, data, repeats)
+        stats = on_session.stats()
+    finally:
+        obs.disable()
+        obs.reset()
+
+    if not np.array_equal(off_result.output, on_result.output):
+        raise AssertionError("observability changed scan output bits")
+    if off_result.trace.total_time() != on_result.trace.total_time():
+        raise AssertionError("observability changed simulated time")
+
+    payload = {
+        "n_log2": n_log2,
+        "G": g,
+        "repeats": repeats,
+        "off_s_median": off_s,
+        "on_s_median": on_s,
+        "enabled_ratio": on_s / off_s,
+        "max_enabled_ratio": MAX_ENABLED_RATIO,
+        "warm_latency_p50_s": stats["latency"]["p50"],
+        "warm_latency_p95_s": stats["latency"]["p95"],
+    }
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def format_obs_overhead_table(payload: dict) -> str:
+    return "\n".join([
+        f"Observability overhead, warm Scan-MPS serving, G={payload['G']}, "
+        f"N=2^{payload['n_log2']} (median of {payload['repeats']})",
+        f"  obs off (default): {payload['off_s_median'] * 1e3:8.3f} ms/call",
+        f"  obs on:            {payload['on_s_median'] * 1e3:8.3f} ms/call",
+        f"  enabled ratio:     {payload['enabled_ratio']:8.2f}x "
+        f"(budget {payload['max_enabled_ratio']:.1f}x)",
+        f"  enabled p50/p95:   {payload['warm_latency_p50_s'] * 1e3:.3f} / "
+        f"{payload['warm_latency_p95_s'] * 1e3:.3f} ms",
+    ])
+
+
+def test_regenerate_obs_overhead(report):
+    payload = run_obs_overhead_benchmark()
+    report("obs_overhead", format_obs_overhead_table(payload))
+    assert payload["enabled_ratio"] <= MAX_ENABLED_RATIO, payload

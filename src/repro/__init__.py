@@ -18,6 +18,7 @@ Quickstart::
     print(result.summary())
 """
 
+from repro import obs
 from repro.core.api import batch_scan, recommend_proposal, scan
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.ragged import scan_ragged, scan_segments
@@ -29,6 +30,7 @@ from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200, PASCAL_P100, get_archit
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "batch_scan",
     "recommend_proposal",
     "scan",

@@ -68,7 +68,29 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="draw the lane/phase ASCII timeline")
     sc.add_argument("--metrics", action="store_true",
                     help="print derived kernel/communication metrics")
+    sc.add_argument("--json", action="store_true",
+                    help="emit a machine-readable JSON bundle instead of text")
+    sc.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="write a Chrome/Perfetto trace-event JSON file")
     sc.add_argument("--seed", type=int, default=0)
+
+    ob = sub.add_parser(
+        "obs",
+        help="run warm serving calls with observability on; print the "
+        "session report and metrics exposition",
+    )
+    ob.add_argument("--n", type=int, default=14, help="log2 problem size")
+    ob.add_argument("--g", type=int, default=3, help="log2 batch size")
+    ob.add_argument("--proposal", default="mps",
+                    choices=["auto", "sp", "pp", "mps", "mppc", "mn-mps"])
+    ob.add_argument("--w", type=int, default=4, help="GPUs per node (W)")
+    ob.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
+    ob.add_argument("--m", type=int, default=1, help="nodes (M)")
+    ob.add_argument("--calls", type=int, default=8,
+                    help="number of scan() calls to drive through the session")
+    ob.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="write a Chrome/Perfetto trace-event JSON file")
+    ob.add_argument("--seed", type=int, default=0)
 
     fig = sub.add_parser("figure", help="regenerate an evaluation figure")
     fig.add_argument("number", type=int, choices=[9, 10, 11, 12, 13])
@@ -122,9 +144,13 @@ def _cmd_table3(arch_name: str) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro import obs
+
     machine = tsubame_kfc(max(1, args.m))
     rng = np.random.default_rng(args.seed)
     data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
+    if args.trace_out:
+        obs.enable()
     t0 = time.perf_counter()
     result = scan(
         data,
@@ -138,9 +164,34 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         K="tune" if args.tune else None,
     )
     wall = time.perf_counter() - t0
+    verified = False
     reference = result.problem.operator.accumulate(data, axis=-1)
     if not args.exclusive:
         np.testing.assert_array_equal(result.output, reference)
+        verified = True
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, result.trace, obs.finished_spans())
+    if args.json:
+        import json
+
+        from repro.gpusim.metrics import summarize
+
+        bundle = {
+            "proposal": result.proposal,
+            "K": result.config.get("K"),
+            "config": {
+                k: v for k, v in result.config.items() if k != "gpu_ids"
+            },
+            "N": result.problem.N,
+            "G": result.problem.G,
+            "verified": verified,
+            "breakdown_s": result.breakdown,
+            "metrics": summarize(result.trace, machine.arch),
+            "wall_s": wall,
+        }
+        print(json.dumps(bundle, indent=2))
+        return 0
+    if verified:
         print("verified against numpy reference")
     print(result.summary())
     print("breakdown:")
@@ -157,7 +208,36 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print()
         for key, value in summarize(result.trace, machine.arch).items():
             print(f"  {key}: {value}")
+    if args.trace_out:
+        print(f"chrome trace written to {args.trace_out}")
     print(f"(simulation wall-clock: {wall:.3f} s)")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.session import ScanSession
+
+    machine = tsubame_kfc(max(1, args.m))
+    rng = np.random.default_rng(args.seed)
+    obs.enable()
+    session = ScanSession(machine)
+    last = None
+    for _ in range(max(1, args.calls)):
+        data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
+        last = session.scan(
+            data,
+            proposal=args.proposal,
+            W=args.w,
+            V=args.v,
+            M=args.m,
+        )
+    print(session.report().format())
+    print()
+    print(obs.render_prometheus(obs.registry()), end="")
+    if args.trace_out and last is not None:
+        obs.write_chrome_trace(args.trace_out, last.trace, obs.finished_spans())
+        print(f"\nchrome trace written to {args.trace_out}")
     return 0
 
 
@@ -285,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_table3(args.arch)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "figure":
         return _cmd_figure(args.number, args.total, args.chart, args.csv)
     if args.command == "breakdown":

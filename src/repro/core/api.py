@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpusim.events import Trace
 from repro.interconnect.topology import SystemTopology
@@ -100,19 +101,20 @@ def scan(
     form of the plan geometry, so a warm call reports exactly the trace a
     cold call would.
     """
-    session = default_session(M) if topology is None else session_for(topology)
-    return session.scan(
-        data,
-        proposal=proposal,
-        W=W,
-        V=V,
-        M=M,
-        operator=operator,
-        inclusive=inclusive,
-        K=K,
-        collect=collect,
-        include_distribution=include_distribution,
-    )
+    with obs.span("api.scan"):
+        session = default_session(M) if topology is None else session_for(topology)
+        return session.scan(
+            data,
+            proposal=proposal,
+            W=W,
+            V=V,
+            M=M,
+            operator=operator,
+            inclusive=inclusive,
+            K=K,
+            collect=collect,
+            include_distribution=include_distribution,
+        )
 
 
 def add_distribution_records(result: ScanResult, topology: SystemTopology) -> None:

@@ -123,7 +123,6 @@ class _BlockScanCore:
           per-call instruction accounting (already multiplied out).
         """
         op = self.op
-        kp = self.params
         nb, K, Lx, P = chunks.shape
         width, nw = self.width, self.num_warps
         lanes = chunks.reshape(nb, K, nw, width, P)

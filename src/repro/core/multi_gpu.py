@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpusim.device import GPU
 from repro.gpusim.events import Trace
@@ -126,55 +127,61 @@ def problem_scattering_flow(
     try:
         # Stage 1: all GPUs reduce their chunks concurrently. The master
         # writes straight into the shared auxiliary array (it owns it).
-        launch_chunk_reduce(
-            trace, root, portions[0], aux_global, plan,
-            chunk_column_offset=0, phase="stage1", functional=functional,
-        )
-        dispatch("stage1", root)
-        for i in range(1, w):
+        with obs.span("stage1"):
             launch_chunk_reduce(
-                trace, gpus[i], portions[i], aux_locals[i], plan,
+                trace, root, portions[0], aux_global, plan,
                 chunk_column_offset=0, phase="stage1", functional=functional,
             )
-            dispatch("stage1", gpus[i])
+            dispatch("stage1", root)
+            for i in range(1, w):
+                launch_chunk_reduce(
+                    trace, gpus[i], portions[i], aux_locals[i], plan,
+                    chunk_column_offset=0, phase="stage1", functional=functional,
+                )
+                dispatch("stage1", gpus[i])
 
         # Collect chunk reductions into the master's auxiliary array. P2P
         # routes are written directly by the kernel (UVA) — one bulk
         # message; host-staged routes need one explicit copy per problem's
         # auxiliary row (the Figure-9 W=8 cliff).
-        for i in range(1, w):
-            src = aux_locals[i]
-            dst = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
-            messages = 1 if topology.p2p_capable(gpus[i], root) else g_local
-            engine.copy(trace, gather_phase, src, dst, messages=messages,
-                        functional=functional)
+        with obs.span(gather_phase):
+            for i in range(1, w):
+                src = aux_locals[i]
+                dst = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
+                messages = 1 if topology.p2p_capable(gpus[i], root) else g_local
+                engine.copy(trace, gather_phase, src, dst, messages=messages,
+                            functional=functional)
 
         # Stage 2 on the master alone.
-        launch_intermediate_scan(
-            trace, root, aux_global, plan, phase="stage2", functional=functional
-        )
-        dispatch("stage2", root)
+        with obs.span("stage2"):
+            launch_intermediate_scan(
+                trace, root, aux_global, plan, phase="stage2",
+                functional=functional,
+            )
+            dispatch("stage2", root)
 
         # Return each GPU's slice of the scanned offsets.
-        for i in range(1, w):
-            src = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
-            dst = aux_locals[i]
-            messages = 1 if topology.p2p_capable(root, gpus[i]) else g_local
-            engine.copy(trace, scatter_phase, src, dst, messages=messages,
-                        functional=functional)
+        with obs.span(scatter_phase):
+            for i in range(1, w):
+                src = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
+                dst = aux_locals[i]
+                messages = 1 if topology.p2p_capable(root, gpus[i]) else g_local
+                engine.copy(trace, scatter_phase, src, dst, messages=messages,
+                            functional=functional)
 
         # Stage 3 everywhere.
-        launch_scan_add(
-            trace, root, portions[0], aux_global, plan,
-            chunk_column_offset=0, phase="stage3", functional=functional,
-        )
-        dispatch("stage3", root)
-        for i in range(1, w):
+        with obs.span("stage3"):
             launch_scan_add(
-                trace, gpus[i], portions[i], aux_locals[i], plan,
+                trace, root, portions[0], aux_global, plan,
                 chunk_column_offset=0, phase="stage3", functional=functional,
             )
-            dispatch("stage3", gpus[i])
+            dispatch("stage3", root)
+            for i in range(1, w):
+                launch_scan_add(
+                    trace, gpus[i], portions[i], aux_locals[i], plan,
+                    chunk_column_offset=0, phase="stage3", functional=functional,
+                )
+                dispatch("stage3", gpus[i])
     finally:
         scope.release()
 
@@ -252,9 +259,11 @@ class ScanMPS:
         plan = self.plan_for(problem)
         w = self.node.W
         with AllocationScope() as scope:
-            portions = upload_portions(self.gpus, batch, w, scope)
+            with obs.span("upload"):
+                portions = upload_portions(self.gpus, batch, w, scope)
             trace = self.run_on_device(portions, plan)
-            output = collect_portions(portions) if collect else None
+            with obs.span("collect"):
+                output = collect_portions(portions) if collect else None
         return ScanResult(
             problem=problem,
             proposal="scan-mps",
@@ -383,7 +392,7 @@ class ScanProblemParallel:
                 operator=operator, inclusive=inclusive,
             )
             plan = executor.plan_for(sub_problem)
-            with AllocationScope() as scope:
+            with obs.span("pp.worker", gpu=gpu.id), AllocationScope() as scope:
                 device_data = scope.upload(gpu, sub)
                 aux = scope.alloc(gpu, (g_per_gpu, plan.chunks_total), sub_problem.dtype)
                 trace.merge(executor.run_on_device(device_data, aux, plan))

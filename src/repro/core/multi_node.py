@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpusim.device import GPU
 from repro.gpusim.events import Trace
@@ -118,18 +119,22 @@ class ScanMultiNodeMPS:
         n_local = n // parts
 
         with AllocationScope() as scope:
-            portions = [
-                scope.upload(
-                    gpu,
-                    np.ascontiguousarray(batch[:, r * n_local : (r + 1) * n_local]),
-                )
-                for r, gpu in enumerate(self.gpus)
-            ]
+            with obs.span("upload"):
+                portions = [
+                    scope.upload(
+                        gpu,
+                        np.ascontiguousarray(
+                            batch[:, r * n_local : (r + 1) * n_local]
+                        ),
+                    )
+                    for r, gpu in enumerate(self.gpus)
+                ]
             trace = self.run_on_device(portions, plan)
-            output = (
-                np.concatenate([p.to_host() for p in portions], axis=1)
-                if collect else None
-            )
+            with obs.span("collect"):
+                output = (
+                    np.concatenate([p.to_host() for p in portions], axis=1)
+                    if collect else None
+                )
         return ScanResult(
             problem=problem,
             proposal="scan-mn-mps",
@@ -179,56 +184,64 @@ class ScanMultiNodeMPS:
 
         try:
             # Stage 1 on every GPU (each node's host dispatches its own W).
-            for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
-                launch_chunk_reduce(
-                    trace, gpu, portion, aux, plan,
-                    chunk_column_offset=0, phase="stage1", functional=functional,
-                )
-                dispatch("stage1", gpu)
+            with obs.span("stage1"):
+                for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                    launch_chunk_reduce(
+                        trace, gpu, portion, aux, plan,
+                        chunk_column_offset=0, phase="stage1",
+                        functional=functional,
+                    )
+                    dispatch("stage1", gpu)
 
             # "After synchronizing all MPI processes, ..."
-            self.comm.barrier(trace, "mpi_barrier")
+            with obs.span("mpi_barrier"):
+                self.comm.barrier(trace, "mpi_barrier")
 
             # MPI_Gather of every rank's chunk reductions to the master.
-            self.comm.gather(
-                trace, "mpi_gather", aux_locals, staging, root=0,
-                functional=functional,
-            )
-            # Rank-major -> problem-major relayout on the master (cheap
-            # device-side shuffle; not separately timed).
-            if functional:
-                aux_master.data[...] = (
-                    staging.data.reshape(parts, g_local, bx)
-                    .transpose(1, 0, 2)
-                    .reshape(g_local, parts * bx)
+            with obs.span("mpi_gather"):
+                self.comm.gather(
+                    trace, "mpi_gather", aux_locals, staging, root=0,
+                    functional=functional,
                 )
+                # Rank-major -> problem-major relayout on the master (cheap
+                # device-side shuffle; not separately timed).
+                if functional:
+                    aux_master.data[...] = (
+                        staging.data.reshape(parts, g_local, bx)
+                        .transpose(1, 0, 2)
+                        .reshape(g_local, parts * bx)
+                    )
 
             # Stage 2 on the master only.
-            launch_intermediate_scan(
-                trace, master, aux_master, plan, phase="stage2",
-                functional=functional,
-            )
-            dispatch("stage2", master)
+            with obs.span("stage2"):
+                launch_intermediate_scan(
+                    trace, master, aux_master, plan, phase="stage2",
+                    functional=functional,
+                )
+                dispatch("stage2", master)
 
             # MPI_Scatter of each rank's slice of the scanned offsets.
-            if functional:
-                staging.data[...] = (
-                    aux_master.data.reshape(g_local, parts, bx)
-                    .transpose(1, 0, 2)
-                    .reshape(parts, g_local * bx)
+            with obs.span("mpi_scatter"):
+                if functional:
+                    staging.data[...] = (
+                        aux_master.data.reshape(g_local, parts, bx)
+                        .transpose(1, 0, 2)
+                        .reshape(parts, g_local * bx)
+                    )
+                self.comm.scatter(
+                    trace, "mpi_scatter", staging, aux_locals, root=0,
+                    functional=functional,
                 )
-            self.comm.scatter(
-                trace, "mpi_scatter", staging, aux_locals, root=0,
-                functional=functional,
-            )
 
             # Stage 3 on every GPU.
-            for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
-                launch_scan_add(
-                    trace, gpu, portion, aux, plan,
-                    chunk_column_offset=0, phase="stage3", functional=functional,
-                )
-                dispatch("stage3", gpu)
+            with obs.span("stage3"):
+                for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                    launch_scan_add(
+                        trace, gpu, portion, aux, plan,
+                        chunk_column_offset=0, phase="stage3",
+                        functional=functional,
+                    )
+                    dispatch("stage3", gpu)
         finally:
             activation.__exit__(None, None, None)
             scope.release()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpusim.device import GPU
 from repro.gpusim.events import Trace
@@ -114,31 +115,34 @@ class ScanMPPC:
 
         trace = Trace()
         with AllocationScope() as scope:
-            group_portions = []
-            for j in range(groups_used):
-                sub = batch[j * g_per_group : (j + 1) * g_per_group]
-                group_portions.append(
-                    upload_portions(self.groups[j], sub, self.node.V, scope)
-                )
+            with obs.span("upload"):
+                group_portions = []
+                for j in range(groups_used):
+                    sub = batch[j * g_per_group : (j + 1) * g_per_group]
+                    group_portions.append(
+                        upload_portions(self.groups[j], sub, self.node.V, scope)
+                    )
 
             active = [g for j in range(groups_used) for g in self.groups[j]]
             dispatch_counter: dict = {}
             with self.topology.activate(active):
                 for j in range(groups_used):
-                    problem_scattering_flow(
-                        trace, self.engine, self.topology,
-                        self.groups[j], group_portions[j], plan,
-                        dispatch_counter=dispatch_counter,
-                        overlap=self.overlap,
-                    )
+                    with obs.span("network", group=j):
+                        problem_scattering_flow(
+                            trace, self.engine, self.topology,
+                            self.groups[j], group_portions[j], plan,
+                            dispatch_counter=dispatch_counter,
+                            overlap=self.overlap,
+                        )
 
             output = None
             if collect:
-                rows = [
-                    np.concatenate([p.to_host() for p in portions], axis=1)
-                    for portions in group_portions
-                ]
-                output = np.concatenate(rows, axis=0)
+                with obs.span("collect"):
+                    rows = [
+                        np.concatenate([p.to_host() for p in portions], axis=1)
+                        for portions in group_portions
+                    ]
+                    output = np.concatenate(rows, axis=0)
         return ScanResult(
             problem=problem,
             proposal="scan-mp-pc",

@@ -20,9 +20,13 @@ drops.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs.registry import Histogram
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
 from repro.core.autotune_cache import AutotuneCache, CachedTuner
 from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
@@ -109,6 +113,14 @@ class ScanSession:
         self._entries: dict[tuple, _SessionEntry] = {}
         self.hits = 0
         self.misses = 0
+        self.calls = 0
+        #: Streaming host-latency / simulated-time distributions of served
+        #: calls. The histograms always exist (``stats()`` and session
+        #: reports read them) but are only observed into while
+        #: :func:`repro.obs.is_enabled` — the default-off path pays one
+        #: boolean check per call.
+        self.latency = Histogram("session.latency_s")
+        self.sim_time = Histogram("session.sim_time_s")
 
     # -------------------------------------------------------------- serving
 
@@ -132,43 +144,69 @@ class ScanSession:
         """
         from repro.core.api import add_distribution_records, recommend_proposal
 
-        if V is None:
-            V = min(W, self.topology.gpus_per_network)
-        node = NodeConfig.from_counts(W=W, V=V, M=M)
-        batch = coerce_batch(data)
-        problem = ProblemConfig.from_sizes(
-            N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype,
-            operator=operator, inclusive=inclusive,
-        )
-        if proposal == "auto":
-            proposal = recommend_proposal(self.topology, node, problem)
-        if K != "tune" and K is not None and not isinstance(K, int):
-            raise ConfigurationError(
-                f"K must be an int, None or 'tune', got {K!r}"
-            )
-        if proposal not in _PROPOSALS:
-            raise ConfigurationError(
-                f"unknown proposal {proposal!r}; use auto/sp/pp/mps/mppc/mn-mps"
-            )
+        enabled = obs.is_enabled()
+        t0 = time.perf_counter() if enabled else 0.0
+        with obs.span("scan") as root:
+            with obs.span("plan") as plan_span:
+                if V is None:
+                    V = min(W, self.topology.gpus_per_network)
+                node = NodeConfig.from_counts(W=W, V=V, M=M)
+                batch = coerce_batch(data)
+                problem = ProblemConfig.from_sizes(
+                    N=batch.shape[1], G=batch.shape[0], dtype=batch.dtype,
+                    operator=operator, inclusive=inclusive,
+                )
+                if proposal == "auto":
+                    proposal = recommend_proposal(self.topology, node, problem)
+                if K != "tune" and K is not None and not isinstance(K, int):
+                    raise ConfigurationError(
+                        f"K must be an int, None or 'tune', got {K!r}"
+                    )
+                if proposal not in _PROPOSALS:
+                    raise ConfigurationError(
+                        f"unknown proposal {proposal!r}; use auto/sp/pp/mps/mppc/mn-mps"
+                    )
 
-        key = (problem, node, proposal, K)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            k_value = self._resolve_k(K, proposal, node, problem, batch)
-            entry = _SessionEntry(
-                self._build_executor(proposal, node, k_value), k_value, proposal
-            )
-            self._entries[key] = entry
-        else:
-            self.hits += 1
-        entry.calls += 1
+                key = (problem, node, proposal, K)
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    obs.counter("session.plan_cache.misses").inc()
+                    k_value = self._resolve_k(K, proposal, node, problem, batch)
+                    entry = _SessionEntry(
+                        self._build_executor(proposal, node, k_value),
+                        k_value, proposal,
+                    )
+                    self._entries[key] = entry
+                    plan_span.set("cache", "miss")
+                else:
+                    self.hits += 1
+                    obs.counter("session.plan_cache.hits").inc()
+                    plan_span.set("cache", "hit")
+                plan_span.set("proposal", proposal)
+            entry.calls += 1
+            self.calls += 1
 
-        result = entry.executor.run(
-            batch, operator=operator, inclusive=inclusive, collect=collect
-        )
-        if include_distribution:
-            add_distribution_records(result, self.topology)
+            with obs.span("execute", proposal=proposal) as exec_span:
+                result = entry.executor.run(
+                    batch, operator=operator, inclusive=inclusive, collect=collect
+                )
+                exec_span.annotate_trace(result.trace)
+            if include_distribution:
+                with obs.span("distribute"):
+                    add_distribution_records(result, self.topology)
+            root.set("proposal", proposal)
+            root.set("N", problem.N)
+            root.set("G", problem.G)
+            root.annotate_trace(result.trace)
+        if enabled:
+            wall = time.perf_counter() - t0
+            sim = result.total_time_s
+            self.latency.observe(wall)
+            self.sim_time.observe(sim)
+            obs.counter("scan.calls", proposal=proposal).inc()
+            obs.histogram("scan.latency_s", proposal=proposal).observe(wall)
+            obs.histogram("scan.sim_time_s", proposal=proposal).observe(sim)
         return result
 
     # ----------------------------------------------------------- internals
@@ -213,23 +251,40 @@ class ScanSession:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.calls = 0
+        self.latency = Histogram("session.latency_s")
+        self.sim_time = Histogram("session.sim_time_s")
 
     @property
     def cached_configurations(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict:
-        """Counter snapshot: session cache plus the machine's buffer pools."""
+        """Counter snapshot: session cache, latency percentiles, buffer pools.
+
+        The ``latency``/``sim_time`` summaries (count, p50/p95/p99, mean)
+        only accumulate while observability is on (``repro.obs.enable()``
+        or ``REPRO_OBS=1``); they report zero counts otherwise.
+        """
         from repro.gpusim.metrics import buffer_pool_stats
 
         return {
+            "calls": self.calls,
             "hits": self.hits,
             "misses": self.misses,
             "cached_configurations": len(self._entries),
             "tuner_hits": self.tuner.cache.hits,
             "tuner_misses": self.tuner.cache.misses,
+            "latency": self.latency.summary(),
+            "sim_time": self.sim_time.summary(),
             "buffer_pools": buffer_pool_stats(self.topology),
         }
+
+    def report(self):
+        """The condensed serving report (:class:`repro.obs.SessionReport`)."""
+        from repro.obs.report import session_report
+
+        return session_report(self)
 
 
 def session_for(topology: SystemTopology) -> ScanSession:

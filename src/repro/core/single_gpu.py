@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import GPU
@@ -139,10 +140,12 @@ class ScanSP:
         plan = self.plan_for(problem)
 
         with AllocationScope() as scope:
-            device_data = scope.upload(self.gpu, batch)
-            aux = scope.alloc(self.gpu, (g, plan.chunks_total), problem.dtype)
+            with obs.span("upload"):
+                device_data = scope.upload(self.gpu, batch)
+                aux = scope.alloc(self.gpu, (g, plan.chunks_total), problem.dtype)
             trace = self.run_on_device(device_data, aux, plan)
-            output = device_data.to_host() if collect else None
+            with obs.span("collect"):
+                output = device_data.to_host() if collect else None
         return ScanResult(
             problem=problem,
             proposal="scan-sp",
@@ -162,17 +165,20 @@ class ScanSP:
     ) -> Trace:
         """The timed region: three kernel launches on resident data."""
         trace = Trace()
-        launch_chunk_reduce(
-            trace, self.gpu, device_data, aux, plan, phase="stage1",
-            functional=functional, vector_loads=self.vector_loads,
-        )
-        launch_intermediate_scan(
-            trace, self.gpu, aux, plan, phase="stage2", functional=functional
-        )
-        launch_scan_add(
-            trace, self.gpu, device_data, aux, plan, phase="stage3",
-            functional=functional, vector_loads=self.vector_loads,
-        )
+        with obs.span("stage1"):
+            launch_chunk_reduce(
+                trace, self.gpu, device_data, aux, plan, phase="stage1",
+                functional=functional, vector_loads=self.vector_loads,
+            )
+        with obs.span("stage2"):
+            launch_intermediate_scan(
+                trace, self.gpu, aux, plan, phase="stage2", functional=functional
+            )
+        with obs.span("stage3"):
+            launch_scan_add(
+                trace, self.gpu, device_data, aux, plan, phase="stage3",
+                functional=functional, vector_loads=self.vector_loads,
+            )
         return trace
 
     def estimate(self, problem: ProblemConfig) -> ScanResult:

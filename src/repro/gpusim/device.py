@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import LaunchError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.costmodel import CostModel, KernelCostInput
@@ -193,6 +194,9 @@ class GPU:
             warp_occupancy=occ.warp_occupancy,
         )
         trace.add(record)
+        if obs.is_enabled():
+            obs.counter("kernel.launches", name=name).inc()
+            obs.counter("kernel.sim_time_s", name=name).inc(record.time_s)
         return record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

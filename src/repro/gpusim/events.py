@@ -142,9 +142,14 @@ class Trace:
             {"type": type(r).__name__, **asdict(r)} for r in self.records
         ]
 
+    #: Version of the JSON payload produced by :meth:`to_json`. Bump when
+    #: the payload shape changes so downstream tooling can dispatch.
+    SCHEMA_VERSION = 1
+
     def to_json(self, indent: int | None = None) -> str:
         """Serialise the trace for external tooling (timelines, flamegraphs)."""
         payload = {
+            "schema": Trace.SCHEMA_VERSION,
             "phases": self.phases(),
             "breakdown_s": self.breakdown(),
             "total_time_s": self.total_time(),

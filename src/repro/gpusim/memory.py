@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AllocationError, DeviceMismatchError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -232,9 +233,14 @@ class BufferPool:
             self.bytes_reused += nbytes
             if self.poison:
                 block[...] = POISON_BYTE
+            if obs.is_enabled():
+                obs.counter("pool.hits").inc()
+                obs.counter("pool.bytes_reused").inc(nbytes)
         else:
             block = np.empty(cls, dtype=np.uint8)
             self.misses += 1
+            if obs.is_enabled():
+                obs.counter("pool.misses").inc()
         array = block[:nbytes].view(dtype).reshape(shape)
         return array, block
 

@@ -54,28 +54,35 @@ def communication_share(trace: Trace) -> float:
     """Fraction of total wall-clock spent in communication-bearing phases.
 
     A phase counts as communication when its wall-clock is set by a
-    transfer/MPI lane rather than a GPU lane.
+    transfer/MPI lane rather than a GPU lane. Computed in a single pass
+    over ``trace.records``: one walk accumulates per-(phase, lane) busy
+    time and whether each lane carried any communication, then the
+    per-phase critical lanes are read off the accumulated map — O(records
+    + phases x lanes) instead of rescanning every record once per phase.
     """
-    total = trace.total_time()
+    per_phase: dict[str, dict[str, float]] = {}
+    carries_comm: dict[tuple[str, str], bool] = {}
+    for rec in trace.records:
+        lanes = per_phase.get(rec.phase)
+        if lanes is None:
+            lanes = per_phase[rec.phase] = {}
+        lanes[rec.lane] = lanes.get(rec.lane, 0.0) + rec.time_s
+        key = (rec.phase, rec.lane)
+        if not carries_comm.get(key, False):
+            carries_comm[key] = isinstance(
+                rec, (TransferRecord, MPIRecord)
+            ) and getattr(rec, "kind", "") != "dispatch"
+
+    total = 0.0
+    comm = 0.0
+    for phase, lanes in per_phase.items():
+        critical = max(lanes, key=lambda lane: lanes[lane])
+        critical_time = lanes[critical]
+        total += critical_time
+        if carries_comm[(phase, critical)]:
+            comm += critical_time
     if total <= 0:
         return 0.0
-    comm = 0.0
-    for phase in trace.phases():
-        lanes: dict[str, float] = {}
-        kinds: dict[str, bool] = {}
-        for rec in trace.records:
-            if rec.phase != phase:
-                continue
-            lanes[rec.lane] = lanes.get(rec.lane, 0.0) + rec.time_s
-            is_comm = isinstance(rec, (TransferRecord, MPIRecord)) and (
-                getattr(rec, "kind", "") != "dispatch"
-            )
-            kinds[rec.lane] = kinds.get(rec.lane, False) or is_comm
-        if not lanes:
-            continue
-        critical = max(lanes, key=lambda lane: lanes[lane])
-        if kinds.get(critical, False):
-            comm += lanes[critical]
     return comm / total
 
 

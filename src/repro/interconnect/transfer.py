@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import TransferError
 from repro.gpusim.events import Trace, TransferRecord
 from repro.gpusim.memory import DeviceArray
@@ -60,6 +61,20 @@ class TransferCostParams:
     #: node, so the i-th GPU's kernel starts ~i dispatch slots late — the
     #: effect that caps strong scaling as W grows.
     host_dispatch_s: float = 55e-6
+
+
+def _observe(record: TransferRecord) -> None:
+    """Report one transfer into the metrics registry (when enabled).
+
+    Dispatch records are host bookkeeping, not data movement, so they
+    get their own count but contribute no bytes series.
+    """
+    if not obs.is_enabled():
+        return
+    obs.counter("transfer.count", kind=record.kind).inc()
+    if record.kind != "dispatch":
+        obs.counter("transfer.bytes", kind=record.kind).inc(record.nbytes)
+    obs.counter("transfer.sim_time_s", kind=record.kind).inc(record.time_s)
 
 
 class TransferEngine:
@@ -123,6 +138,7 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        _observe(record)
         return record
 
     def device_to_host(
@@ -142,6 +158,7 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        _observe(record)
         return record
 
     # ------------------------------------------------------------- dispatch
@@ -170,6 +187,7 @@ class TransferEngine:
             kind="dispatch",
         )
         trace.add(record)
+        _observe(record)
         return record
 
     # -------------------------------------------------------------- copying
@@ -217,4 +235,5 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        _observe(record)
         return record

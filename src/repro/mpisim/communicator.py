@@ -24,8 +24,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
+from repro import obs
 from repro.errors import MPIError
 from repro.gpusim.device import GPU
 from repro.gpusim.events import MPIRecord, Trace
@@ -128,6 +128,10 @@ class Communicator:
                 nbytes=nbytes,
             )
         )
+        if obs.is_enabled():
+            obs.counter("mpi.ops", op=op).inc()
+            obs.counter("mpi.bytes", op=op).inc(nbytes)
+            obs.counter("mpi.sim_time_s", op=op).inc(time)
 
     # ------------------------------------------------------------- topology
 

@@ -1,0 +1,128 @@
+"""repro.obs: the serving observability layer.
+
+One switchboard over three pieces:
+
+- a process-wide **metrics registry** (:mod:`repro.obs.registry`) the
+  session, executors, buffer pools, transfer engine and MPI sim report
+  into (``scan.calls``, ``scan.latency_s{proposal=...}``,
+  ``transfer.bytes{kind=...}``, ``pool.bytes_reused``, ...);
+- **span tracing** (:mod:`repro.obs.tracing`) with ambient context
+  propagation, so each ``scan()`` produces a span tree annotated with
+  the simulated trace it subsumes;
+- **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.report`):
+  Chrome trace-event / Perfetto JSON, Prometheus text exposition, and
+  latency-percentile session reports.
+
+Everything is **off by default** and costs nothing while off: the module
+globals below resolve to a :data:`~repro.obs.registry.NULL_REGISTRY` and
+a shared null span, so instrumented call sites reduce to one boolean
+check (or one no-op method call). Turn it on per process with
+:func:`enable` or by exporting ``REPRO_OBS=1`` before import::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # serve scans
+    print(obs.render_prometheus(obs.registry()))
+    obs.write_chrome_trace("trace.json", result.trace, obs.finished_spans())
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.export import (
+    chrome_trace,
+    render_prometheus,
+    spans_to_chrome_events,
+    trace_to_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+)
+from repro.obs.report import SessionReport, session_report
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, current_span
+
+__all__ = [
+    "enable", "disable", "is_enabled", "registry", "span", "current_span",
+    "counter", "gauge", "histogram", "finished_spans", "reset",
+    "chrome_trace", "trace_to_chrome_events", "spans_to_chrome_events",
+    "write_chrome_trace", "render_prometheus", "session_report",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SessionReport",
+    "Span", "Tracer", "NULL_INSTRUMENT", "NULL_REGISTRY", "NULL_SPAN",
+]
+
+_ENABLED = False
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+
+def enable() -> MetricsRegistry:
+    """Turn observability on process-wide; returns the live registry."""
+    global _ENABLED
+    _ENABLED = True
+    return _REGISTRY
+
+
+def disable() -> None:
+    """Turn observability off. Collected data is kept until :func:`reset`."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def registry() -> MetricsRegistry:
+    """The live registry — even while disabled, so collected data stays
+    readable; writers must gate on :func:`is_enabled` themselves (the
+    instrument helpers below already do)."""
+    return _REGISTRY
+
+
+def counter(name: str, /, **labels):
+    """The named counter, or a shared no-op instrument while disabled."""
+    if not _ENABLED:
+        return NULL_INSTRUMENT
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, /, **labels):
+    if not _ENABLED:
+        return NULL_INSTRUMENT
+    return _REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, /, *, window: int = 1024, **labels):
+    if not _ENABLED:
+        return NULL_INSTRUMENT
+    return _REGISTRY.histogram(name, window=window, **labels)
+
+
+def span(name: str, /, **attrs):
+    """A context-managed span, or the shared null span while disabled."""
+    if not _ENABLED:
+        return NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def finished_spans() -> list[Span]:
+    """Completed root spans, oldest first (bounded ring)."""
+    return list(_TRACER.finished)
+
+
+def reset() -> None:
+    """Drop every collected metric and span (the enabled flag is kept)."""
+    _REGISTRY.clear()
+    _TRACER.clear()
+
+
+if os.environ.get("REPRO_OBS", "").strip().lower() not in ("", "0", "false", "no"):
+    enable()

@@ -1,0 +1,226 @@
+"""Exporters: Chrome trace-event (Perfetto) JSON and Prometheus text.
+
+The simulator already knows everything a timeline viewer needs — the
+phase/lane composition rule in :mod:`repro.gpusim.events` fixes when each
+record runs: phases execute back to back, and within a phase the records
+of one lane serialise in record order while lanes overlap. The Chrome
+exporter replays exactly that rule to assign start timestamps, so the
+slices shown in ``chrome://tracing`` / https://ui.perfetto.dev *are* the
+trace's breakdown: lanes become named threads (tids), each phase becomes
+a slice on a dedicated "phases" track that nests the per-lane record
+slices it contains.
+
+Host-side :class:`~repro.obs.tracing.Span` trees export to the same file
+under a separate process id, so one Perfetto view shows simulated device
+time and host serving overhead side by side.
+
+Prometheus exposition renders the :class:`~repro.obs.registry.MetricsRegistry`
+in the standard text format (counters/gauges as-is; histograms as
+summaries with quantile labels) for scrape-style consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.events import Trace
+    from repro.obs.tracing import Span
+
+#: pid of the simulated-machine timeline in exported files.
+SIM_PID = 1
+#: pid of the host-side span timeline.
+HOST_PID = 2
+
+
+def _record_name(rec) -> str:
+    name = getattr(rec, "name", None) or getattr(rec, "op", None)
+    return name if name is not None else getattr(rec, "kind", type(rec).__name__)
+
+
+def _record_args(rec) -> dict:
+    args = {"type": type(rec).__name__, "phase": rec.phase}
+    for field in ("gpu_id", "src_gpu", "dst_gpu", "nbytes", "kind", "messages",
+                  "op", "comm_size", "operator_applications"):
+        value = getattr(rec, field, None)
+        if value is not None:
+            args[field] = value
+    return args
+
+
+def trace_to_chrome_events(trace: "Trace", pid: int = SIM_PID) -> list[dict]:
+    """Trace records as Chrome trace-event dicts (timestamps in us).
+
+    Deterministic replay of the composition rule: phase p starts at the
+    sum of earlier phases' wall-clock; a record starts at its lane's
+    cursor within its phase and advances it. Lanes map to tids (in
+    first-appearance order, tid 1+); tid 0 carries one slice per phase,
+    which visually nests every record slice of that phase.
+    """
+    phases = trace.phases()
+    breakdown = trace.breakdown()
+    phase_start: dict[str, float] = {}
+    clock = 0.0
+    for phase in phases:
+        phase_start[phase] = clock
+        clock += breakdown[phase]
+
+    events: list[dict] = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": "simulated machine"}},
+        {"ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+         "args": {"name": "phases"}},
+    ]
+    for phase in phases:
+        events.append({
+            "ph": "X", "pid": pid, "tid": 0, "cat": "phase", "name": phase,
+            "ts": phase_start[phase] * 1e6,
+            "dur": breakdown[phase] * 1e6,
+        })
+
+    lane_tids: dict[str, int] = {}
+    cursor: dict[tuple[str, str], float] = {}
+    for rec in trace.records:
+        tid = lane_tids.get(rec.lane)
+        if tid is None:
+            tid = len(lane_tids) + 1
+            lane_tids[rec.lane] = tid
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": rec.lane},
+            })
+        key = (rec.phase, rec.lane)
+        start = cursor.get(key, phase_start[rec.phase])
+        cursor[key] = start + rec.time_s
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid, "cat": "record",
+            "name": _record_name(rec),
+            "ts": start * 1e6,
+            "dur": rec.time_s * 1e6,
+            "args": _record_args(rec),
+        })
+    return events
+
+
+def spans_to_chrome_events(
+    spans: Iterable["Span"], pid: int = HOST_PID
+) -> list[dict]:
+    """Host span trees as Chrome trace-event dicts (one tid, nested X slices).
+
+    Timestamps are rebased to the earliest span start so the host
+    timeline begins at zero alongside the simulated one.
+    """
+    roots = [s for s in spans if s.start_s is not None]
+    if not roots:
+        return []
+    origin = min(s.start_s for s in roots)
+    events: list[dict] = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": "host (spans)"}},
+        {"ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+         "args": {"name": "serving"}},
+    ]
+    for root in roots:
+        for span in root.walk():
+            if span.start_s is None or span.end_s is None:
+                continue
+            args = {
+                k: v for k, v in span.attrs.items()
+                if isinstance(v, (int, float, str, bool)) or v is None
+            }
+            args.update({
+                k: list(v) for k, v in span.attrs.items() if isinstance(v, list)
+            })
+            events.append({
+                "ph": "X", "pid": pid, "tid": 0, "cat": "span",
+                "name": span.name,
+                "ts": (span.start_s - origin) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": args,
+            })
+    return events
+
+
+def chrome_trace(
+    trace: "Trace | None" = None, spans: Iterable["Span"] | None = None
+) -> dict:
+    """A complete Chrome trace-event JSON object for a trace and/or spans."""
+    events: list[dict] = []
+    if trace is not None:
+        events.extend(trace_to_chrome_events(trace))
+    if spans is not None:
+        events.extend(spans_to_chrome_events(spans))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    trace: "Trace | None" = None,
+    spans: Iterable["Span"] | None = None,
+) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the payload."""
+    payload = chrome_trace(trace, spans)
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return payload
+
+
+# ---------------------------------------------------------------- prometheus
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(pairs: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(f'{_prom_name(k)}="{v}"' for k, v in pairs)
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters and gauges render one sample per label set; histograms
+    render as summaries (``_count``/``_sum`` plus ``quantile`` labels for
+    p50/p95/p99 over the streaming window). Metric names are sanitized
+    (dots to underscores) and grouped under one TYPE header each.
+    """
+    by_name: dict[str, list] = {}
+    for instrument in registry:
+        by_name.setdefault(instrument.name, []).append(instrument)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        instruments = by_name[name]
+        prom = _prom_name(name)
+        kind = type(instruments[0])
+        if kind is Counter:
+            lines.append(f"# TYPE {prom} counter")
+            for inst in instruments:
+                lines.append(f"{prom}{_prom_labels(inst.labels)} {inst.value}")
+        elif kind is Gauge:
+            lines.append(f"# TYPE {prom} gauge")
+            for inst in instruments:
+                lines.append(f"{prom}{_prom_labels(inst.labels)} {inst.value}")
+        elif kind is Histogram:
+            lines.append(f"# TYPE {prom} summary")
+            for inst in instruments:
+                for q in (50, 95, 99):
+                    labels = _prom_labels(
+                        list(inst.labels) + [("quantile", f"0.{q}")]
+                    )
+                    lines.append(f"{prom}{labels} {inst.percentile(q)}")
+                lines.append(f"{prom}_sum{_prom_labels(inst.labels)} {inst.sum}")
+                lines.append(
+                    f"{prom}_count{_prom_labels(inst.labels)} {inst.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

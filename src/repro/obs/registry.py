@@ -1,0 +1,279 @@
+"""Process-wide metrics registry: counters, gauges, streaming histograms.
+
+The serving path (sessions, executors, buffer pools, transfer engine,
+MPI sim) reports into one :class:`MetricsRegistry` so quantities the
+paper argues with — per-stage time shares, communication bytes per
+route, pool reuse — are continuously available instead of recomputed
+from one-shot traces. Instruments are keyed by ``(name, labels)``:
+``registry.counter("transfer.bytes", kind="p2p")`` and
+``kind="host_staged"`` are two independent series of the same metric.
+
+Everything here is plain-Python cheap and allocation-light: a counter
+increment is one dict lookup amortised away by callers that hold the
+instrument, and the whole registry is bypassed entirely when
+observability is disabled (see :mod:`repro.obs`), so the default-off
+serving path pays nothing.
+
+Histogram percentiles are *streaming*: ``count``/``sum``/``min``/``max``
+cover every observation ever made, while quantiles are computed over a
+bounded window of the most recent observations (default 1024) — the
+serving-relevant "p95 over recent traffic" semantics, with strictly
+bounded memory and fully deterministic results.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (pool bytes, depth)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Streaming distribution summary with windowed percentiles.
+
+    ``count``/``sum``/``min``/``max`` are exact over all observations;
+    :meth:`percentile` interpolates over a ring buffer of the most recent
+    ``window`` observations. The window makes memory bounded and keeps
+    p50/p95/p99 responsive to the *current* serving regime rather than
+    averaging over the whole process lifetime.
+    """
+
+    __slots__ = ("name", "labels", "window", "count", "sum", "min", "max",
+                 "_ring", "_next")
+
+    def __init__(self, name: str = "", labels: LabelKey = (), window: int = 1024):
+        if window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
+        self.name = name
+        self.labels = labels
+        self.window = window
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._ring: list[float] = []
+        self._next = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._ring) < self.window:
+            self._ring.append(value)
+        else:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self.window
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linearly interpolated q-quantile (q in [0, 100]) over the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict:
+        """Snapshot of the standard serving quantiles plus exact totals."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """All instruments of one process, keyed by ``(name, labels)``.
+
+    A name is bound to one instrument kind on first use; asking for the
+    same name as a different kind is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+        self._kinds: dict[str, type] = {}
+
+    def _get(self, cls: type, name: str, labels: dict, **kwargs) -> Instrument:
+        key = (name, _label_key(labels))
+        found = self._instruments.get(key)
+        if found is not None:
+            if type(found) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(found).__name__}, requested as {cls.__name__}"
+                )
+            return found
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is not None:
+                if type(found) is not cls:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(found).__name__}, requested as {cls.__name__}"
+                    )
+                return found
+            bound = self._kinds.setdefault(name, cls)
+            if bound is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as {bound.__name__}, "
+                    f"requested as {cls.__name__}"
+                )
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, /, *, window: int = 1024, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, window=window)
+
+    # ---------------------------------------------------------- inspection
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(list(self._instruments.values()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def kind_of(self, name: str) -> type | None:
+        return self._kinds.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump: ``{name: {label_repr: value_or_summary}}``."""
+        out: dict[str, dict] = {}
+        for instrument in self:
+            series = out.setdefault(instrument.name, {})
+            label_repr = ",".join(f"{k}={v}" for k, v in instrument.labels) or ""
+            if isinstance(instrument, Histogram):
+                series[label_repr] = instrument.summary()
+            else:
+                series[label_repr] = instrument.value
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op (the disabled path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def add(self, delta) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def percentile(self, q) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in when observability is off: everything is a no-op."""
+
+    def counter(self, name: str, /, **labels) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, /, **labels) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, /, *, window: int = 1024, **labels) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def kind_of(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

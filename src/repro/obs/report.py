@@ -1,0 +1,91 @@
+"""Serving reports: latency percentiles and counter roll-ups per session.
+
+A :class:`SessionReport` condenses one :class:`~repro.core.session.ScanSession`'s
+observability state into the numbers an operator reads first: call
+counts split cold/warm, host wall-clock p50/p95/p99 (streaming, over the
+recent window), simulated-time statistics, and the cache/pool counters
+that explain *why* the warm path is fast. Built from the session's own
+instruments, so it costs nothing until asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import ScanSession
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Snapshot of one session's serving behaviour."""
+
+    calls: int
+    warm_calls: int
+    cold_calls: int
+    cached_configurations: int
+    latency: dict  # count/sum/mean/min/max/p50/p95/p99 of host wall-clock
+    sim_time: dict  # same summary over simulated seconds
+    pool: dict  # aggregated buffer-pool counters
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (the CLI's output)."""
+        lat, sim = self.latency, self.sim_time
+        lines = [
+            f"calls: {self.calls} ({self.warm_calls} warm, "
+            f"{self.cold_calls} cold), "
+            f"{self.cached_configurations} cached configuration(s)",
+        ]
+        if lat["count"]:
+            lines.append(
+                "host latency:  "
+                f"p50 {lat['p50'] * 1e3:9.3f} ms   "
+                f"p95 {lat['p95'] * 1e3:9.3f} ms   "
+                f"p99 {lat['p99'] * 1e3:9.3f} ms   "
+                f"mean {lat['mean'] * 1e3:9.3f} ms"
+            )
+            lines.append(
+                "sim time:      "
+                f"p50 {sim['p50'] * 1e3:9.3f} ms   "
+                f"p95 {sim['p95'] * 1e3:9.3f} ms   "
+                f"p99 {sim['p99'] * 1e3:9.3f} ms   "
+                f"mean {sim['mean'] * 1e3:9.3f} ms"
+            )
+        else:
+            lines.append(
+                "host latency: (no samples — enable observability with "
+                "repro.obs.enable() or REPRO_OBS=1 before serving)"
+            )
+        if self.pool.get("enabled"):
+            lines.append(
+                f"buffer pools:  {self.pool['hits']} hits / "
+                f"{self.pool['allocs']} allocs, "
+                f"{self.pool['bytes_reused']} bytes reused"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "warm_calls": self.warm_calls,
+            "cold_calls": self.cold_calls,
+            "cached_configurations": self.cached_configurations,
+            "latency": dict(self.latency),
+            "sim_time": dict(self.sim_time),
+            "pool": dict(self.pool),
+        }
+
+
+def session_report(session: "ScanSession") -> SessionReport:
+    """Build a :class:`SessionReport` from a live session."""
+    stats = session.stats()
+    return SessionReport(
+        calls=stats["calls"],
+        warm_calls=stats["hits"],
+        cold_calls=stats["misses"],
+        cached_configurations=stats["cached_configurations"],
+        latency=session.latency.summary(),
+        sim_time=session.sim_time.summary(),
+        pool=stats["buffer_pools"],
+    )

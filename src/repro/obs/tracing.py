@@ -1,0 +1,168 @@
+"""Span-based tracing with explicit context propagation.
+
+A :class:`Span` measures one host-side region (``plan``, ``execute``,
+``stage1``...) by wall-clock and carries free-form attributes — e.g. the
+simulated time and phase list of the :class:`~repro.gpusim.events.Trace`
+the region produced, so the span tree *subsumes and annotates* the
+simulator's own records rather than duplicating them.
+
+Propagation is explicit and ambient at once: ``span(...)`` is a context
+manager, and the current span is carried in a :class:`contextvars.ContextVar`
+so nested calls (session -> executor -> stage) attach their spans to the
+right parent without threading a context object through every signature.
+Finished *root* spans are parked on a bounded ring for exporters
+(:func:`finished_spans`), so long-running services never grow memory.
+
+When observability is disabled every ``span(...)`` call returns one
+shared :data:`NULL_SPAN` — no allocation, no clock read, no context-var
+traffic — which is what keeps the default-off serving path free.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections import deque
+from typing import Iterator
+
+_current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed region of host execution, with attributes and children."""
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children", "_token",
+                 "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: dict | None = None):
+        self.name = name
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+        self._token: contextvars.Token | None = None
+        self._tracer = tracer
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        _current.reset(self._token)
+        parent = _current.get()
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            self._tracer.on_root_finished(self)
+
+    # ----------------------------------------------------------- annotation
+
+    def set(self, key: str, value) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def annotate_trace(self, trace) -> "Span":
+        """Attach the headline quantities of a simulator trace.
+
+        The span subsumes the trace: its attributes carry the simulated
+        total, the phase list and the record count, so a span tree alone
+        is enough to answer "what did this call simulate" without
+        re-walking records.
+        """
+        self.attrs["sim_time_s"] = trace.total_time()
+        self.attrs["sim_phases"] = trace.phases()
+        self.attrs["sim_records"] = len(trace.records)
+        return self
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def duration_s(self) -> float:
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span used while observability is disabled.
+
+    Stateless, so one instance safely serves every call site (including
+    reentrant/nested use): entering and exiting are no-ops.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set(self, key, value) -> "_NullSpan":
+        return self
+
+    def annotate_trace(self, trace) -> "_NullSpan":
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+    def walk(self):
+        return iter(())
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owns the ring of finished root spans (most recent ``keep``)."""
+
+    def __init__(self, keep: int = 256):
+        self.finished: deque[Span] = deque(maxlen=keep)
+
+    def span(self, name: str, /, **attrs) -> Span:
+        return Span(name, self, attrs)
+
+    def on_root_finished(self, span: Span) -> None:
+        self.finished.append(span)
+
+    def clear(self) -> None:
+        self.finished.clear()
+
+
+def current_span() -> Span | None:
+    """The innermost active span of this context, if any."""
+    return _current.get()

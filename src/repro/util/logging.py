@@ -6,14 +6,40 @@ via the ``REPRO_LOG`` environment variable (set to a level name before
 import, e.g. ``REPRO_LOG=DEBUG``). Executors log their plan decisions
 (derived tuple, chosen K, route kinds) at DEBUG — the paper's "empirically
 tested" choices become visible without a debugger.
+
+``REPRO_LOG_FORMAT=json`` switches the opt-in handler to one JSON object
+per line (``ts``, ``level``, ``logger``, ``message``) for log shippers.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 
 _CONFIGURED = False
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(
+            {
+                "ts": record.created,
+                "level": record.levelname,
+                "logger": record.name,
+                "message": record.getMessage(),
+            }
+        )
+
+
+def formatter_from_env(environ: dict | None = None) -> logging.Formatter:
+    """The formatter ``REPRO_LOG_FORMAT`` selects: ``json`` or plain text."""
+    env = os.environ if environ is None else environ
+    if env.get("REPRO_LOG_FORMAT", "").strip().lower() == "json":
+        return JsonFormatter()
+    return logging.Formatter("%(name)s %(levelname)s: %(message)s")
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -26,9 +52,7 @@ def get_logger(name: str) -> logging.Logger:
             level = getattr(logging, level_name, None)
             if isinstance(level, int):
                 handler = logging.StreamHandler()
-                handler.setFormatter(
-                    logging.Formatter("%(name)s %(levelname)s: %(message)s")
-                )
+                handler.setFormatter(formatter_from_env())
                 root = logging.getLogger("repro")
                 root.addHandler(handler)
                 root.setLevel(level)

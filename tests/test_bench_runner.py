@@ -15,7 +15,7 @@ from repro.bench.runner import (
     figure14_breakdown,
     mean_speedup,
 )
-from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.params import ProblemConfig
 from repro.errors import TuningError
 
 TOTAL = 20  # scaled total: 2^20 elements keeps the sweeps fast in tests

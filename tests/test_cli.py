@@ -52,6 +52,55 @@ class TestScan:
         with pytest.raises(SystemExit):
             main(["scan", "--proposal", "warp-drive"])
 
+    def test_json_bundle(self, capsys):
+        import json
+
+        assert main(["scan", "--n", "12", "--g", "3",
+                     "--proposal", "mps", "--w", "4", "--json"]) == 0
+        out = capsys.readouterr().out
+        bundle = json.loads(out)  # nothing but the JSON on stdout
+        assert bundle["proposal"] == "scan-mps"
+        assert bundle["verified"] is True
+        assert bundle["N"] == 1 << 12 and bundle["G"] == 1 << 3
+        assert isinstance(bundle["K"], int)
+        assert set(bundle["breakdown_s"]) >= {"stage1", "stage2", "stage3"}
+        assert bundle["metrics"]["kernel_count"] > 0
+
+    def test_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "trace.json"
+        try:
+            assert main(["scan", "--n", "12", "--g", "2",
+                         "--trace-out", str(path)]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        payload = json.loads(path.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"stage1", "stage2", "stage3"} <= names
+
+
+class TestObsCommand:
+    def test_report_and_exposition(self, capsys, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "obs_trace.json"
+        try:
+            assert main(["obs", "--n", "12", "--g", "3", "--calls", "3",
+                         "--trace-out", str(path)]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        out = capsys.readouterr().out
+        assert "calls: 3 (2 warm, 1 cold)" in out
+        assert "p95" in out
+        assert "# TYPE scan_calls counter" in out
+        assert 'scan_calls{proposal="mps"} 3' in out
+        assert path.exists()
+
 
 class TestFigures:
     @pytest.mark.parametrize("number", ["9", "10", "11", "12"])

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro import scan, batch_scan, recommend_proposal, tsubame_kfc
+from repro import scan, batch_scan, recommend_proposal
 from repro.core.params import NodeConfig, ProblemConfig
 
 

@@ -1,6 +1,5 @@
 """Tests for the proposal-comparison utility."""
 
-import pytest
 
 from repro.core.compare import compare_proposals, format_comparison
 from repro.core.params import ProblemConfig

@@ -2,7 +2,6 @@
 timing as the functional run, for every proposal. This is the invariant
 that lets the benchmark harness run at the paper's 2^28 scale."""
 
-import numpy as np
 import pytest
 
 from repro.core.multi_gpu import ScanMPS

@@ -18,7 +18,6 @@ from repro.core.kernels import (
 )
 from repro.core.params import ProblemConfig
 from repro.core.plan import build_execution_plan
-from repro.primitives.operators import MAX
 from repro.primitives.sequential import exclusive_scan
 
 

@@ -1,6 +1,5 @@
 """Tests for execution-plan construction."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.interconnect.topology import tsubame_kfc
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.prioritized import ScanMPPC
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import TuningError
 from repro.core.params import NodeConfig, ProblemConfig
-from repro.core.results import ScanResult
 from repro.core.single_gpu import ScanSP
 from repro.core.tuner import PremiseTuner, tune_k
 

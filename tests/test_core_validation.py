@@ -1,7 +1,6 @@
 """Tests for the diagnostic result validator."""
 
 import numpy as np
-import pytest
 
 from repro import scan
 from repro.core.validation import verify_scan_result

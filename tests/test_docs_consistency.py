@@ -8,7 +8,6 @@ lists real scripts.
 
 from pathlib import Path
 
-import pytest
 
 import repro
 

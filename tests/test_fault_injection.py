@@ -69,7 +69,6 @@ class TestSEU:
         data = rng.integers(1, 100, (2, 4096)).astype(np.int32)
         result = scan(data, topology=machine, proposal="sp")
         # Flip a bit in the collected output (post-hoc SEU on the result).
-        buf_like = type("B", (), {})()
         flat = result.output
         flat[1, 1000] ^= 1 << 7
         report = verify_scan_result(result, data)

@@ -7,7 +7,6 @@ from repro.gpusim.arch import (
     KEPLER_K80,
     MAXWELL_GM200,
     PASCAL_P100,
-    GPUArchitecture,
     get_architecture,
 )
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.gpusim.arch import PASCAL_P100
-from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.interconnect.topology import SystemTopology
 
 
 class TestStructure:

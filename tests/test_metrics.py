@@ -67,6 +67,45 @@ class TestCommunicationShare:
     def test_empty_trace(self):
         assert communication_share(Trace()) == 0.0
 
+    def test_single_pass_matches_per_phase_rescan(self, machine, rng):
+        """The single-pass implementation must agree exactly with the
+        definitional per-phase rescan on a multi-phase trace (Scan-MPS:
+        stage1/aux_gather/stage2/aux_scatter/stage3, mixed kernel and
+        transfer lanes, host-staged and dispatch records)."""
+        from repro.gpusim.events import MPIRecord, TransferRecord
+
+        def reference(trace):
+            total = trace.total_time()
+            if total <= 0:
+                return 0.0
+            comm = 0.0
+            for phase in trace.phases():
+                lanes, kinds = {}, {}
+                for rec in trace.records:
+                    if rec.phase != phase:
+                        continue
+                    lanes[rec.lane] = lanes.get(rec.lane, 0.0) + rec.time_s
+                    is_comm = isinstance(
+                        rec, (TransferRecord, MPIRecord)
+                    ) and getattr(rec, "kind", "") != "dispatch"
+                    kinds[rec.lane] = kinds.get(rec.lane, False) or is_comm
+                if not lanes:
+                    continue
+                critical = max(lanes, key=lambda lane: lanes[lane])
+                if kinds.get(critical, False):
+                    comm += lanes[critical]
+            return comm / total
+
+        for proposal, kwargs in (
+            ("mps", {"W": 4, "V": 4}),
+            ("mps", {"W": 8, "V": 4}),
+            ("mppc", {"W": 8, "V": 4}),
+            ("sp", {}),
+        ):
+            data = rng.integers(0, 100, (16, 1 << 12)).astype(np.int32)
+            result = scan(data, topology=machine, proposal=proposal, **kwargs)
+            assert communication_share(result.trace) == reference(result.trace)
+
 
 class TestSummarize:
     def test_bundle_fields(self, machine, rng):

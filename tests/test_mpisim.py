@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import MPIError
 from repro.gpusim.events import Trace
-from repro.mpisim.communicator import Communicator, MPICostParams
+from repro.mpisim.communicator import Communicator
 
 
 @pytest.fixture
@@ -151,7 +151,6 @@ class TestCosts:
         assert times[2] < times[0] * 1.5
 
     def test_intranode_cheaper_than_internode(self, comm):
-        p = comm.params
         t_intra, lane_intra = comm._pair_time_and_lane(comm.gpus[0], comm.gpus[1], 4096)
         t_inter, lane_inter = comm._pair_time_and_lane(comm.gpus[0], comm.gpus[4], 4096)
         assert lane_inter == "ib"

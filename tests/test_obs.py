@@ -1,0 +1,339 @@
+"""Observability layer: registry, spans, exporters, and serving invariance.
+
+Two acceptance properties anchor this file: the Chrome trace exporter's
+slice set must equal the Trace's phase/lane breakdown (the exporter
+replays the composition rule, it does not re-derive timing), and the
+disabled-by-default path must leave scan outputs and simulated times
+bit-identical while collecting nothing.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ScanSession, obs, scan
+from repro.gpusim.events import Trace
+from repro.interconnect.topology import tsubame_kfc
+from repro.obs.export import HOST_PID, SIM_PID
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def enabled():
+    """Observability on for the test, fully cleared afterwards."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs.registry()
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def _batch(g=4, n=2048, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-1000, 1000, size=(g, n)).astype(np.int64)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("transfer.bytes", kind="p2p").inc(100)
+        reg.counter("transfer.bytes", kind="p2p").inc(50)
+        reg.counter("transfer.bytes", kind="host_staged").inc(7)
+        assert reg.counter("transfer.bytes", kind="p2p").value == 150
+        assert reg.counter("transfer.bytes", kind="host_staged").value == 7
+        assert len(reg) == 2
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("pool.bytes")
+        g.set(10.0)
+        g.add(-4.0)
+        assert g.value == 6.0
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            reg.gauge("x")
+
+    def test_histogram_exact_totals_windowed_quantiles(self):
+        h = Histogram("lat", window=8)
+        for v in range(100):  # window keeps 92..99
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        assert h.min == 0.0 and h.max == 99.0
+        assert h.percentile(0) == 92.0
+        assert h.percentile(100) == 99.0
+        assert h.percentile(50) == pytest.approx(95.5)
+
+    def test_histogram_percentile_interpolates(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(50) == pytest.approx(2.5)
+        assert h.summary()["p50"] == pytest.approx(2.5)
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        s = Histogram("lat").summary()
+        assert s["count"] == 0 and s["p95"] == 0.0 and s["min"] == 0.0
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("a", k="1").inc(3)
+        reg.histogram("b").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["a"]["k=1"] == 3
+        assert snap["b"][""]["count"] == 1
+
+    def test_null_instrument_absorbs_everything(self):
+        NULL_INSTRUMENT.inc(5)
+        NULL_INSTRUMENT.observe(1.0)
+        NULL_INSTRUMENT.set(3)
+        assert NULL_INSTRUMENT.percentile(95) == 0.0
+        assert NULL_INSTRUMENT.summary()["count"] == 0
+
+
+class TestTracing:
+    def test_span_tree_and_context_propagation(self):
+        tracer = Tracer()
+        with tracer.span("root", proposal="mps") as root:
+            with tracer.span("child") as child:
+                assert obs.current_span() is child or child is not None
+            with tracer.span("sibling"):
+                pass
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert root.attrs["proposal"] == "mps"
+        assert len(tracer.finished) == 1
+        assert root.duration_s >= 0.0
+
+    def test_exception_marks_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (root,) = tracer.finished
+        assert root.attrs["error"] == "RuntimeError"
+
+    def test_finished_ring_is_bounded(self):
+        tracer = Tracer(keep=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["s2", "s3", "s4"]
+
+    def test_disabled_span_is_shared_null(self):
+        obs.disable()
+        assert obs.span("anything") is NULL_SPAN
+        with obs.span("anything") as s:
+            s.set("k", "v")  # must be a no-op, not an error
+        assert obs.finished_spans() == []
+
+    def test_walk_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in a.walk()] == ["a", "b"]
+        d = a.to_dict()
+        assert d["name"] == "a" and d["children"][0]["name"] == "b"
+
+
+class TestChromeExport:
+    def test_slices_match_trace_breakdown(self, enabled):
+        """Acceptance: the exported slice set IS the phase/lane breakdown."""
+        machine = tsubame_kfc(1)
+        data = _batch()
+        result = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        trace = result.trace
+        events = obs.trace_to_chrome_events(trace)
+
+        phase_slices = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "phase"
+        ]
+        breakdown = trace.breakdown()
+        assert [e["name"] for e in phase_slices] == trace.phases()
+        for ev in phase_slices:
+            assert ev["dur"] == pytest.approx(breakdown[ev["name"]] * 1e6)
+        # Phases tile [0, total] back to back.
+        starts = [e["ts"] for e in phase_slices]
+        assert starts == sorted(starts)
+        assert starts[0] == 0.0
+        end = phase_slices[-1]["ts"] + phase_slices[-1]["dur"]
+        assert end == pytest.approx(trace.total_time() * 1e6)
+
+        # One record slice per trace record, summing to per-(phase, lane)
+        # busy time and contained in its phase's interval.
+        record_slices = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "record"
+        ]
+        assert len(record_slices) == len(trace.records)
+        tid_lane = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["tid"] != 0
+        }
+        lane_busy: dict = {}
+        for ev in record_slices:
+            key = (ev["args"]["phase"], tid_lane[ev["tid"]])
+            lane_busy[key] = lane_busy.get(key, 0.0) + ev["dur"]
+        expected: dict = {}
+        for rec in trace.records:
+            key = (rec.phase, rec.lane)
+            expected[key] = expected.get(key, 0.0) + rec.time_s * 1e6
+        assert set(lane_busy) == set(expected)
+        for key, total in expected.items():
+            assert lane_busy[key] == pytest.approx(total)
+        phase_interval = {
+            e["name"]: (e["ts"], e["ts"] + e["dur"]) for e in phase_slices
+        }
+        for ev in record_slices:
+            lo, hi = phase_interval[ev["args"]["phase"]]
+            assert ev["ts"] >= lo - 1e-9
+            assert ev["ts"] + ev["dur"] <= hi + 1e-6
+
+    def test_span_events_share_the_file(self, enabled):
+        machine = tsubame_kfc(1)
+        result = scan(_batch(), topology=machine, proposal="sp")
+        payload = obs.chrome_trace(result.trace, obs.finished_spans())
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {SIM_PID, HOST_PID}
+        host_names = {
+            e["name"] for e in payload["traceEvents"]
+            if e["pid"] == HOST_PID and e["ph"] == "X"
+        }
+        assert {"scan", "plan", "execute", "stage1"} <= host_names
+
+    def test_write_chrome_trace_is_valid_json(self, enabled, tmp_path):
+        machine = tsubame_kfc(1)
+        result = scan(_batch(), topology=machine, proposal="sp")
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(str(path), result.trace, obs.finished_spans())
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) > 0
+
+    def test_empty_trace_exports_only_metadata(self):
+        events = obs.trace_to_chrome_events(Trace())
+        assert all(e["ph"] == "M" for e in events)
+
+
+class TestPrometheus:
+    def test_exposition_format(self, enabled):
+        reg = obs.registry()
+        reg.counter("scan.calls", proposal="mps").inc(3)
+        reg.gauge("pool.depth").set(2)
+        h = reg.histogram("scan.latency_s", proposal="mps")
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        text = obs.render_prometheus(reg)
+        assert "# TYPE scan_calls counter" in text
+        assert 'scan_calls{proposal="mps"} 3' in text
+        assert "# TYPE pool_depth gauge" in text
+        assert "# TYPE scan_latency_s summary" in text
+        assert 'quantile="0.95"' in text
+        assert 'scan_latency_s_count{proposal="mps"} 3' in text
+
+    def test_sanitizes_names(self):
+        reg = MetricsRegistry()
+        reg.counter("weird.metric-name").inc()
+        assert "weird_metric_name 1" in obs.render_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert obs.render_prometheus(MetricsRegistry()) == ""
+
+
+class TestSessionObservability:
+    def test_stats_report_latency_percentiles(self, enabled):
+        """Acceptance: after N warm calls stats() carries counts and p50/p95."""
+        session = ScanSession(tsubame_kfc(1))
+        data = _batch()
+        n_calls = 6
+        for _ in range(n_calls):
+            session.scan(data, proposal="mps", W=4, V=4)
+        stats = session.stats()
+        assert stats["calls"] == n_calls
+        assert stats["hits"] == n_calls - 1
+        assert stats["latency"]["count"] == n_calls
+        assert stats["latency"]["p50"] > 0.0
+        assert stats["latency"]["p95"] >= stats["latency"]["p50"]
+        assert stats["sim_time"]["count"] == n_calls
+        report = session.report()
+        text = report.format()
+        assert "p50" in text and "p95" in text
+        assert report.calls == n_calls and report.warm_calls == n_calls - 1
+        assert report.to_dict()["latency"]["count"] == n_calls
+
+    def test_registry_series_populated_by_serving(self, enabled):
+        session = ScanSession(tsubame_kfc(1))
+        session.scan(_batch(), proposal="mps", W=4, V=4)
+        snap = obs.registry().snapshot()
+        assert snap["scan.calls"]["proposal=mps"] == 1
+        assert snap["session.plan_cache.misses"][""] == 1
+        assert snap["kernel.launches"]["name=chunk_reduce"] == 4
+        assert any(k.startswith("transfer.bytes") for k in snap)
+        assert snap["scan.latency_s"]["proposal=mps"]["count"] == 1
+
+    def test_scan_span_tree_annotated_with_trace(self, enabled):
+        session = ScanSession(tsubame_kfc(1))
+        result = session.scan(_batch(), proposal="mps", W=4, V=4)
+        root = obs.finished_spans()[-1]
+        assert root.name == "scan"
+        assert root.attrs["sim_time_s"] == pytest.approx(result.total_time_s)
+        names = [s.name for s in root.walk()]
+        assert "plan" in names and "execute" in names and "stage2" in names
+
+
+class TestDisabledInvariance:
+    def test_outputs_and_sim_time_identical(self):
+        """Toggling observability may never change results or timing."""
+        machine = tsubame_kfc(1)
+        data = _batch(seed=11)
+        baseline = scan(data, topology=machine, proposal="mps", W=4, V=4)
+        obs.reset()
+        obs.enable()
+        try:
+            observed = scan(
+                data, topology=tsubame_kfc(1), proposal="mps", W=4, V=4
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+        assert np.array_equal(baseline.output, observed.output)
+        assert baseline.trace.total_time() == observed.trace.total_time()
+        assert baseline.trace.breakdown() == observed.trace.breakdown()
+
+    def test_disabled_collects_nothing(self):
+        obs.reset()
+        assert not obs.is_enabled()
+        machine = tsubame_kfc(1)
+        scan(_batch(), topology=machine, proposal="mps", W=4, V=4)
+        assert len(obs.registry()) == 0
+        assert obs.finished_spans() == []
+        assert obs.counter("x") is NULL_INSTRUMENT
+
+    def test_env_var_enables(self):
+        import subprocess
+        import sys
+
+        code = "import repro; print(repro.obs.is_enabled())"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "REPRO_OBS": "1", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert out.stdout.strip() == "True"

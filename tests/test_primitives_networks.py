@@ -20,7 +20,7 @@ from repro.primitives.networks import (
     sklansky_scan,
     sklansky_schedule,
 )
-from repro.primitives.operators import ADD, MAX, MUL
+from repro.primitives.operators import MAX, MUL
 
 SIZES = [1, 2, 4, 8, 16, 32, 64, 256]
 SCANS = [

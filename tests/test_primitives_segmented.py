@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
-from repro.primitives.operators import ADD, MAX
+from repro.primitives.operators import MAX
 from repro.primitives.segmented import (
     segmented_exclusive_scan,
     segmented_inclusive_scan,

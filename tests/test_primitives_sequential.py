@@ -1,10 +1,9 @@
 """Unit tests for the reference sequential scans."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.primitives.operators import ADD, MAX, MUL
+from repro.primitives.operators import MAX, MUL
 from repro.primitives.sequential import exclusive_scan, inclusive_scan, reduce
 
 

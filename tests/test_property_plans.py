@@ -5,7 +5,6 @@ drawn problem shapes, cascade depths and GPU-sharing factors.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.errors import ConfigurationError, ReproError

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import scan
-from repro.gpusim.events import MPIRecord, TransferRecord
 from repro.interconnect.topology import tsubame_kfc
 
 PROPOSALS = [

@@ -1,7 +1,7 @@
 """Tests for the machine-description renderer."""
 
 from repro.gpusim.arch import PASCAL_P100
-from repro.interconnect.topology import SystemTopology, tsubame_kfc
+from repro.interconnect.topology import SystemTopology
 
 
 class TestDescribe:

@@ -6,7 +6,6 @@ dimensions makes every intermediate value small enough to check by hand.
 """
 
 import numpy as np
-import pytest
 
 from repro.gpusim.arch import KEPLER_K80
 from repro.gpusim.device import GPU

@@ -21,6 +21,18 @@ class TestTraceExport:
         kinds = {r["type"] for r in payload["records"]}
         assert "KernelRecord" in kinds and "TransferRecord" in kinds
 
+    def test_payload_carries_schema_version(self, machine, rng):
+        from repro.gpusim.events import Trace
+
+        data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        payload = json.loads(result.trace.to_json())
+        assert payload["schema"] == Trace.SCHEMA_VERSION == 1
+        # Round-trip: the payload alone reconstructs the breakdown.
+        assert len(payload["records"]) == len(result.trace.records)
+        assert payload["breakdown_s"] == result.trace.breakdown()
+        assert json.loads(Trace().to_json())["schema"] == 1
+
     def test_dicts_carry_counters(self, machine, rng):
         data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
         result = scan(data, topology=machine, proposal="sp")

@@ -1,0 +1,43 @@
+"""The REPRO_LOG_FORMAT=json log formatter."""
+
+import json
+import logging
+
+from repro.util.logging import JsonFormatter, formatter_from_env, get_logger
+
+
+def _record(msg="hello %s", args=("world",), level=logging.WARNING):
+    return logging.LogRecord(
+        name="repro.test", level=level, pathname=__file__, lineno=1,
+        msg=msg, args=args, exc_info=None,
+    )
+
+
+class TestJsonFormatter:
+    def test_one_object_per_line(self):
+        line = JsonFormatter().format(_record())
+        assert "\n" not in line
+        obj = json.loads(line)
+        assert obj["level"] == "WARNING"
+        assert obj["logger"] == "repro.test"
+        assert obj["message"] == "hello world"
+        assert isinstance(obj["ts"], float)
+
+    def test_selected_by_env(self):
+        assert isinstance(
+            formatter_from_env({"REPRO_LOG_FORMAT": "json"}), JsonFormatter
+        )
+        assert isinstance(
+            formatter_from_env({"REPRO_LOG_FORMAT": "JSON"}), JsonFormatter
+        )
+
+    def test_plain_text_by_default(self):
+        fmt = formatter_from_env({})
+        assert not isinstance(fmt, JsonFormatter)
+        assert "WARNING" in fmt.format(_record())
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("core.plan").name == "repro.core.plan"
+        assert get_logger("repro.cli").name == "repro.cli"
