@@ -180,3 +180,44 @@ def test_regenerate_serving_throughput(report):
     # The tentpole target: repeated (G=16, N=2^13) scans serve >= 3x faster
     # warm than cold.
     assert payload["geomean_warm_speedup"] >= 3.0, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: full benchmark by default, ``--smoke`` for CI.
+
+    The smoke mode runs tiny sizes with few repeats and does not write
+    ``BENCH_serving.json``; its value is the built-in correctness gates
+    (warm/poisoned outputs and simulated time must match cold) plus a
+    direction-only check that the warm path is not slower than cold —
+    wall-clock ratios at these sizes are too noisy to pin a 3x bar on.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes, no JSON artifact; correctness + direction gates only",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = run_serving_benchmark(
+            n_log2=11, g=4, repeats=3, proposals=("sp", "mps"), json_path=None,
+        )
+        print(format_serving_table(payload))
+        slow = {
+            name: r["warm_speedup"]
+            for name, r in payload["proposals"].items()
+            if r["warm_speedup"] < 1.0
+        }
+        if slow:
+            raise AssertionError(f"warm serving slower than cold: {slow}")
+        print("serving smoke OK")
+        return 0
+    payload = run_serving_benchmark()
+    print(format_serving_table(payload))
+    assert payload["geomean_warm_speedup"] >= 3.0, payload
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

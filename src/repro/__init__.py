@@ -19,7 +19,8 @@ Quickstart::
 """
 
 from repro import obs
-from repro.core.api import batch_scan, recommend_proposal, scan
+from repro.core.api import batch_scan, estimate, recommend_proposal, scan
+from repro.core.executor import ScanExecutor, ScanRequest, proposal_names
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.ragged import scan_ragged, scan_segments
 from repro.core.results import ScanResult
@@ -32,8 +33,12 @@ __version__ = "1.0.0"
 __all__ = [
     "obs",
     "batch_scan",
+    "estimate",
     "recommend_proposal",
     "scan",
+    "ScanExecutor",
+    "ScanRequest",
+    "proposal_names",
     "scan_ragged",
     "scan_segments",
     "NodeConfig",

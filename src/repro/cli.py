@@ -33,6 +33,7 @@ from repro.bench.runner import (
     mean_speedup,
 )
 from repro.core.api import scan
+from repro.core.executor import proposal_names, proposal_specs
 from repro.core.occupancy_table import format_occupancy_table
 from repro.core.premises import premise1_block_configuration
 from repro.gpusim.arch import get_architecture
@@ -52,11 +53,16 @@ def _build_parser() -> argparse.ArgumentParser:
     t3 = sub.add_parser("table3", help="regenerate Table 3 (occupancy)")
     t3.add_argument("--arch", default="k80", help="architecture preset (k80/maxwell/pascal)")
 
+    sub.add_parser(
+        "proposals",
+        help="list the registered scan proposals (the executor registry)",
+    )
+
     sc = sub.add_parser("scan", help="run one batch scan functionally")
     sc.add_argument("--n", type=int, default=16, help="log2 problem size")
     sc.add_argument("--g", type=int, default=4, help="log2 batch size")
     sc.add_argument("--proposal", default="auto",
-                    choices=["auto", "sp", "pp", "mps", "mppc", "mn-mps"])
+                    choices=["auto", *proposal_names()])
     sc.add_argument("--w", type=int, default=1, help="GPUs per node (W)")
     sc.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
     sc.add_argument("--m", type=int, default=1, help="nodes (M)")
@@ -82,7 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--n", type=int, default=14, help="log2 problem size")
     ob.add_argument("--g", type=int, default=3, help="log2 batch size")
     ob.add_argument("--proposal", default="mps",
-                    choices=["auto", "sp", "pp", "mps", "mppc", "mn-mps"])
+                    choices=["auto", *proposal_names()])
     ob.add_argument("--w", type=int, default=4, help="GPUs per node (W)")
     ob.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
     ob.add_argument("--m", type=int, default=1, help="nodes (M)")
@@ -131,10 +137,25 @@ def _cmd_info() -> int:
           f"<= {p1.reg_budget_per_thread} regs/thread, "
           f"<= {p1.smem_budget_per_block} B smem "
           f"-> {p1.blocks_per_sm} blocks/SM @ {p1.warp_occupancy:.0%}")
-    print("proposals: sp (single GPU), pp (problem parallel), "
-          "mps (problem scattering), mppc (prioritized comms), mn-mps (MPI)")
+    print("proposals: " + ", ".join(proposal_names())
+          + "  (details: python -m repro proposals)")
     print()
     print(machine.describe())
+    return 0
+
+
+def _cmd_proposals() -> int:
+    """The executor registry, printed: one row per registered proposal."""
+    specs = proposal_specs()
+    name_w = max(len(s.name) for s in specs)
+    label_w = max(len(s.result_label) for s in specs)
+    for spec in specs:
+        tunable = "K-tunable" if spec.tunable else "fixed-K  "
+        print(f"  {spec.name:<{name_w}}  {spec.result_label:<{label_w}}  "
+              f"{tunable}  {spec.summary}")
+        if spec.paper_ref:
+            print(f"  {'':<{name_w}}  {'':<{label_w}}  {'':<9}  "
+                  f"[{spec.paper_ref}]")
     return 0
 
 
@@ -361,6 +382,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "info":
         return _cmd_info()
+    if args.command == "proposals":
+        return _cmd_proposals()
     if args.command == "table3":
         return _cmd_table3(args.arch)
     if args.command == "scan":

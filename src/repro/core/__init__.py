@@ -1,8 +1,18 @@
 """The paper's contribution: tuning strategy + three-kernel batch scan +
 multi-GPU/multi-node proposals."""
 
-from repro.core.api import batch_scan, recommend_proposal, scan
+from repro.core.api import batch_scan, estimate, recommend_proposal, scan
 from repro.core.chained import ScanChained
+from repro.core.executor import (
+    Placement,
+    PlanResolver,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    build_executor,
+    proposal_names,
+    proposal_specs,
+)
 from repro.core.kernels import (
     launch_chunk_reduce,
     launch_intermediate_scan,
@@ -44,8 +54,17 @@ from repro.core.tuner import KCandidate, PremiseTuner, TuningOutcome, tune_k
 
 __all__ = [
     "batch_scan",
+    "estimate",
     "recommend_proposal",
     "scan",
+    "Placement",
+    "PlanResolver",
+    "ProposalSpec",
+    "ScanExecutor",
+    "ScanRequest",
+    "build_executor",
+    "proposal_names",
+    "proposal_specs",
     "launch_chunk_reduce",
     "launch_intermediate_scan",
     "launch_scan_add",

@@ -9,7 +9,11 @@ and the executor objects (warm-path serving). Lower-level control lives in
 the executor classes (:class:`~repro.core.single_gpu.ScanSP`,
 :class:`~repro.core.multi_gpu.ScanMPS`,
 :class:`~repro.core.prioritized.ScanMPPC`,
-:class:`~repro.core.multi_node.ScanMultiNodeMPS`).
+:class:`~repro.core.multi_node.ScanMultiNodeMPS`), all riding the shared
+request→plan→placement→execute pipeline of
+:mod:`repro.core.executor`. The set of proposals (and how each is built)
+is defined once, in that module's proposal registry — the session, the
+CLI and :func:`estimate` all read it.
 """
 
 from __future__ import annotations
@@ -81,8 +85,11 @@ def scan(
         The machine. Defaults to one TSUBAME-KFC-like node (2 PCIe
         networks x 4 K80 GPUs); pass ``tsubame_kfc(m)`` for multi-node.
     proposal:
-        ``"auto"`` (Premise 4), ``"sp"``, ``"pp"``, ``"mps"``, ``"mppc"``
-        or ``"mn-mps"``.
+        ``"auto"`` (Premise 4) or any registered proposal name —
+        ``"sp"``, ``"pp"``, ``"mps"``, ``"mppc"``, ``"mn-mps"`` or
+        ``"chained"`` (see
+        :func:`repro.core.executor.proposal_names` /
+        ``python -m repro proposals``).
     W, V, M:
         GPUs per node, GPUs per PCIe network, nodes. ``V`` defaults to
         ``min(W, gpus per network)``.
@@ -115,6 +122,28 @@ def scan(
             collect=collect,
             include_distribution=include_distribution,
         )
+
+
+def estimate(
+    problem: ProblemConfig,
+    topology: SystemTopology | None = None,
+    proposal: str = "auto",
+    W: int = 1,
+    V: int | None = None,
+    M: int = 1,
+    K: int | str | None = None,
+) -> ScanResult:
+    """Analytic scan of ``problem`` at full scale, without the data.
+
+    The serving-session counterpart of :func:`scan` for capacity planning
+    and figure generation: the memoised executor replays the identical
+    pipeline with virtual device arrays and closed-form kernel statistics,
+    so the returned trace, phase breakdown and total time match what
+    :func:`scan` would report for the same configuration — at any N, G.
+    """
+    with obs.span("api.estimate"):
+        session = default_session(M) if topology is None else session_for(topology)
+        return session.estimate(problem, proposal=proposal, W=W, V=V, M=M, K=K)
 
 
 def add_distribution_records(result: ScanResult, topology: SystemTopology) -> None:

@@ -26,18 +26,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
+from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import GPU
 from repro.gpusim.events import KernelRecord, Trace
 from repro.gpusim.kernel import KernelContext, LaunchStats
 from repro.gpusim.memory import AllocationScope, DeviceArray
 from repro.gpusim.warp import warp_scan_cost
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    register_proposal,
+)
 from repro.core.kernels import _BlockScanCore, _launch_config
 from repro.core.params import ExecutionPlan, KernelParams, ProblemConfig
-from repro.core.plan import build_execution_plan
-from repro.core.premises import derive_stage_kernel_params, k_search_space
-from repro.core.results import ScanResult
-from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
 
 #: Descriptor reads a block performs while resolving its prefix (the
 #: published aggregate of its predecessor plus lookback polling traffic).
@@ -172,8 +178,11 @@ def launch_chained_scan(
     return gpu.launch(trace, "chained_scan", phase, config, body, ordered=True)
 
 
-class ScanChained:
+class ScanChained(ScanExecutor):
     """Single-GPU batched chained (single-pass) scan executor."""
+
+    proposal = "chained"
+    result_label = "scan-chained"
 
     def __init__(
         self,
@@ -182,75 +191,64 @@ class ScanChained:
         stage1_template: KernelParams | None = None,
     ):
         self.gpu = gpu
+        self.placement = Placement.single(gpu)
         self.K = K
         self.stage1_template = stage1_template
 
-    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
-        template = self.stage1_template or derive_stage_kernel_params(
-            self.gpu.arch, problem.dtype
-        )
-        template = shrink_template_to_fit(template, problem.N)
-        if self.K is not None:
-            k = self.K
-        else:
-            # A chained scan wants many blocks in flight to pipeline the
-            # lookback: keep K at 1 unless the block count explodes.
-            space = k_search_space(problem, template, template, self.gpu.arch)
-            k = space[0]
-        k = min(k, problem.N // template.elements_per_iteration)
-        return build_execution_plan(
-            self.gpu.arch, problem, K=k, gpus_sharing_problem=1,
-            stage1_template=template,
+    def _arch(self) -> GPUArchitecture:
+        return self.gpu.arch
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        # A chained scan wants many blocks in flight to pipeline the
+        # lookback: keep K at the bottom of the search space unless an
+        # explicit K overrides it.
+        return PlanSpec(
+            problem=problem, parts=1, K=self.K, template=self.stage1_template,
+            k_space="sp", k_pick="min", clamp_chunks=True,
         )
 
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
-        )
-        plan = self.plan_for(problem)
-        with AllocationScope() as scope:
-            device_data = scope.upload(self.gpu, batch)
-            descriptors = scope.alloc(self.gpu, (g, plan.stage1.bx), problem.dtype)
-            trace = Trace()
-            launch_chained_scan(trace, self.gpu, device_data, descriptors, plan)
-            output = device_data.to_host() if collect else None
-        return ScanResult(
-            problem=problem,
-            proposal="scan-chained",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={"K": plan.stage1.params.K, "single_pass": True,
-                    "gpu_ids": [self.gpu.id]},
-        )
-
-    def estimate(self, problem: ProblemConfig) -> ScanResult:
-        plan = self.plan_for(problem)
-        with AllocationScope() as scope:
+    def _place_buffers(self, scope: AllocationScope, plan: ExecutionPlan,
+                       request: ScanRequest):
+        problem = request.problem
+        if request.batch is None:
             device_data = scope.alloc(
                 self.gpu, (problem.G, problem.N), problem.dtype, virtual=True
             )
             descriptors = scope.alloc(
                 self.gpu, (problem.G, plan.stage1.bx), problem.dtype, virtual=True
             )
-            trace = Trace()
-            launch_chained_scan(
-                trace, self.gpu, device_data, descriptors, plan, functional=False
+        else:
+            device_data = scope.upload(self.gpu, request.batch)
+            descriptors = scope.alloc(
+                self.gpu, (problem.G, plan.stage1.bx), problem.dtype
             )
-        return ScanResult(
-            problem=problem,
-            proposal="scan-chained",
-            trace=trace,
-            plan=plan,
-            output=None,
-            config={"K": plan.stage1.params.K, "single_pass": True,
-                    "estimated": True, "gpu_ids": [self.gpu.id]},
-        )
+        return (device_data, descriptors)
+
+    def _device_flow(self, buffers, plan: ExecutionPlan,
+                     functional: bool = True) -> Trace:
+        device_data, descriptors = buffers
+        trace = Trace()
+        with obs.span("chained"):
+            launch_chained_scan(
+                trace, self.gpu, device_data, descriptors, plan,
+                functional=functional,
+            )
+        return trace
+
+    def _collect_output(self, buffers):
+        return buffers[0].to_host()
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        return {"K": plan.stage1.params.K, "single_pass": True,
+                "gpu_ids": [self.gpu.id]}
+
+
+register_proposal(ProposalSpec(
+    name="chained",
+    result_label="scan-chained",
+    summary="single-pass chained scan with decoupled lookback (extension)",
+    builder=lambda topology, node, K: ScanChained(topology.gpus[0], K=K),
+    tunable=False,
+    paper_ref="related work [25]; CUB decoupled lookback",
+    order=60,
+))

@@ -10,6 +10,10 @@ back, and every GPU finishes with Stage 3 on its portion.
 
 Also implements the paper's *Case 1* (problem parallelism): G problems
 distributed across GPUs with no inter-GPU communication at all.
+
+Both executors ride the shared request→plan→placement→execute pipeline of
+:class:`repro.core.executor.ScanExecutor`; this module supplies the
+scattering flow (also reused by Scan-MP-PC) and the per-GPU fan-out.
 """
 
 from __future__ import annotations
@@ -18,21 +22,27 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import GPU
 from repro.gpusim.events import Trace
 from repro.gpusim.memory import AllocationScope, DeviceArray
 from repro.interconnect.topology import SystemTopology
 from repro.interconnect.transfer import TransferCostParams, TransferEngine
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    register_proposal,
+)
 from repro.core.kernels import (
     launch_chunk_reduce,
     launch_intermediate_scan,
     launch_scan_add,
 )
 from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
-from repro.core.plan import build_execution_plan
-from repro.core.premises import derive_stage_kernel_params, k_search_space
-from repro.core.results import ScanResult
-from repro.core.single_gpu import ScanSP, coerce_batch, shrink_template_to_fit
+from repro.core.single_gpu import ScanSP
 
 
 def upload_portions(
@@ -186,8 +196,11 @@ def problem_scattering_flow(
         scope.release()
 
 
-class ScanMPS:
+class ScanMPS(ScanExecutor):
     """Multi-GPU Problem Scattering executor (single node)."""
+
+    proposal = "mps"
+    result_label = "scan-mps"
 
     def __init__(
         self,
@@ -209,79 +222,57 @@ class ScanMPS:
         self.stage1_template = stage1_template
         self.engine = TransferEngine(topology, transfer_params)
         self.overlap = overlap
-        self.gpus = topology.select_gpus(node.W, node.V, 1)[0]
-        # Re-home the group on the requested node (select_gpus picks node 0).
-        if node_index != 0:
-            offset = node_index * topology.gpus_per_node
-            self.gpus = [topology.gpu(g.id + offset) for g in self.gpus]
-        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
+        self.placement = Placement.node_group(topology, node, node_index)
 
-    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
-        cached = self._plan_cache.get(problem)
-        if cached is not None:
-            return cached
-        w = self.node.W
-        n_local = problem.N // w
-        template = self.stage1_template or derive_stage_kernel_params(
-            self.topology.arch, problem.dtype
-        )
-        template = shrink_template_to_fit(template, n_local)
-        if self.K is not None:
-            k = self.K
-        else:
-            space = k_search_space(
-                problem, template, template, self.topology.arch,
-                node=self.node, proposal="mps",
-            )
-            k = space[-1]
-        plan = build_execution_plan(
-            self.topology.arch,
-            problem,
-            K=k,
-            gpus_sharing_problem=w,
-            stage1_template=template,
-        )
-        self._plan_cache[problem] = plan
-        return plan
+    # ----------------------------------------------------------------- hooks
 
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+    def _arch(self) -> GPUArchitecture:
+        return self.topology.arch
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        return PlanSpec(
+            problem=problem, parts=self.node.W, K=self.K,
+            template=self.stage1_template, k_space="mps", node=self.node,
+            k_pick="max", clamp_chunks=False,
         )
-        plan = self.plan_for(problem)
-        w = self.node.W
-        with AllocationScope() as scope:
-            with obs.span("upload"):
-                portions = upload_portions(self.gpus, batch, w, scope)
-            trace = self.run_on_device(portions, plan)
-            with obs.span("collect"):
-                output = collect_portions(portions) if collect else None
-        return ScanResult(
-            problem=problem,
-            proposal="scan-mps",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": 1,
-                "gpu_ids": [g.id for g in self.gpus],
-            },
-        )
+
+    def _place_buffers(
+        self, scope: AllocationScope, plan: ExecutionPlan, request: ScanRequest
+    ):
+        problem = request.problem
+        if request.batch is None:
+            n_local = problem.N // self.node.W
+            return [
+                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
+                for gpu in self.gpus
+            ]
+        return upload_portions(self.gpus, request.batch, self.node.W, scope)
+
+    def _device_flow(
+        self, buffers, plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        return self.run_on_device(buffers, plan, functional=functional)
+
+    def _collect_output(self, buffers) -> np.ndarray:
+        return collect_portions(buffers)
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        return {
+            "K": plan.stage1.params.K,
+            "W": self.node.W,
+            "V": self.node.V,
+            "Y": self.node.Y,
+            "M": 1,
+            "gpu_ids": [g.id for g in self.gpus],
+        }
+
+    # ------------------------------------------------------------ device flow
 
     def run_on_device(
-        self, portions: list[DeviceArray], plan: ExecutionPlan
+        self,
+        portions: list[DeviceArray],
+        plan: ExecutionPlan,
+        functional: bool = True,
     ) -> Trace:
         """The timed region over resident per-GPU portions."""
         if len(portions) != self.node.W:
@@ -292,44 +283,12 @@ class ScanMPS:
         with self.topology.activate(self.gpus):
             problem_scattering_flow(
                 trace, self.engine, self.topology, self.gpus, portions, plan,
-                overlap=self.overlap,
+                functional=functional, overlap=self.overlap,
             )
         return trace
 
-    def estimate(self, problem: ProblemConfig) -> ScanResult:
-        """Analytic run at full problem scale (exact trace, no data arrays)."""
-        plan = self.plan_for(problem)
-        n_local = problem.N // self.node.W
-        trace = Trace()
-        with AllocationScope() as scope:
-            portions = [
-                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
-                for gpu in self.gpus
-            ]
-            with self.topology.activate(self.gpus):
-                problem_scattering_flow(
-                    trace, self.engine, self.topology, self.gpus, portions, plan,
-                    functional=False, overlap=self.overlap,
-                )
-        return ScanResult(
-            problem=problem,
-            proposal="scan-mps",
-            trace=trace,
-            plan=plan,
-            output=None,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": 1,
-                "estimated": True,
-                "gpu_ids": [g.id for g in self.gpus],
-            },
-        )
 
-
-class ScanProblemParallel:
+class ScanProblemParallel(ScanExecutor):
     """The paper's Case 1: independent problems, one Scan-SP per GPU.
 
     "Solving the Case 1 is trivial, simply executing the strategy analyzed
@@ -337,6 +296,9 @@ class ScanProblemParallel:
     among GPUs." G problems are dealt round-robin-free (contiguous slabs)
     onto W GPUs; per-GPU batches run concurrently.
     """
+
+    proposal = "pp"
+    result_label = "scan-pp"
 
     def __init__(
         self,
@@ -349,9 +311,9 @@ class ScanProblemParallel:
         self.node = node
         self.K = K
         self.stage1_template = stage1_template
-        self.gpus = topology.select_gpus(node.W, node.V, 1)[0]
-        # One persistent Scan-SP worker per GPU; each carries its own plan
-        # cache, so repeated batches re-plan nothing.
+        self.placement = Placement.node_group(topology, node)
+        # One persistent Scan-SP worker per GPU; workers share the global
+        # plan resolver, so repeated batches re-plan nothing.
         self._workers: dict[int, ScanSP] = {}
 
     def _worker(self, gpu: GPU) -> ScanSP:
@@ -361,51 +323,95 @@ class ScanProblemParallel:
             self._workers[gpu.id] = worker
         return worker
 
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        w = min(self.node.W, g)  # never more GPUs than problems
-        if g % w != 0:
-            raise ConfigurationError(f"G={g} must divide among {w} GPUs")
-        g_per_gpu = g // w
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
+    def _split(self, problem: ProblemConfig) -> tuple[int, int]:
+        """(workers used, problems per GPU) — never more GPUs than problems."""
+        w = min(self.node.W, problem.G)
+        if problem.G % w != 0:
+            raise ConfigurationError(f"G={problem.G} must divide among {w} GPUs")
+        return w, problem.G // w
+
+    # ----------------------------------------------------------------- hooks
+
+    def _arch(self) -> GPUArchitecture:
+        return self.topology.arch
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        # Each worker solves an independent (g_per_gpu, N) sub-batch with
+        # the Scan-SP plan; the result plan is that sub-problem plan.
+        w, g_per_gpu = self._split(problem)
+        sub = ProblemConfig.from_sizes(
+            N=problem.N, G=g_per_gpu, dtype=problem.dtype,
+            operator=problem.operator, inclusive=problem.inclusive,
+        )
+        return PlanSpec(
+            problem=sub, parts=1, K=self.K, template=self.stage1_template,
+            k_space="sp", k_pick="max", clamp_chunks=True,
         )
 
-        trace = Trace()
-        outputs: list[np.ndarray] = []
-        plan = None
-        activation = self.topology.activate(self.gpus[:w])
-        activation.__enter__()
+    def _place_buffers(
+        self, scope: AllocationScope, plan: ExecutionPlan, request: ScanRequest
+    ):
+        problem = request.problem
+        w, g_per_gpu = self._split(problem)
+        buffers = []
         for i in range(w):
             gpu = self.gpus[i]
-            sub = np.ascontiguousarray(batch[i * g_per_gpu : (i + 1) * g_per_gpu])
-            executor = self._worker(gpu)
-            sub_problem = ProblemConfig.from_sizes(
-                N=n, G=g_per_gpu, dtype=batch.dtype,
-                operator=operator, inclusive=inclusive,
-            )
-            plan = executor.plan_for(sub_problem)
-            with obs.span("pp.worker", gpu=gpu.id), AllocationScope() as scope:
-                device_data = scope.upload(gpu, sub)
-                aux = scope.alloc(gpu, (g_per_gpu, plan.chunks_total), sub_problem.dtype)
-                trace.merge(executor.run_on_device(device_data, aux, plan))
-                if collect:
-                    outputs.append(device_data.to_host())
-        activation.__exit__(None, None, None)
-        output = np.concatenate(outputs, axis=0) if collect else None
-        return ScanResult(
-            problem=problem,
-            proposal="scan-pp",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={"W": w, "G_per_gpu": g_per_gpu,
-                    "gpu_ids": [g.id for g in self.gpus[:w]]},
-        )
+            if request.batch is None:
+                data = scope.alloc(
+                    gpu, (g_per_gpu, problem.N), problem.dtype, virtual=True
+                )
+                aux = scope.alloc(
+                    gpu, (g_per_gpu, plan.chunks_total), problem.dtype, virtual=True
+                )
+            else:
+                sub = np.ascontiguousarray(
+                    request.batch[i * g_per_gpu : (i + 1) * g_per_gpu]
+                )
+                data = scope.upload(gpu, sub)
+                aux = scope.alloc(gpu, (g_per_gpu, plan.chunks_total), problem.dtype)
+            buffers.append((gpu, data, aux))
+        return buffers
+
+    def _device_flow(
+        self, buffers, plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        trace = Trace()
+        active = [gpu for gpu, _, _ in buffers]
+        with self.topology.activate(active):
+            for gpu, data, aux in buffers:
+                with obs.span("pp.worker", gpu=gpu.id):
+                    trace.merge(
+                        self._worker(gpu).run_on_device(
+                            data, aux, plan, functional=functional
+                        )
+                    )
+        return trace
+
+    def _collect_output(self, buffers) -> np.ndarray:
+        return np.concatenate([data.to_host() for _, data, _ in buffers], axis=0)
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        w, g_per_gpu = self._split(problem)
+        return {"W": w, "G_per_gpu": g_per_gpu,
+                "gpu_ids": [g.id for g in self.gpus[:w]]}
+
+
+register_proposal(ProposalSpec(
+    name="pp",
+    result_label="scan-pp",
+    summary="problem parallelism: independent Scan-SP per GPU (Case 1)",
+    builder=lambda topology, node, K: ScanProblemParallel(topology, node, K=K),
+    tunable=False,
+    paper_ref="Section 4, Case 1; Figure 12",
+    order=20,
+))
+
+register_proposal(ProposalSpec(
+    name="mps",
+    result_label="scan-mps",
+    summary="multi-GPU problem scattering across one node (Section 4.1)",
+    builder=lambda topology, node, K: ScanMPS(topology, node, K=K),
+    tunable=True,
+    paper_ref="Section 4.1, Figures 6-9",
+    order=30,
+))

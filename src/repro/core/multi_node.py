@@ -24,26 +24,33 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
-from repro.gpusim.device import GPU
+from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.events import Trace
 from repro.gpusim.memory import AllocationScope, DeviceArray
 from repro.interconnect.topology import SystemTopology
 from repro.interconnect.transfer import TransferCostParams, TransferEngine
 from repro.mpisim.communicator import Communicator, MPICostParams
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    register_proposal,
+)
 from repro.core.kernels import (
     launch_chunk_reduce,
     launch_intermediate_scan,
     launch_scan_add,
 )
 from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
-from repro.core.plan import build_execution_plan
-from repro.core.premises import derive_stage_kernel_params, k_search_space
-from repro.core.results import ScanResult
-from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
 
 
-class ScanMultiNodeMPS:
+class ScanMultiNodeMPS(ScanExecutor):
     """Multi-node problem-scattering executor (one MPI rank per GPU)."""
+
+    proposal = "mn-mps"
+    result_label = "scan-mn-mps"
 
     def __init__(
         self,
@@ -62,94 +69,69 @@ class ScanMultiNodeMPS:
         self.node = node
         self.K = K
         self.stage1_template = stage1_template
-        groups = topology.select_gpus(node.W, node.V, node.M)
-        self.gpus: list[GPU] = [gpu for group in groups for gpu in group]
+        self.placement = Placement.cluster(topology, node)
         self.comm = Communicator(
             topology, self.gpus, params=mpi_params, transfer_params=transfer_params
         )
         self.engine = TransferEngine(topology, transfer_params)
-        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
 
     @property
     def total_gpus(self) -> int:
         return self.node.M * self.node.W
 
-    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
-        cached = self._plan_cache.get(problem)
-        if cached is not None:
-            return cached
-        parts = self.total_gpus
-        n_local = problem.N // parts
-        template = self.stage1_template or derive_stage_kernel_params(
-            self.topology.arch, problem.dtype
+    # ----------------------------------------------------------------- hooks
+
+    def _arch(self) -> GPUArchitecture:
+        return self.topology.arch
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        # M*W GPUs cooperate on each problem; the K space sweeps the MPS
+        # equation (the tuner note: "mn-mps sweeps the mps search space").
+        return PlanSpec(
+            problem=problem, parts=self.total_gpus, K=self.K,
+            template=self.stage1_template, k_space="mps", node=self.node,
+            k_pick="max", clamp_chunks=False,
         )
-        template = shrink_template_to_fit(template, n_local)
-        if self.K is not None:
-            k = self.K
-        else:
-            space = k_search_space(
-                problem, template, template, self.topology.arch,
-                node=self.node, proposal="mps",
+
+    def _place_buffers(
+        self, scope: AllocationScope, plan: ExecutionPlan, request: ScanRequest
+    ):
+        problem = request.problem
+        n_local = problem.N // self.total_gpus
+        if request.batch is None:
+            return [
+                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
+                for gpu in self.gpus
+            ]
+        return [
+            scope.upload(
+                gpu,
+                np.ascontiguousarray(
+                    request.batch[:, r * n_local : (r + 1) * n_local]
+                ),
             )
-            k = space[-1]
-        plan = build_execution_plan(
-            self.topology.arch,
-            problem,
-            K=k,
-            gpus_sharing_problem=parts,
-            stage1_template=template,
-        )
-        self._plan_cache[problem] = plan
-        return plan
+            for r, gpu in enumerate(self.gpus)
+        ]
 
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
-        )
-        plan = self.plan_for(problem)
-        parts = self.total_gpus
-        n_local = n // parts
+    def _device_flow(
+        self, buffers, plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        return self.run_on_device(buffers, plan, functional=functional)
 
-        with AllocationScope() as scope:
-            with obs.span("upload"):
-                portions = [
-                    scope.upload(
-                        gpu,
-                        np.ascontiguousarray(
-                            batch[:, r * n_local : (r + 1) * n_local]
-                        ),
-                    )
-                    for r, gpu in enumerate(self.gpus)
-                ]
-            trace = self.run_on_device(portions, plan)
-            with obs.span("collect"):
-                output = (
-                    np.concatenate([p.to_host() for p in portions], axis=1)
-                    if collect else None
-                )
-        return ScanResult(
-            problem=problem,
-            proposal="scan-mn-mps",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": self.node.M,
-                "gpu_ids": [g.id for g in self.gpus],
-            },
-        )
+    def _collect_output(self, buffers) -> np.ndarray:
+        return np.concatenate([p.to_host() for p in buffers], axis=1)
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        return {
+            "K": plan.stage1.params.K,
+            "W": self.node.W,
+            "V": self.node.V,
+            "Y": self.node.Y,
+            "M": self.node.M,
+            "gpu_ids": [g.id for g in self.gpus],
+        }
+
+    # ------------------------------------------------------------ device flow
 
     def run_on_device(
         self, portions: list[DeviceArray], plan: ExecutionPlan, functional: bool = True
@@ -173,8 +155,6 @@ class ScanMultiNodeMPS:
         # Stage 2 scans.
         staging = scope.alloc(master, (parts, g_local * bx), dtype, virtual=virtual)
         aux_master = scope.alloc(master, (g_local, parts * bx), dtype, virtual=virtual)
-        activation = self.topology.activate(self.gpus)
-        activation.__enter__()
         counter: dict = {}
 
         def dispatch(phase, gpu):
@@ -183,94 +163,77 @@ class ScanMultiNodeMPS:
             self.engine.record_dispatch(trace, phase, gpu, ordinal=counter[key])
 
         try:
-            # Stage 1 on every GPU (each node's host dispatches its own W).
-            with obs.span("stage1"):
-                for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
-                    launch_chunk_reduce(
-                        trace, gpu, portion, aux, plan,
-                        chunk_column_offset=0, phase="stage1",
+            with self.topology.activate(self.gpus):
+                # Stage 1 on every GPU (each node's host dispatches its own W).
+                with obs.span("stage1"):
+                    for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                        launch_chunk_reduce(
+                            trace, gpu, portion, aux, plan,
+                            chunk_column_offset=0, phase="stage1",
+                            functional=functional,
+                        )
+                        dispatch("stage1", gpu)
+
+                # "After synchronizing all MPI processes, ..."
+                with obs.span("mpi_barrier"):
+                    self.comm.barrier(trace, "mpi_barrier")
+
+                # MPI_Gather of every rank's chunk reductions to the master.
+                with obs.span("mpi_gather"):
+                    self.comm.gather(
+                        trace, "mpi_gather", aux_locals, staging, root=0,
                         functional=functional,
                     )
-                    dispatch("stage1", gpu)
+                    # Rank-major -> problem-major relayout on the master (cheap
+                    # device-side shuffle; not separately timed).
+                    if functional:
+                        aux_master.data[...] = (
+                            staging.data.reshape(parts, g_local, bx)
+                            .transpose(1, 0, 2)
+                            .reshape(g_local, parts * bx)
+                        )
 
-            # "After synchronizing all MPI processes, ..."
-            with obs.span("mpi_barrier"):
-                self.comm.barrier(trace, "mpi_barrier")
-
-            # MPI_Gather of every rank's chunk reductions to the master.
-            with obs.span("mpi_gather"):
-                self.comm.gather(
-                    trace, "mpi_gather", aux_locals, staging, root=0,
-                    functional=functional,
-                )
-                # Rank-major -> problem-major relayout on the master (cheap
-                # device-side shuffle; not separately timed).
-                if functional:
-                    aux_master.data[...] = (
-                        staging.data.reshape(parts, g_local, bx)
-                        .transpose(1, 0, 2)
-                        .reshape(g_local, parts * bx)
-                    )
-
-            # Stage 2 on the master only.
-            with obs.span("stage2"):
-                launch_intermediate_scan(
-                    trace, master, aux_master, plan, phase="stage2",
-                    functional=functional,
-                )
-                dispatch("stage2", master)
-
-            # MPI_Scatter of each rank's slice of the scanned offsets.
-            with obs.span("mpi_scatter"):
-                if functional:
-                    staging.data[...] = (
-                        aux_master.data.reshape(g_local, parts, bx)
-                        .transpose(1, 0, 2)
-                        .reshape(parts, g_local * bx)
-                    )
-                self.comm.scatter(
-                    trace, "mpi_scatter", staging, aux_locals, root=0,
-                    functional=functional,
-                )
-
-            # Stage 3 on every GPU.
-            with obs.span("stage3"):
-                for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
-                    launch_scan_add(
-                        trace, gpu, portion, aux, plan,
-                        chunk_column_offset=0, phase="stage3",
+                # Stage 2 on the master only.
+                with obs.span("stage2"):
+                    launch_intermediate_scan(
+                        trace, master, aux_master, plan, phase="stage2",
                         functional=functional,
                     )
-                    dispatch("stage3", gpu)
+                    dispatch("stage2", master)
+
+                # MPI_Scatter of each rank's slice of the scanned offsets.
+                with obs.span("mpi_scatter"):
+                    if functional:
+                        staging.data[...] = (
+                            aux_master.data.reshape(g_local, parts, bx)
+                            .transpose(1, 0, 2)
+                            .reshape(parts, g_local * bx)
+                        )
+                    self.comm.scatter(
+                        trace, "mpi_scatter", staging, aux_locals, root=0,
+                        functional=functional,
+                    )
+
+                # Stage 3 on every GPU.
+                with obs.span("stage3"):
+                    for gpu, portion, aux in zip(self.gpus, portions, aux_locals):
+                        launch_scan_add(
+                            trace, gpu, portion, aux, plan,
+                            chunk_column_offset=0, phase="stage3",
+                            functional=functional,
+                        )
+                        dispatch("stage3", gpu)
         finally:
-            activation.__exit__(None, None, None)
             scope.release()
         return trace
 
-    def estimate(self, problem: ProblemConfig) -> ScanResult:
-        """Analytic run at full problem scale (exact trace, no data arrays)."""
-        plan = self.plan_for(problem)
-        parts = self.total_gpus
-        n_local = problem.N // parts
-        with AllocationScope() as scope:
-            portions = [
-                scope.alloc(gpu, (problem.G, n_local), problem.dtype, virtual=True)
-                for gpu in self.gpus
-            ]
-            trace = self.run_on_device(portions, plan, functional=False)
-        return ScanResult(
-            problem=problem,
-            proposal="scan-mn-mps",
-            trace=trace,
-            plan=plan,
-            output=None,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": self.node.M,
-                "estimated": True,
-                "gpu_ids": [g.id for g in self.gpus],
-            },
-        )
+
+register_proposal(ProposalSpec(
+    name="mn-mps",
+    result_label="scan-mn-mps",
+    summary="multi-node problem scattering over MPI collectives (Section 5.2)",
+    builder=lambda topology, node, K: ScanMultiNodeMPS(topology, node, K=K),
+    tunable=True,
+    paper_ref="Section 5.2, Figures 13-14",
+    order=50,
+))

@@ -17,22 +17,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigurationError
-from repro.gpusim.device import GPU
+from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.events import Trace
 from repro.interconnect.topology import SystemTopology
 from repro.interconnect.transfer import TransferCostParams, TransferEngine
 from repro.gpusim.memory import AllocationScope
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    register_proposal,
+)
 from repro.core.multi_gpu import problem_scattering_flow, upload_portions
 from repro.core.params import ExecutionPlan, KernelParams, NodeConfig, ProblemConfig
-from repro.core.plan import build_execution_plan
-from repro.core.premises import derive_stage_kernel_params, k_search_space
-from repro.core.results import ScanResult
-from repro.core.single_gpu import coerce_batch, shrink_template_to_fit
 
 
-class ScanMPPC:
+class ScanMPPC(ScanExecutor):
     """Prioritized-communications executor (single- or multi-node, no MPI)."""
+
+    proposal = "mppc"
+    result_label = "scan-mp-pc"
 
     def __init__(
         self,
@@ -50,162 +56,108 @@ class ScanMPPC:
         self.engine = TransferEngine(topology, transfer_params)
         self.overlap = overlap
         # One GPU group per (node, PCIe network) pair in use.
-        self.groups: list[list[GPU]] = []
-        for node_idx in range(node.M):
-            for net_idx in range(node.Y):
-                if node.V > topology.gpus_per_network:
-                    raise ConfigurationError(
-                        f"network {net_idx} of node {node_idx} has only "
-                        f"{topology.gpus_per_network} GPUs, V={node.V} requested"
-                    )
-                self.groups.append(
-                    topology.spread_gpus_in_network(node_idx, net_idx, node.V)
-                )
-        self._plan_cache: dict[tuple[ProblemConfig, int], ExecutionPlan] = {}
+        self.placement = Placement.per_network(topology, node)
 
     def groups_used(self, g: int) -> int:
         """Networks actually used: min(M*Y, G), kept a power of two."""
         return min(len(self.groups), g)
 
-    def plan_for(self, problem: ProblemConfig, groups_used: int) -> ExecutionPlan:
-        cached = self._plan_cache.get((problem, groups_used))
-        if cached is not None:
-            return cached
-        v = self.node.V
-        n_local = problem.N // v
-        g_per_group = problem.G // groups_used
-        template = self.stage1_template or derive_stage_kernel_params(
-            self.topology.arch, problem.dtype
-        )
-        template = shrink_template_to_fit(template, n_local)
-        if self.K is not None:
-            k = self.K
-        else:
-            space = k_search_space(
-                problem, template, template, self.topology.arch,
-                node=self.node, proposal="mppc",
-            )
-            k = space[-1]
-        plan = build_execution_plan(
-            self.topology.arch,
-            problem,
-            K=k,
-            gpus_sharing_problem=v,
-            g_local=g_per_group,
-            stage1_template=template,
-        )
-        self._plan_cache[(problem, groups_used)] = plan
-        return plan
-
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
-        )
-        groups_used = self.groups_used(g)
-        g_per_group = g // groups_used
-        plan = self.plan_for(problem, groups_used)
-
-        trace = Trace()
-        with AllocationScope() as scope:
-            with obs.span("upload"):
-                group_portions = []
-                for j in range(groups_used):
-                    sub = batch[j * g_per_group : (j + 1) * g_per_group]
-                    group_portions.append(
-                        upload_portions(self.groups[j], sub, self.node.V, scope)
-                    )
-
-            active = [g for j in range(groups_used) for g in self.groups[j]]
-            dispatch_counter: dict = {}
-            with self.topology.activate(active):
-                for j in range(groups_used):
-                    with obs.span("network", group=j):
-                        problem_scattering_flow(
-                            trace, self.engine, self.topology,
-                            self.groups[j], group_portions[j], plan,
-                            dispatch_counter=dispatch_counter,
-                            overlap=self.overlap,
-                        )
-
-            output = None
-            if collect:
-                with obs.span("collect"):
-                    rows = [
-                        np.concatenate([p.to_host() for p in portions], axis=1)
-                        for portions in group_portions
-                    ]
-                    output = np.concatenate(rows, axis=0)
-        return ScanResult(
-            problem=problem,
-            proposal="scan-mp-pc",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": self.node.M,
-                "networks_used": groups_used,
-                "gpu_ids": [
-                    g.id for j in range(groups_used) for g in self.groups[j]
-                ],
-            },
+    def plan_for(
+        self, problem: ProblemConfig, groups_used: int | None = None
+    ) -> ExecutionPlan:
+        """The group plan; ``groups_used`` defaults to :meth:`groups_used`."""
+        if groups_used is None:
+            groups_used = self.groups_used(problem.G)
+        return self.resolver.resolve(
+            self._arch(), self._spec_for(problem, groups_used)
         )
 
-    def estimate(self, problem: ProblemConfig) -> ScanResult:
-        """Analytic run at full problem scale (exact trace, no data arrays)."""
+    # ----------------------------------------------------------------- hooks
+
+    def _arch(self) -> GPUArchitecture:
+        return self.topology.arch
+
+    def _spec_for(self, problem: ProblemConfig, groups_used: int) -> PlanSpec:
+        return PlanSpec(
+            problem=problem, parts=self.node.V,
+            g_local=problem.G // groups_used, K=self.K,
+            template=self.stage1_template, k_space="mppc", node=self.node,
+            k_pick="max", clamp_chunks=False,
+        )
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        return self._spec_for(problem, self.groups_used(problem.G))
+
+    def _place_buffers(
+        self, scope: AllocationScope, plan: ExecutionPlan, request: ScanRequest
+    ):
+        problem = request.problem
         groups_used = self.groups_used(problem.G)
         g_per_group = problem.G // groups_used
-        plan = self.plan_for(problem, groups_used)
-        n_local = problem.N // self.node.V
-
-        trace = Trace()
-        with AllocationScope() as scope:
-            group_portions = [
-                [
-                    scope.alloc(gpu, (g_per_group, n_local), problem.dtype, virtual=True)
+        group_portions = []
+        for j in range(groups_used):
+            if request.batch is None:
+                n_local = problem.N // self.node.V
+                group_portions.append([
+                    scope.alloc(gpu, (g_per_group, n_local), problem.dtype,
+                                virtual=True)
                     for gpu in self.groups[j]
-                ]
-                for j in range(groups_used)
-            ]
-            active = [g for j in range(groups_used) for g in self.groups[j]]
-            dispatch_counter: dict = {}
-            with self.topology.activate(active):
-                for j in range(groups_used):
+                ])
+            else:
+                sub = request.batch[j * g_per_group : (j + 1) * g_per_group]
+                group_portions.append(
+                    upload_portions(self.groups[j], sub, self.node.V, scope)
+                )
+        return group_portions
+
+    def _device_flow(
+        self, buffers, plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        groups_used = len(buffers)
+        trace = Trace()
+        active = [g for j in range(groups_used) for g in self.groups[j]]
+        dispatch_counter: dict = {}
+        with self.topology.activate(active):
+            for j in range(groups_used):
+                with obs.span("network", group=j):
                     problem_scattering_flow(
                         trace, self.engine, self.topology,
-                        self.groups[j], group_portions[j], plan,
-                        functional=False,
+                        self.groups[j], buffers[j], plan,
+                        functional=functional,
                         dispatch_counter=dispatch_counter,
                         overlap=self.overlap,
                     )
-        result = ScanResult(
-            problem=problem,
-            proposal="scan-mp-pc",
-            trace=trace,
-            plan=plan,
-            output=None,
-            config={
-                "K": plan.stage1.params.K,
-                "W": self.node.W,
-                "V": self.node.V,
-                "Y": self.node.Y,
-                "M": self.node.M,
-                "networks_used": groups_used,
-                "estimated": True,
-                "gpu_ids": [
-                    g.id for j in range(groups_used) for g in self.groups[j]
-                ],
-            },
-        )
-        return result
+        return trace
+
+    def _collect_output(self, buffers) -> np.ndarray:
+        rows = [
+            np.concatenate([p.to_host() for p in portions], axis=1)
+            for portions in buffers
+        ]
+        return np.concatenate(rows, axis=0)
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        groups_used = self.groups_used(problem.G)
+        return {
+            "K": plan.stage1.params.K,
+            "W": self.node.W,
+            "V": self.node.V,
+            "Y": self.node.Y,
+            "M": self.node.M,
+            "networks_used": groups_used,
+            "gpu_ids": [
+                g.id for j in range(groups_used) for g in self.groups[j]
+            ],
+        }
+
+
+register_proposal(ProposalSpec(
+    name="mppc",
+    result_label="scan-mp-pc",
+    summary="problem scattering with prioritized per-network communication "
+            "(Section 4.1.1)",
+    builder=lambda topology, node, K: ScanMPPC(topology, node, K=K),
+    tunable=True,
+    paper_ref="Section 4.1.1, Figures 8, 10",
+    order=40,
+))

@@ -29,14 +29,15 @@ from repro.errors import ConfigurationError
 from repro.obs.registry import Histogram
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
 from repro.core.autotune_cache import AutotuneCache, CachedTuner
-from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
-from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.executor import (
+    ScanRequest,
+    build_executor,
+    coerce_batch,
+    get_proposal,
+    proposal_names,
+)
 from repro.core.params import NodeConfig, ProblemConfig
-from repro.core.prioritized import ScanMPPC
 from repro.core.results import ScanResult
-from repro.core.single_gpu import ScanSP, coerce_batch
-
-_PROPOSALS = ("sp", "pp", "mps", "mppc", "mn-mps")
 
 #: Memoised default machines, keyed by node count. ``scan(data)`` without
 #: a topology used to build a fresh 8-GPU machine per call; every
@@ -162,27 +163,11 @@ class ScanSession:
                     raise ConfigurationError(
                         f"K must be an int, None or 'tune', got {K!r}"
                     )
-                if proposal not in _PROPOSALS:
-                    raise ConfigurationError(
-                        f"unknown proposal {proposal!r}; use auto/sp/pp/mps/mppc/mn-mps"
-                    )
-
-                key = (problem, node, proposal, K)
-                entry = self._entries.get(key)
-                if entry is None:
-                    self.misses += 1
-                    obs.counter("session.plan_cache.misses").inc()
-                    k_value = self._resolve_k(K, proposal, node, problem, batch)
-                    entry = _SessionEntry(
-                        self._build_executor(proposal, node, k_value),
-                        k_value, proposal,
-                    )
-                    self._entries[key] = entry
-                    plan_span.set("cache", "miss")
-                else:
-                    self.hits += 1
-                    obs.counter("session.plan_cache.hits").inc()
-                    plan_span.set("cache", "hit")
+                request = ScanRequest(
+                    problem=problem, batch=batch, node=node,
+                    proposal=proposal, K=K, collect=collect,
+                )
+                entry = self._entry_for(request, plan_span)
                 plan_span.set("proposal", proposal)
             entry.calls += 1
             self.calls += 1
@@ -209,36 +194,99 @@ class ScanSession:
             obs.histogram("scan.sim_time_s", proposal=proposal).observe(sim)
         return result
 
+    def estimate(
+        self,
+        problem: ProblemConfig,
+        proposal: str = "auto",
+        W: int = 1,
+        V: int | None = None,
+        M: int = 1,
+        K: int | str | None = None,
+    ) -> ScanResult:
+        """Analytic serving: the memoised executor run with virtual arrays.
+
+        Same contract and caching as :meth:`scan`, but the batch never
+        exists — the executor replays the identical pipeline with virtual
+        buffers and closed-form kernel statistics, so the returned trace
+        and timing match a functional run exactly (at any scale, including
+        the paper's 2^28-element problems).
+        """
+        from repro.core.api import recommend_proposal
+
+        with obs.span("estimate") as root:
+            with obs.span("plan") as plan_span:
+                if V is None:
+                    V = min(W, self.topology.gpus_per_network)
+                node = NodeConfig.from_counts(W=W, V=V, M=M)
+                if proposal == "auto":
+                    proposal = recommend_proposal(self.topology, node, problem)
+                if K != "tune" and K is not None and not isinstance(K, int):
+                    raise ConfigurationError(
+                        f"K must be an int, None or 'tune', got {K!r}"
+                    )
+                request = ScanRequest.analytic(
+                    problem, node=node, proposal=proposal, K=K
+                )
+                entry = self._entry_for(request, plan_span)
+                plan_span.set("proposal", proposal)
+            entry.calls += 1
+            self.calls += 1
+            with obs.span("execute", proposal=proposal) as exec_span:
+                result = entry.executor.estimate(problem)
+                exec_span.annotate_trace(result.trace)
+            root.set("proposal", proposal)
+            root.set("N", problem.N)
+            root.set("G", problem.G)
+            root.annotate_trace(result.trace)
+        return result
+
     # ----------------------------------------------------------- internals
 
-    def _resolve_k(self, K, proposal, node, problem, batch) -> int | None:
+    def _entry_for(self, request: ScanRequest, plan_span=None) -> _SessionEntry:
+        """The memoised executor entry for a validated request.
+
+        Keyed by :attr:`ScanRequest.cache_key`; a miss resolves K and
+        builds the executor through the proposal registry.
+        """
+        spec = get_proposal(request.proposal)
+        entry = self._entries.get(request.cache_key)
+        if entry is None:
+            self.misses += 1
+            obs.counter("session.plan_cache.misses").inc()
+            k_value = self._resolve_k(request, spec)
+            entry = _SessionEntry(
+                spec.build(self.topology, request.node, k_value),
+                k_value, request.proposal,
+            )
+            self._entries[request.cache_key] = entry
+            if plan_span is not None:
+                plan_span.set("cache", "miss")
+        else:
+            self.hits += 1
+            obs.counter("session.plan_cache.hits").inc()
+            if plan_span is not None:
+                plan_span.set("cache", "hit")
+        return entry
+
+    def _resolve_k(self, request: ScanRequest, spec) -> int | None:
         """Turn the K request into a concrete cascade depth (or None).
 
         ``"tune"`` sweeps the premise search space through the session's
         :class:`CachedTuner`, so the sweep is paid once per configuration
         (the cost model is data-independent, hence the winner is too).
         """
-        if K != "tune":
-            return K
-        if proposal == "pp":
-            return None  # problem parallelism tunes per-GPU sub-batches
+        if request.K != "tune":
+            return request.K
+        if not spec.tunable:
+            # Problem parallelism tunes per-GPU sub-batches; the chained
+            # scan pins K at the bottom of the space by design.
+            return None
         return self.tuner.best_k(
-            problem,
-            proposal=proposal,
-            node=None if proposal == "sp" else node,
-            data=batch,
+            request.problem,
+            proposal=request.proposal,
+            node=None if request.proposal == "sp" else request.node,
+            data=request.batch,
         )
-
-    def _build_executor(self, proposal: str, node: NodeConfig, k_value):
-        if proposal == "sp":
-            return ScanSP(self.topology.gpus[0], K=k_value)
-        if proposal == "pp":
-            return ScanProblemParallel(self.topology, node, K=k_value)
-        if proposal == "mps":
-            return ScanMPS(self.topology, node, K=k_value)
-        if proposal == "mppc":
-            return ScanMPPC(self.topology, node, K=k_value)
-        return ScanMultiNodeMPS(self.topology, node, K=k_value)
 
     # -------------------------------------------------------- introspection
 

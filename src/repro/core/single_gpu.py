@@ -5,6 +5,10 @@ Executes the three-kernel decomposition on one device: Chunk Reduce over
 auxiliary array, Scan+Addition writing the final result. All ``G`` problems
 of the batch are solved in the same three launches (``B_y = G``) — the
 paper's core advantage over per-problem library invocations.
+
+The pipeline (coerce → plan → upload → flow → collect) lives in
+:class:`repro.core.executor.ScanExecutor`; this module supplies only the
+three-launch device flow and registers the ``sp`` proposal.
 """
 
 from __future__ import annotations
@@ -12,59 +16,36 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigurationError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import GPU
 from repro.gpusim.events import Trace
 from repro.gpusim.memory import AllocationScope, DeviceArray
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    coerce_batch,
+    register_proposal,
+    shrink_template_to_fit,
+)
 from repro.core.kernels import (
     launch_chunk_reduce,
     launch_intermediate_scan,
     launch_scan_add,
 )
 from repro.core.params import ExecutionPlan, KernelParams, ProblemConfig
-from repro.core.plan import build_execution_plan
-from repro.core.premises import derive_stage_kernel_params, k_search_space
+from repro.core.premises import k_search_space
 from repro.core.results import ScanResult
-from repro.util.ints import is_power_of_two
 
-
-def coerce_batch(data: np.ndarray) -> np.ndarray:
-    """Normalise input to shape (G, N); 1-D input becomes a G=1 batch."""
-    arr = np.asarray(data)
-    if arr.ndim == 1:
-        arr = arr[None, :]
-    if arr.ndim != 2:
-        raise ConfigurationError(
-            f"scan input must be 1-D or 2-D (G, N), got shape {arr.shape}"
-        )
-    g, n = arr.shape
-    if not is_power_of_two(n) or not is_power_of_two(g):
-        raise ConfigurationError(
-            f"G and N must be powers of two (paper convention), got G={g}, N={n}"
-        )
-    return arr
-
-
-def shrink_template_to_fit(
-    template: KernelParams, n_local: int
-) -> KernelParams:
-    """Reduce (p, then lx) until one block iteration fits the local portion.
-
-    Small problems (or small test sizes) may be narrower than the premise
-    block's ``Lx * P`` element coverage; the paper targets large N, so we
-    degrade deterministically rather than reject.
-    """
-    p, lx = template.p, template.lx
-    while (1 << (p + lx)) > n_local and p > 0:
-        p -= 1
-    while (1 << (p + lx)) > n_local and lx > 0:
-        lx -= 1
-    if (1 << (p + lx)) > n_local:
-        raise ConfigurationError(f"cannot fit a block iteration into {n_local} elements")
-    warps = max(1, (1 << lx) // 32)
-    s = min(template.s, max(0, warps.bit_length() - 1))
-    return KernelParams(s=s, p=p, l=lx, lx=lx, ly=0, K=template.K)
+__all__ = [
+    "ScanSP",
+    "coerce_batch",
+    "default_k",
+    "scan_single_gpu",
+    "shrink_template_to_fit",
+]
 
 
 def default_k(
@@ -81,8 +62,11 @@ def default_k(
     return space[-1]
 
 
-class ScanSP:
+class ScanSP(ScanExecutor):
     """Single-GPU batch scan executor."""
+
+    proposal = "sp"
+    result_label = "scan-sp"
 
     def __init__(
         self,
@@ -92,69 +76,57 @@ class ScanSP:
         vector_loads: bool = True,
     ):
         self.gpu = gpu
+        self.placement = Placement.single(gpu)
         self.K = K
         self.stage1_template = stage1_template
-        #: Plans are pure functions of (problem, K, template, arch); reusing
-        #: an executor across calls skips re-deriving them (warm serving).
-        self._plan_cache: dict[ProblemConfig, ExecutionPlan] = {}
         #: int4 vector loads (Section 3.1: "each thread reads P elements
         #: from global memory using the int4 customized data type,
         #: facilitating coalescence"). False simulates scalar loads, for
         #: the vectorised-load ablation.
         self.vector_loads = vector_loads
 
-    def plan_for(self, problem: ProblemConfig) -> ExecutionPlan:
-        plan = self._plan_cache.get(problem)
-        if plan is not None:
-            return plan
-        template = self.stage1_template or derive_stage_kernel_params(
-            self.gpu.arch, problem.dtype
-        )
-        template = shrink_template_to_fit(template, problem.N)
-        k = self.K if self.K is not None else default_k(self.gpu.arch, problem, template)
-        # K must keep at least one chunk per problem.
-        k = min(k, problem.N // template.elements_per_iteration)
-        plan = build_execution_plan(
-            self.gpu.arch,
-            problem,
-            K=k,
-            gpus_sharing_problem=1,
-            stage1_template=template,
-        )
-        self._plan_cache[problem] = plan
-        return plan
+    # ----------------------------------------------------------------- hooks
 
-    def run(
-        self,
-        data: np.ndarray,
-        operator="add",
-        inclusive: bool = True,
-        collect: bool = True,
-    ) -> ScanResult:
-        """Scan a host batch of shape (G, N) (or 1-D for G=1)."""
-        batch = coerce_batch(data)
-        g, n = batch.shape
-        problem = ProblemConfig.from_sizes(
-            N=n, G=g, dtype=batch.dtype, operator=operator, inclusive=inclusive
-        )
-        plan = self.plan_for(problem)
+    def _arch(self) -> GPUArchitecture:
+        return self.gpu.arch
 
-        with AllocationScope() as scope:
-            with obs.span("upload"):
-                device_data = scope.upload(self.gpu, batch)
-                aux = scope.alloc(self.gpu, (g, plan.chunks_total), problem.dtype)
-            trace = self.run_on_device(device_data, aux, plan)
-            with obs.span("collect"):
-                output = device_data.to_host() if collect else None
-        return ScanResult(
-            problem=problem,
-            proposal="scan-sp",
-            trace=trace,
-            plan=plan,
-            output=output,
-            config={"K": plan.stage1.params.K, "W": 1, "V": 1, "M": 1,
-                    "gpu_ids": [self.gpu.id]},
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        # K must keep at least one chunk per problem (clamp_chunks).
+        return PlanSpec(
+            problem=problem, parts=1, K=self.K, template=self.stage1_template,
+            k_space="sp", k_pick="max", clamp_chunks=True,
         )
+
+    def _place_buffers(
+        self, scope: AllocationScope, plan: ExecutionPlan, request: ScanRequest
+    ):
+        problem = request.problem
+        if request.batch is None:
+            device_data = scope.alloc(
+                self.gpu, (problem.G, problem.N), problem.dtype, virtual=True
+            )
+            aux = scope.alloc(
+                self.gpu, (problem.G, plan.chunks_total), problem.dtype, virtual=True
+            )
+        else:
+            device_data = scope.upload(self.gpu, request.batch)
+            aux = scope.alloc(self.gpu, (problem.G, plan.chunks_total), problem.dtype)
+        return (device_data, aux)
+
+    def _device_flow(
+        self, buffers, plan: ExecutionPlan, functional: bool = True
+    ) -> Trace:
+        device_data, aux = buffers
+        return self.run_on_device(device_data, aux, plan, functional=functional)
+
+    def _collect_output(self, buffers) -> np.ndarray:
+        return buffers[0].to_host()
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        return {"K": plan.stage1.params.K, "W": 1, "V": 1, "M": 1,
+                "gpu_ids": [self.gpu.id]}
+
+    # ------------------------------------------------------------ device flow
 
     def run_on_device(
         self,
@@ -181,33 +153,6 @@ class ScanSP:
             )
         return trace
 
-    def estimate(self, problem: ProblemConfig) -> ScanResult:
-        """Analytic run at full problem scale: exact trace, no data arrays.
-
-        Every launch/transfer counter is a closed form of the plan geometry,
-        so the produced trace (and therefore the timing) is identical to a
-        functional run — without allocating the 2^28-element batches of the
-        paper's evaluation.
-        """
-        plan = self.plan_for(problem)
-        with AllocationScope() as scope:
-            device_data = scope.alloc(
-                self.gpu, (problem.G, problem.N), problem.dtype, virtual=True
-            )
-            aux = scope.alloc(
-                self.gpu, (problem.G, plan.chunks_total), problem.dtype, virtual=True
-            )
-            trace = self.run_on_device(device_data, aux, plan, functional=False)
-        return ScanResult(
-            problem=problem,
-            proposal="scan-sp",
-            trace=trace,
-            plan=plan,
-            output=None,
-            config={"K": plan.stage1.params.K, "W": 1, "V": 1, "M": 1,
-                    "estimated": True, "gpu_ids": [self.gpu.id]},
-        )
-
 
 def scan_single_gpu(
     gpu: GPU,
@@ -218,3 +163,14 @@ def scan_single_gpu(
 ) -> ScanResult:
     """Convenience wrapper: one-shot Scan-SP over a host batch."""
     return ScanSP(gpu, K=K).run(data, operator=operator, inclusive=inclusive)
+
+
+register_proposal(ProposalSpec(
+    name="sp",
+    result_label="scan-sp",
+    summary="single-GPU three-kernel batch scan (Section 3)",
+    builder=lambda topology, node, K: ScanSP(topology.gpus[0], K=K),
+    tunable=True,
+    paper_ref="Section 3, Figure 11",
+    order=10,
+))

@@ -1,0 +1,246 @@
+"""The unified executor pipeline: run/estimate equivalence, registry,
+shared plan resolver, and the problem-parallel activation fix.
+
+The tentpole guarantee of the ``repro.core.executor`` refactor is that the
+analytic path is *the same code* as the functional path (one template
+method, ``functional=False`` + virtual buffers), so ``estimate(problem)``
+must reproduce ``run(data)`` record for record — for every proposal. The
+old per-executor estimate copies never had this guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chained import ScanChained
+from repro.core.executor import (
+    PlanResolver,
+    ScanExecutor,
+    build_executor,
+    get_proposal,
+    proposal_names,
+    proposal_specs,
+)
+from repro.core.multi_gpu import ScanMPS, ScanProblemParallel
+from repro.core.multi_node import ScanMultiNodeMPS
+from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.prioritized import ScanMPPC
+from repro.core.session import ScanSession
+from repro.core.single_gpu import ScanSP
+from repro.errors import ConfigurationError, ReproError
+
+N = 1 << 13
+G = 8
+
+
+def records_signature(trace):
+    return [
+        (type(r).__name__, r.phase, r.lane, r.time_s) for r in trace.records
+    ]
+
+
+def executor_cases(machine, cluster):
+    """One representative executor per registered proposal."""
+    return {
+        "sp": ScanSP(machine.gpus[0]),
+        "pp": ScanProblemParallel(machine, NodeConfig.from_counts(W=4, V=4)),
+        "mps": ScanMPS(machine, NodeConfig.from_counts(W=4, V=4)),
+        "mppc": ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4)),
+        "mn-mps": ScanMultiNodeMPS(
+            cluster, NodeConfig.from_counts(W=4, V=4, M=2)
+        ),
+        "chained": ScanChained(machine.gpus[0]),
+    }
+
+
+class TestRunEstimateEquivalence:
+    """For every proposal: estimate == run, to the last trace record."""
+
+    @pytest.mark.parametrize(
+        "name", ["sp", "pp", "mps", "mppc", "mn-mps", "chained"]
+    )
+    def test_estimate_matches_run_exactly(self, name, machine, cluster, rng):
+        executor = executor_cases(machine, cluster)[name]
+        data = rng.integers(-1000, 1000, (G, N)).astype(np.int64)
+        problem = ProblemConfig.from_sizes(N=N, G=G, dtype=np.int64)
+
+        run = executor.run(data)
+        est = executor.estimate(problem)
+
+        assert est.total_time_s == run.total_time_s
+        assert est.breakdown == run.breakdown
+        assert records_signature(est.trace) == records_signature(run.trace)
+        assert est.plan is run.plan  # one resolver entry serves both
+        assert est.output is None
+        assert est.config["estimated"] is True
+        run_config = dict(run.config)
+        est_config = dict(est.config)
+        est_config.pop("estimated")
+        assert est_config == run_config
+        # The functional result actually scanned.
+        np.testing.assert_array_equal(
+            run.output, np.cumsum(data, axis=1)
+        )
+
+    def test_pp_estimate_through_session(self, machine, rng):
+        """The satellite: problem parallelism now estimates, via the session."""
+        session = ScanSession(machine)
+        data = rng.integers(0, 100, (G, N)).astype(np.int64)
+        problem = ProblemConfig.from_sizes(N=N, G=G, dtype=np.int64)
+
+        run = session.scan(data, proposal="pp", W=4)
+        est = session.estimate(problem, proposal="pp", W=4)
+
+        assert est.total_time_s == run.total_time_s
+        assert est.breakdown == run.breakdown
+        assert est.proposal == "scan-pp"
+        assert est.config["W"] == 4
+        # Same cache entry serves both paths: the estimate was a hit.
+        assert session.cached_configurations == 1
+        assert session.hits == 1
+
+    def test_api_estimate_facade(self, machine):
+        from repro.core.api import estimate
+
+        problem = ProblemConfig.from_sizes(N=N, G=G)
+        result = estimate(problem, topology=machine, proposal="mps", W=4)
+        assert result.proposal == "scan-mps"
+        assert result.config["estimated"] is True
+        assert result.total_time_s > 0
+
+    def test_session_estimate_validates_like_scan(self, machine):
+        session = ScanSession(machine)
+        problem = ProblemConfig.from_sizes(N=N, G=G)
+        with pytest.raises(ConfigurationError, match="unknown proposal 'tree'; use auto/"):
+            session.estimate(problem, proposal="tree")
+        with pytest.raises(ConfigurationError, match="K must be an int"):
+            session.estimate(problem, K=1.5)
+
+
+class TestProposalRegistry:
+    def test_registry_lists_every_proposal(self):
+        assert proposal_names() == ("sp", "pp", "mps", "mppc", "mn-mps", "chained")
+
+    def test_specs_carry_identity_and_capabilities(self):
+        by_name = {s.name: s for s in proposal_specs()}
+        assert by_name["sp"].result_label == "scan-sp"
+        assert by_name["mppc"].result_label == "scan-mp-pc"
+        assert by_name["sp"].tunable and by_name["mps"].tunable
+        assert not by_name["pp"].tunable and not by_name["chained"].tunable
+        for spec in by_name.values():
+            assert spec.summary
+
+    def test_build_executor_constructs_the_right_class(self, machine, cluster):
+        node = NodeConfig.from_counts(W=4, V=4)
+        assert isinstance(build_executor("sp", machine, node), ScanSP)
+        assert isinstance(build_executor("pp", machine, node), ScanProblemParallel)
+        assert isinstance(build_executor("mps", machine, node), ScanMPS)
+        assert isinstance(build_executor("chained", machine, node), ScanChained)
+        mn = build_executor(
+            "mn-mps", cluster, NodeConfig.from_counts(W=4, V=4, M=2), K=2
+        )
+        assert isinstance(mn, ScanMultiNodeMPS)
+        assert mn.K == 2
+
+    def test_unknown_name_raises_the_canonical_error(self, machine):
+        with pytest.raises(ConfigurationError, match="unknown proposal 'tree'; use auto/"):
+            get_proposal("tree")
+
+    def test_executor_classes_declare_their_registry_name(self, machine, cluster):
+        for name, executor in executor_cases(machine, cluster).items():
+            assert executor.proposal == name
+            assert executor.result_label == get_proposal(name).result_label
+
+    def test_session_serves_registry_proposals(self, machine, rng):
+        """The chained extension is schedulable through the session now."""
+        session = ScanSession(machine)
+        data = rng.integers(0, 100, (4, 1 << 11)).astype(np.int32)
+        result = session.scan(data, proposal="chained")
+        assert result.proposal == "scan-chained"
+        np.testing.assert_array_equal(result.output, np.cumsum(data, axis=1))
+        # Untunable: K="tune" degrades to the proposal's own default.
+        tuned = session.scan(data, proposal="chained", K="tune")
+        assert tuned.total_time_s == result.total_time_s
+
+
+class TestPlanResolver:
+    def test_executors_share_one_cache(self, machine):
+        resolver = PlanResolver()
+        problem = ProblemConfig.from_sizes(N=N, G=G)
+        a, b = ScanSP(machine.gpus[0]), ScanSP(machine.gpus[1])
+        a.resolver = resolver
+        b.resolver = resolver
+        plan_a = a.plan_for(problem)
+        assert (resolver.misses, resolver.hits) == (1, 0)
+        plan_b = b.plan_for(problem)
+        assert (resolver.misses, resolver.hits) == (1, 1)
+        assert plan_b is plan_a
+        assert len(resolver) == 1
+
+    def test_distinct_specs_do_not_collide(self, machine):
+        """sp and chained share (arch, problem) but pick K differently."""
+        resolver = PlanResolver()
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=G)
+        sp, chained = ScanSP(machine.gpus[0]), ScanChained(machine.gpus[0])
+        sp.resolver = resolver
+        chained.resolver = resolver
+        plan_sp = sp.plan_for(problem)
+        plan_chained = chained.plan_for(problem)
+        assert resolver.misses == 2
+        assert len(resolver) == 2
+        assert plan_sp.stage1.params.K > plan_chained.stage1.params.K
+
+    def test_no_private_plan_caches_remain(self, machine, cluster):
+        for executor in executor_cases(machine, cluster).values():
+            assert not hasattr(executor, "_plan_cache")
+            assert executor.resolver is ScanExecutor.resolver
+
+    def test_mppc_plan_for_accepts_explicit_groups_used(self, machine):
+        executor = ScanMPPC(machine, NodeConfig.from_counts(W=8, V=4))
+        problem = ProblemConfig.from_sizes(N=N, G=G)
+        narrow = executor.plan_for(problem, groups_used=1)
+        wide = executor.plan_for(problem, groups_used=2)
+        assert narrow.stage1.by == G
+        assert wide.stage1.by == G // 2
+
+
+class TestActivationSafety:
+    def test_pp_failure_mid_flow_restores_bandwidth_scale(
+        self, machine, rng, monkeypatch
+    ):
+        """The satellite fix: an exception inside the worker loop must not
+        leave GPUs activated (dual-die throttled)."""
+        executor = ScanProblemParallel(machine, NodeConfig.from_counts(W=4, V=4))
+        data = rng.integers(0, 100, (G, N)).astype(np.int64)
+        before = {g.id: g.bandwidth_scale for g in machine.gpus}
+
+        calls = {"n": 0}
+        original = ScanSP.run_on_device
+
+        def failing(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:  # die mid-loop, after two workers succeeded
+                raise ReproError("injected fault")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ScanSP, "run_on_device", failing)
+        with pytest.raises(ReproError, match="injected fault"):
+            executor.run(data)
+        after = {g.id: g.bandwidth_scale for g in machine.gpus}
+        assert after == before
+
+    def test_pp_leaves_no_allocations_behind_on_failure(
+        self, machine, rng, monkeypatch
+    ):
+        executor = ScanProblemParallel(machine, NodeConfig.from_counts(W=4, V=4))
+        data = rng.integers(0, 100, (G, N)).astype(np.int64)
+
+        def failing(self, *args, **kwargs):
+            raise ReproError("injected fault")
+
+        monkeypatch.setattr(ScanSP, "run_on_device", failing)
+        with pytest.raises(ReproError):
+            executor.run(data)
+        for gpu in machine.gpus:
+            assert gpu.pool.used == 0
