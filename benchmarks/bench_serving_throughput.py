@@ -155,6 +155,44 @@ def run_serving_benchmark(
     return payload
 
 
+def verify_against_reference(
+    json_path: str | Path = REPO_ROOT / "BENCH_serving.json",
+) -> dict | None:
+    """Replay one warm scan per recorded proposal and gate on simulated time.
+
+    The simulated ``total_time_s`` of the no-fault serving path is fully
+    deterministic, so the recorded ``BENCH_serving.json`` doubles as a
+    golden artifact: any drift — e.g. health/fault hooks leaking cost
+    into the healthy path — shows up as a changed simulated time, and the
+    geomean of replayed/recorded ratios moves off 1.0. Returns the ratio
+    map, or ``None`` when no artifact exists to compare against.
+    """
+    path = Path(json_path)
+    if not path.exists():
+        return None
+    recorded = json.loads(path.read_text())
+    rng = np.random.default_rng(7)
+    data = rng.integers(
+        -(2**20), 2**20, size=(recorded["G"], 1 << recorded["n_log2"])
+    ).astype(np.int64)
+
+    ratios: dict[str, float] = {}
+    for proposal, row in recorded["proposals"].items():
+        spec = {k: row[k] for k in ("W", "V", "M")}
+        session = ScanSession(tsubame_kfc(spec["M"]))
+        result = session.scan(data, proposal=proposal, K="tune", **spec)
+        ratios[proposal] = result.trace.total_time() / row["simulated_time_s"]
+
+    geomean = float(np.exp(np.mean(np.log(list(ratios.values())))))
+    drifted = {name: r for name, r in ratios.items() if r != 1.0}
+    if drifted or geomean != 1.0:
+        raise AssertionError(
+            "no-fault serving path drifted from BENCH_serving.json: "
+            f"geomean ratio {geomean}, per-proposal {drifted}"
+        )
+    return ratios
+
+
 def format_serving_table(payload: dict) -> str:
     lines = [
         f"Serving throughput, G={payload['G']}, N=2^{payload['n_log2']} "
@@ -187,9 +225,12 @@ def main(argv: list[str] | None = None) -> int:
 
     The smoke mode runs tiny sizes with few repeats and does not write
     ``BENCH_serving.json``; its value is the built-in correctness gates
-    (warm/poisoned outputs and simulated time must match cold) plus a
+    (warm/poisoned outputs and simulated time must match cold), a
     direction-only check that the warm path is not slower than cold —
-    wall-clock ratios at these sizes are too noisy to pin a 3x bar on.
+    wall-clock ratios at these sizes are too noisy to pin a 3x bar on —
+    and the :func:`verify_against_reference` drift gate: the no-fault
+    path's simulated times (hence their geomean) must be unchanged
+    versus the recorded ``BENCH_serving.json``.
     """
     import argparse
 
@@ -211,6 +252,14 @@ def main(argv: list[str] | None = None) -> int:
         }
         if slow:
             raise AssertionError(f"warm serving slower than cold: {slow}")
+        ratios = verify_against_reference()
+        if ratios is None:
+            print("no BENCH_serving.json reference; drift gate skipped")
+        else:
+            print(
+                "no-fault simulated times match BENCH_serving.json "
+                f"(geomean ratio 1.0 across {len(ratios)} proposals)"
+            )
         print("serving smoke OK")
         return 0
     payload = run_serving_benchmark()

@@ -78,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="emit a machine-readable JSON bundle instead of text")
     sc.add_argument("--trace-out", default=None, metavar="FILE",
                     help="write a Chrome/Perfetto trace-event JSON file")
+    sc.add_argument("--inject-fault", action="append", default=[],
+                    metavar="SPEC",
+                    help="inject an availability fault before running, e.g. "
+                    "device:1@call=5, link:0.1@t=1e-4, link-hard:0.0@call=3, "
+                    "slow:pcie0.1*2@call=2 (repeatable)")
     sc.add_argument("--seed", type=int, default=0)
 
     ob = sub.add_parser(
@@ -119,6 +124,26 @@ def _build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--g", type=int, default=6, help="log2 batch size")
     cp.add_argument("--nodes", type=int, default=1)
     cp.add_argument("--no-baselines", action="store_true")
+
+    hl = sub.add_parser(
+        "health",
+        help="serve calls (optionally under injected faults) and report "
+        "the session health tracker: quarantined resources, retries, "
+        "failovers",
+    )
+    hl.add_argument("--n", type=int, default=13, help="log2 problem size")
+    hl.add_argument("--g", type=int, default=3, help="log2 batch size")
+    hl.add_argument("--proposal", default="mps",
+                    choices=["auto", *proposal_names()])
+    hl.add_argument("--w", type=int, default=4, help="GPUs per node (W)")
+    hl.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
+    hl.add_argument("--m", type=int, default=1, help="nodes (M)")
+    hl.add_argument("--calls", type=int, default=4,
+                    help="number of scan() calls to serve")
+    hl.add_argument("--inject-fault", action="append", default=[],
+                    metavar="SPEC",
+                    help="availability fault spec (see `repro scan`); repeatable")
+    hl.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -168,6 +193,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     from repro import obs
 
     machine = tsubame_kfc(max(1, args.m))
+    if args.inject_fault:
+        from repro.gpusim.faults import FaultSchedule, parse_fault
+
+        machine.install_faults(
+            FaultSchedule([parse_fault(spec) for spec in args.inject_fault])
+        )
     rng = np.random.default_rng(args.seed)
     data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
     if args.trace_out:
@@ -215,6 +246,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if verified:
         print("verified against numpy reference")
     print(result.summary())
+    failover = result.config.get("failover")
+    if failover:
+        w, v, m = failover["degraded_node"]
+        print(f"failover: completed on attempt {failover['attempts']} "
+              f"(degraded to W={w} V={v} M={m}, "
+              f"backoff {failover['backoff_s'] * 1e3:.3f} ms simulated)")
+        for err in failover["errors"]:
+            print(f"  failed attempt: {err}")
     print("breakdown:")
     for phase, seconds in result.breakdown.items():
         print(f"  {phase:>12}: {seconds * 1e6:10.1f} us")
@@ -259,6 +298,63 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.trace_out and last is not None:
         obs.write_chrome_trace(args.trace_out, last.trace, obs.finished_spans())
         print(f"\nchrome trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Serve a few calls (under optional injected faults), report health."""
+    from repro import obs
+    from repro.core.session import ScanSession
+    from repro.errors import FailoverExhaustedError
+    from repro.gpusim.faults import FaultSchedule, parse_fault
+
+    machine = tsubame_kfc(max(1, args.m))
+    obs.enable()
+    session = ScanSession(machine)
+    if args.inject_fault:
+        schedule = FaultSchedule(
+            [parse_fault(spec) for spec in args.inject_fault]
+        )
+        machine.install_faults(schedule)
+        print("armed faults: " + ", ".join(schedule.describe()))
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
+    reference = np.cumsum(data, axis=1)
+    for call in range(max(1, args.calls)):
+        try:
+            result = session.scan(
+                data, proposal=args.proposal, W=args.w, V=args.v, M=args.m,
+            )
+        except FailoverExhaustedError as exc:
+            print(f"call {call}: EXHAUSTED after {len(exc.attempts)} attempts")
+            for a in exc.attempts:
+                print(f"  attempt {a.attempt} ({a.proposal}, W={a.node[0]} "
+                      f"V={a.node[1]} M={a.node[2]}): {a.error_type}: {a.error}")
+            break
+        np.testing.assert_array_equal(result.output, reference)
+        failover = result.config.get("failover")
+        note = ""
+        if failover:
+            w, v, m = failover["degraded_node"]
+            note = (f"  [failover: attempt {failover['attempts']}, "
+                    f"degraded to W={w} V={v} M={m}]")
+        print(f"call {call}: ok {result.proposal} "
+              f"{result.total_time_s * 1e3:.3f} ms{note}")
+    print()
+    snap = session.health.snapshot()
+    print(f"healthy GPUs: {snap['healthy_gpus']}/{snap['total_gpus']}")
+    print(f"offline: {snap['offline'] or '-'}")
+    print(f"degraded networks: {snap['degraded_networks'] or '-'}")
+    print(f"dead networks: {snap['dead_networks'] or '-'}")
+    print(f"lane slowdown: {snap['lane_slowdown'] or '-'}")
+    print(f"pending faults: {snap['pending_faults']}")
+    print(f"health epoch: {snap['epoch']}  retries: {snap['retries']}  "
+          f"failovers: {snap['failovers']}  "
+          f"device losses: {snap['device_losses']}  "
+          f"link failures: {snap['link_failures']}")
+    policy = snap["policy"]
+    print(f"retry policy: max {policy['max_attempts']} attempts, "
+          f"backoff {policy['backoff_base_s']}s x{policy['backoff_factor']}")
     return 0
 
 
@@ -398,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_selfcheck()
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "health":
+        return _cmd_health(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

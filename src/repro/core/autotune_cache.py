@@ -10,8 +10,9 @@ the winner: architecture, dtype, proposal, (N, G) and (W, V, M).
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -23,26 +24,55 @@ from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.tuner import PremiseTuner, TuningOutcome
 
 
+def cost_fingerprint(topology: SystemTopology) -> str:
+    """A short digest of everything the cost model prices a K sweep with.
+
+    Covers the kernel cost-model parameters, the machine's transfer cost
+    parameters (engine defaults when no override is installed) and the
+    current availability state. Two machines with identical (W, V, M) but
+    different interconnect pricing — or one of them degraded — therefore
+    get distinct autotune keys instead of silently sharing a stale best-K.
+    """
+    from repro.interconnect.transfer import TransferCostParams
+
+    cost = topology.gpus[0].cost_model.params
+    transfer = topology.transfer_params or TransferCostParams()
+    health = topology.health.snapshot() if topology.health is not None else ()
+    blob = repr((
+        sorted(asdict(cost).items()),
+        sorted(asdict(transfer).items()),
+        health,
+    ))
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
 def cache_key(
     arch: GPUArchitecture,
     problem: ProblemConfig,
     proposal: str,
     node: NodeConfig | None,
+    fingerprint: str = "",
 ) -> str:
-    """A stable string key capturing everything that decides the best K."""
+    """A stable string key capturing everything that decides the best K.
+
+    ``fingerprint`` is the :func:`cost_fingerprint` of the machine the
+    sweep priced against; without it, two topologies with identical
+    shapes but different transfer/cost constants would collide.
+    """
     node_part = (
         f"W{node.W}V{node.V}M{node.M}" if node is not None else "W1V1M1"
     )
-    return "|".join(
-        [
-            arch.name,
-            str(np.dtype(problem.dtype)),
-            problem.operator.name,
-            proposal,
-            f"n{problem.n}g{problem.g}",
-            node_part,
-        ]
-    )
+    parts = [
+        arch.name,
+        str(np.dtype(problem.dtype)),
+        problem.operator.name,
+        proposal,
+        f"n{problem.n}g{problem.g}",
+        node_part,
+    ]
+    if fingerprint:
+        parts.append(fingerprint)
+    return "|".join(parts)
 
 
 @dataclass
@@ -130,7 +160,10 @@ class CachedTuner:
         as stale and re-tuned (the premises may have changed since the
         cache was written).
         """
-        key = cache_key(self.topology.arch, problem, proposal, node)
+        key = cache_key(
+            self.topology.arch, problem, proposal, node,
+            fingerprint=cost_fingerprint(self.topology),
+        )
         # mn-mps sweeps the mps search space (Premise 4 bounds scattering
         # over all M*W GPUs either way).
         space_proposal = "mps" if proposal == "mn-mps" else proposal

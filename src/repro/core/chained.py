@@ -247,7 +247,7 @@ register_proposal(ProposalSpec(
     name="chained",
     result_label="scan-chained",
     summary="single-pass chained scan with decoupled lookback (extension)",
-    builder=lambda topology, node, K: ScanChained(topology.gpus[0], K=K),
+    builder=lambda topology, node, K: ScanChained(topology.first_healthy_gpu(), K=K),
     tunable=False,
     paper_ref="related work [25]; CUB decoupled lookback",
     order=60,

@@ -299,15 +299,20 @@ class Placement:
     def per_network(
         cls, topology: "SystemTopology", node: NodeConfig
     ) -> "Placement":
-        """One V-GPU group per (node, PCIe network) pair (Scan-MP-PC)."""
+        """One V-GPU group per (node, PCIe network) pair (Scan-MP-PC).
+
+        Network indices come from :meth:`SystemTopology.placement_networks`:
+        the plain first-Y choice on a healthy machine, survivors-only when
+        availability faults have taken networks (or their GPUs) down.
+        """
         groups: list[tuple["GPU", ...]] = []
         for node_idx in range(node.M):
-            for net_idx in range(node.Y):
-                if node.V > topology.gpus_per_network:
-                    raise ConfigurationError(
-                        f"network {net_idx} of node {node_idx} has only "
-                        f"{topology.gpus_per_network} GPUs, V={node.V} requested"
-                    )
+            if node.V > topology.gpus_per_network:
+                raise ConfigurationError(
+                    f"networks of node {node_idx} have only "
+                    f"{topology.gpus_per_network} GPUs, V={node.V} requested"
+                )
+            for net_idx in topology.placement_networks(node_idx, node.Y, node.V):
                 groups.append(
                     tuple(topology.spread_gpus_in_network(node_idx, net_idx, node.V))
                 )

@@ -1,0 +1,178 @@
+"""Serving-layer health: failure classification, retry policy, replanning.
+
+The simulator can now break (:mod:`repro.gpusim.faults` availability
+faults); this module is the serving side that survives it. A
+:class:`HealthTracker` hangs off each :class:`~repro.core.session.ScanSession`
+and does three jobs:
+
+1. **Classify** executor failures — :class:`~repro.errors.DeviceLostError`
+   and :class:`~repro.errors.LinkDownError` are retryable availability
+   failures; anything else propagates untouched.
+2. **Quarantine** the blamed resource on the topology's
+   :class:`~repro.interconnect.topology.HealthState`, and bump the health
+   *epoch* so every cached plan built against the old machine shape is
+   invalidated lazily (the session rebuilds an entry when its epoch is
+   stale).
+3. Drive the **retry policy**: bounded attempts with exponential backoff
+   in *simulated* time. The backoff is recorded into the successful
+   attempt's trace (a ``failover``-phase record on the ``health`` lane),
+   so end-to-end simulated latency honestly includes the waiting.
+
+Replanning is degradation-aware per proposal:
+
+- **Scan-SP / chained** rebuild on the first healthy GPU (the registry
+  builders ask :meth:`~repro.interconnect.topology.SystemTopology.first_healthy_gpu`).
+- **Scan-MPS** falls back to the surviving ``W'`` GPUs: candidates halve
+  ``W`` (and ``V``) until placement fits the healthy machine, and the
+  shared :class:`~repro.core.executor.PlanResolver` memoises the degraded
+  geometry like any other.
+- **Scan-MP-PC** re-partitions ``G/Y`` across the surviving networks
+  (placement skips dead networks) or, when a link only soft-degraded,
+  keeps its shape and lets the transfer engine reroute host-staged.
+- **Multi-node MPS** additionally drops node groups (``M'``) when a whole
+  node is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro import obs
+from repro.errors import DeviceLostError, LinkDownError
+from repro.core.params import NodeConfig
+from repro.interconnect.topology import SystemTopology
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff in simulated seconds.
+
+    ``max_attempts`` counts the first try: 3 means one try plus at most
+    two replanned retries. The backoff before retry *i* (1-based) is
+    ``backoff_base_s * backoff_factor ** (i - 1)``.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt, as carried by traces and typed errors."""
+
+    attempt: int
+    proposal: str
+    #: The (W, V, M) the attempt ran with.
+    node: tuple[int, int, int]
+    error_type: str
+    error: str
+    backoff_s: float
+
+
+class HealthTracker:
+    """Classifies failures, quarantines resources, and owns the retry policy."""
+
+    #: Exception types the serving layer may retry on.
+    RETRYABLE = (DeviceLostError, LinkDownError)
+
+    def __init__(self, topology: SystemTopology, policy: RetryPolicy | None = None):
+        self.topology = topology
+        self.policy = policy or RetryPolicy()
+        #: Bumped on every recorded failure; session entries remember the
+        #: epoch they were planned under and rebuild when it moved.
+        self.epoch = 0
+        self.device_losses = 0
+        self.link_failures = 0
+        self.failovers = 0
+        self.retries = 0
+        #: Attempt records of the most recent failover (or exhaustion).
+        self.last_attempts: list[AttemptRecord] = []
+
+    @staticmethod
+    def classify(exc: BaseException) -> str | None:
+        """``"device_lost"`` / ``"link_down"`` for retryable failures."""
+        if isinstance(exc, DeviceLostError):
+            return "device_lost"
+        if isinstance(exc, LinkDownError):
+            return "link_down"
+        return None
+
+    def record_failure(self, exc: BaseException) -> str:
+        """Quarantine whatever ``exc`` blames and invalidate cached plans."""
+        kind = self.classify(exc)
+        if kind is None:
+            raise TypeError(f"not a retryable availability failure: {exc!r}")
+        if kind == "device_lost":
+            self.device_losses += 1
+            if exc.gpu_id is not None:
+                self.topology.mark_offline(exc.gpu_id)
+        else:
+            self.link_failures += 1
+            if exc.node is not None and exc.network is not None:
+                self.topology.ensure_health().dead_networks.add(
+                    (exc.node, exc.network)
+                )
+        self.epoch += 1
+        self.retries += 1
+        if obs.is_enabled():
+            obs.counter("health.failures", kind=kind).inc()
+        return kind
+
+    def snapshot(self) -> dict:
+        """The ``repro health`` view: machine state + retry bookkeeping."""
+        health = self.topology.health
+        schedule = self.topology.fault_schedule
+        return {
+            "healthy_gpus": len(self.topology.healthy_gpus()),
+            "total_gpus": self.topology.total_gpus,
+            "offline": sorted(health.offline) if health else [],
+            "degraded_networks": sorted(health.degraded_networks) if health else [],
+            "dead_networks": sorted(health.dead_networks) if health else [],
+            "lane_slowdown": dict(health.lane_slowdown) if health else {},
+            "pending_faults": schedule.pending if schedule else 0,
+            "epoch": self.epoch,
+            "device_losses": self.device_losses,
+            "link_failures": self.link_failures,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "policy": {
+                "max_attempts": self.policy.max_attempts,
+                "backoff_base_s": self.policy.backoff_base_s,
+                "backoff_factor": self.policy.backoff_factor,
+            },
+        }
+
+
+def degraded_candidates(
+    topology: SystemTopology, node: NodeConfig
+) -> Iterator[NodeConfig]:
+    """Placement shapes to try on a degraded machine, best first.
+
+    Starts from the requested ``(W, V, M)`` itself — the same shape often
+    still fits, on different GPUs (health-aware placement skips the dead
+    ones) — then sheds resources: smaller ``V`` re-partitions ``G/Y``
+    across more (surviving) networks, smaller ``W`` drops GPUs, smaller
+    ``M`` drops whole nodes. All values stay powers of two, so every
+    candidate is a legal :meth:`NodeConfig.from_counts`.
+    """
+    seen: set[tuple[int, int, int]] = set()
+    m = node.M
+    while m >= 1:
+        w = node.W
+        while w >= 1:
+            v = min(node.V, w)
+            while v >= 1:
+                y = w // v
+                if w % v == 0 and y <= topology.networks_per_node:
+                    key = (w, v, m)
+                    if key not in seen:
+                        seen.add(key)
+                        yield NodeConfig.from_counts(W=w, V=v, M=m)
+                v //= 2
+            w //= 2
+        m //= 2

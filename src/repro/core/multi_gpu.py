@@ -158,7 +158,7 @@ def problem_scattering_flow(
             for i in range(1, w):
                 src = aux_locals[i]
                 dst = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
-                messages = 1 if topology.p2p_capable(gpus[i], root) else g_local
+                messages = 1 if topology.p2p_usable(gpus[i], root) else g_local
                 engine.copy(trace, gather_phase, src, dst, messages=messages,
                             functional=functional)
 
@@ -175,7 +175,7 @@ def problem_scattering_flow(
             for i in range(1, w):
                 src = aux_global.view(slice(None), slice(i * bx, (i + 1) * bx))
                 dst = aux_locals[i]
-                messages = 1 if topology.p2p_capable(root, gpus[i]) else g_local
+                messages = 1 if topology.p2p_usable(root, gpus[i]) else g_local
                 engine.copy(trace, scatter_phase, src, dst, messages=messages,
                             functional=functional)
 

@@ -25,16 +25,17 @@ import time
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FailoverExhaustedError, TopologyError
 from repro.obs.registry import Histogram
+from repro.gpusim.events import TransferRecord
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
 from repro.core.autotune_cache import AutotuneCache, CachedTuner
-from repro.core.executor import (
-    ScanRequest,
-    build_executor,
-    coerce_batch,
-    get_proposal,
-    proposal_names,
+from repro.core.executor import ScanRequest, coerce_batch, get_proposal
+from repro.core.health import (
+    AttemptRecord,
+    HealthTracker,
+    RetryPolicy,
+    degraded_candidates,
 )
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.results import ScanResult
@@ -58,15 +59,24 @@ def default_topology(M: int = 1) -> SystemTopology:
 
 
 class _SessionEntry:
-    """One memoised configuration: its executor and resolved K."""
+    """One memoised configuration: its executor and resolved K.
 
-    __slots__ = ("executor", "k_value", "proposal", "calls")
+    ``epoch`` is the health epoch the executor was planned under; the
+    session rebuilds a stale entry (epoch moved = the machine lost a GPU
+    or link since) before running it. ``node`` is the placement actually
+    in use — the requested shape normally, the degraded fallback after a
+    failover.
+    """
 
-    def __init__(self, executor, k_value, proposal):
+    __slots__ = ("executor", "k_value", "proposal", "calls", "epoch", "node")
+
+    def __init__(self, executor, k_value, proposal, epoch=0, node=None):
         self.executor = executor
         self.k_value = k_value
         self.proposal = proposal
         self.calls = 0
+        self.epoch = epoch
+        self.node = node
 
 
 class ScanSession:
@@ -104,6 +114,7 @@ class ScanSession:
         pooling: bool | None = None,
         poison: bool = False,
         autotune_cache: AutotuneCache | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.topology = topology if topology is not None else default_topology(M)
         if pooling is True:
@@ -111,6 +122,9 @@ class ScanSession:
         elif pooling is False:
             self.topology.disable_buffer_pooling()
         self.tuner = CachedTuner(self.topology, cache=autotune_cache)
+        #: Failure classification + retry/replanning state (pure
+        #: bookkeeping until a retryable failure actually occurs).
+        self.health = HealthTracker(self.topology, policy=retry_policy)
         self._entries: dict[tuple, _SessionEntry] = {}
         self.hits = 0
         self.misses = 0
@@ -172,11 +186,10 @@ class ScanSession:
             entry.calls += 1
             self.calls += 1
 
-            with obs.span("execute", proposal=proposal) as exec_span:
-                result = entry.executor.run(
-                    batch, operator=operator, inclusive=inclusive, collect=collect
-                )
-                exec_span.annotate_trace(result.trace)
+            result = self._run_with_failover(
+                entry, request, batch,
+                operator=operator, inclusive=inclusive, collect=collect,
+            )
             if include_distribution:
                 with obs.span("distribute"):
                     add_distribution_records(result, self.topology)
@@ -240,23 +253,153 @@ class ScanSession:
             root.annotate_trace(result.trace)
         return result
 
+    # ------------------------------------------------------------- failover
+
+    def _run_with_failover(
+        self, entry: _SessionEntry, request: ScanRequest, batch,
+        operator, inclusive, collect,
+    ) -> ScanResult:
+        """Run the entry's executor, retrying on availability failures.
+
+        The healthy path is one straight-through ``executor.run`` — no
+        extra records, no extra simulated time. On a
+        :class:`~repro.errors.DeviceLostError` /
+        :class:`~repro.errors.LinkDownError` the failed resource is
+        quarantined, a backoff is charged (exponential, simulated
+        seconds), and the request is *replanned* on the degraded machine
+        via :func:`repro.core.health.degraded_candidates`; attempts are
+        bounded by the session's :class:`~repro.core.health.RetryPolicy`
+        and exhaustion raises
+        :class:`~repro.errors.FailoverExhaustedError` carrying the
+        attempt trace.
+        """
+        policy = self.health.policy
+        attempts: list[AttemptRecord] = []
+        while True:
+            attempt_no = len(attempts) + 1
+            try:
+                with obs.span("execute", proposal=entry.proposal) as exec_span:
+                    result = entry.executor.run(
+                        batch, operator=operator, inclusive=inclusive,
+                        collect=collect,
+                    )
+                    exec_span.annotate_trace(result.trace)
+                break
+            except HealthTracker.RETRYABLE as exc:
+                kind = self.health.record_failure(exc)
+                backoff = policy.backoff_s(attempt_no)
+                node = entry.node or request.node
+                attempts.append(AttemptRecord(
+                    attempt=attempt_no,
+                    proposal=entry.proposal,
+                    node=(node.W, node.V, node.M),
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    backoff_s=backoff,
+                ))
+                self.health.last_attempts = list(attempts)
+                if obs.is_enabled():
+                    obs.counter("scan.retries", proposal=entry.proposal,
+                                kind=kind).inc()
+                if attempt_no >= policy.max_attempts:
+                    if obs.is_enabled():
+                        obs.histogram("scan.attempts").observe(attempt_no)
+                    raise FailoverExhaustedError(
+                        f"scan failed after {attempt_no} attempts "
+                        f"(last: {exc})", attempts,
+                    ) from exc
+                with obs.span("failover", proposal=entry.proposal,
+                              attempt=attempt_no, error=type(exc).__name__):
+                    entry = self._degraded_entry(request, attempts)
+        if attempts:
+            # Success after failover: charge the accumulated backoff into
+            # the trace so end-to-end simulated latency includes the
+            # waiting, and stamp the result with what happened.
+            backoff_total = sum(a.backoff_s for a in attempts)
+            result.trace.prepend([TransferRecord(
+                phase="failover",
+                lane="health",
+                time_s=backoff_total,
+                src_gpu=-1,
+                dst_gpu=-1,
+                nbytes=0,
+                kind="backoff",
+                messages=len(attempts),
+            )])
+            result.config["failover"] = {
+                "attempts": len(attempts) + 1,
+                "backoff_s": backoff_total,
+                "degraded_node": (entry.node.W, entry.node.V, entry.node.M),
+                "errors": [f"{a.error_type}: {a.error}" for a in attempts],
+            }
+            self.health.failovers += 1
+            if obs.is_enabled():
+                obs.counter("scan.failovers", proposal=entry.proposal).inc()
+        if obs.is_enabled():
+            obs.histogram("scan.attempts").observe(len(attempts) + 1)
+        return result
+
+    def _degraded_entry(
+        self, request: ScanRequest, attempts: list[AttemptRecord]
+    ) -> _SessionEntry:
+        """Replan a failed request on the surviving machine.
+
+        Walks the degraded candidate shapes (same shape on different
+        GPUs first, then smaller V / W / M) and caches the first one
+        whose placement builds, *replacing* the stale entry under the
+        original cache key — later calls for this request serve from the
+        degraded plan without re-entering the failover path. The resolved
+        K is dropped (``None`` = premise default): a depth tuned for the
+        old width does not transfer, and re-tuning mid-failover would
+        multiply the outage.
+        """
+        spec = get_proposal(request.proposal)
+        for node in degraded_candidates(self.topology, request.node):
+            try:
+                executor = spec.build(self.topology, node, None)
+            except (TopologyError, ConfigurationError):
+                continue
+            entry = _SessionEntry(
+                executor, None, request.proposal,
+                epoch=self.health.epoch, node=node,
+            )
+            self._entries[request.cache_key] = entry
+            return entry
+        raise FailoverExhaustedError(
+            f"no degraded placement left for {request.proposal} "
+            f"(W={request.node.W}, V={request.node.V}, M={request.node.M}) "
+            f"on {len(self.topology.healthy_gpus())} healthy GPUs", attempts,
+        )
+
     # ----------------------------------------------------------- internals
 
     def _entry_for(self, request: ScanRequest, plan_span=None) -> _SessionEntry:
         """The memoised executor entry for a validated request.
 
         Keyed by :attr:`ScanRequest.cache_key`; a miss resolves K and
-        builds the executor through the proposal registry.
+        builds the executor through the proposal registry. A hit whose
+        health epoch is stale (the machine degraded since it was planned)
+        is rebuilt as if it were a miss.
         """
         spec = get_proposal(request.proposal)
         entry = self._entries.get(request.cache_key)
+        if entry is not None and entry.epoch != self.health.epoch:
+            entry = None
         if entry is None:
             self.misses += 1
             obs.counter("session.plan_cache.misses").inc()
             k_value = self._resolve_k(request, spec)
+            try:
+                executor = spec.build(self.topology, request.node, k_value)
+            except (TopologyError, ConfigurationError):
+                # The requested shape no longer fits the (degraded)
+                # machine; plan straight onto the survivors.
+                if self.topology.health is None:
+                    raise
+                return self._degraded_entry(request, [])
             entry = _SessionEntry(
-                spec.build(self.topology, request.node, k_value),
-                k_value, request.proposal,
+                executor, k_value, request.proposal,
+                epoch=self.health.epoch, node=request.node,
             )
             self._entries[request.cache_key] = entry
             if plan_span is not None:

@@ -169,7 +169,7 @@ register_proposal(ProposalSpec(
     name="sp",
     result_label="scan-sp",
     summary="single-GPU three-kernel batch scan (Section 3)",
-    builder=lambda topology, node, K: ScanSP(topology.gpus[0], K=K),
+    builder=lambda topology, node, K: ScanSP(topology.first_healthy_gpu(), K=K),
     tunable=True,
     paper_ref="Section 3, Figure 11",
     order=10,

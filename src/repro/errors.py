@@ -41,3 +41,41 @@ class DeviceMismatchError(ReproError):
 
 class TuningError(ReproError):
     """The premise-driven tuner could not find a feasible parameter set."""
+
+
+class DeviceLostError(ReproError):
+    """A simulated GPU went offline mid-flight (availability fault).
+
+    Carries the lost device's id so the serving layer's health tracker can
+    quarantine it and replan on the surviving GPUs.
+    """
+
+    def __init__(self, message: str, gpu_id: int | None = None):
+        super().__init__(message)
+        self.gpu_id = gpu_id
+
+
+class LinkDownError(ReproError):
+    """A PCIe network's switch failed hard: its GPUs are unreachable.
+
+    Soft link degradation (P2P dropping to host-staged) never raises —
+    transfers silently reroute; this error is the *hard* failure mode.
+    """
+
+    def __init__(self, message: str, node: int | None = None,
+                 network: int | None = None):
+        super().__init__(message)
+        self.node = node
+        self.network = network
+
+
+class FailoverExhaustedError(ReproError):
+    """Every retry attempt of a scan failed; carries the attempt trace.
+
+    ``attempts`` is a list of :class:`repro.core.health.AttemptRecord`
+    describing each failed attempt (placement tried, error, backoff).
+    """
+
+    def __init__(self, message: str, attempts=()):
+        super().__init__(message)
+        self.attempts = list(attempts)

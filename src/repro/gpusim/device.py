@@ -14,7 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
-from repro.errors import LaunchError
+from repro.errors import DeviceLostError, LaunchError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.costmodel import CostModel, KernelCostInput
 from repro.gpusim.events import KernelRecord, Trace
@@ -51,6 +51,18 @@ class GPU:
         #: Runtime bandwidth factor; the topology's boost-contention
         #: context lowers it while a dual-die board-mate is busy.
         self.bandwidth_scale: float = 1.0
+        #: Availability: a device that went offline (injected fault or
+        #: health quarantine) refuses allocations and launches.
+        self.offline: bool = False
+        #: Installed :class:`~repro.gpusim.faults.FaultSchedule`; launches
+        #: tick it so count/time-triggered faults can fire mid-run.
+        self.fault_schedule = None
+
+    def _check_online(self) -> None:
+        if self.offline:
+            raise DeviceLostError(
+                f"{self.name} is offline (device lost)", gpu_id=self.id
+            )
 
     @property
     def name(self) -> str:
@@ -71,6 +83,7 @@ class GPU:
         previous owner left (or the poison sentinel), matching the
         uninitialized-memory semantics of ``cudaMalloc``.
         """
+        self._check_online()
         if self.buffer_pool is None:
             arr = np.empty(shape, dtype=dtype)
             self.pool.allocate(arr.nbytes, owner=self.name)
@@ -95,6 +108,7 @@ class GPU:
         is a broadcast scalar, so reading is possible but cheap and writing
         is forbidden.
         """
+        self._check_online()
         dtype = np.dtype(dtype)
         logical = np.broadcast_to(dtype.type(0), tuple(shape))
         self.pool.allocate(logical.nbytes, owner=self.name)
@@ -102,6 +116,7 @@ class GPU:
 
     def upload(self, host: np.ndarray) -> DeviceArray:
         """Copy a host array into a (possibly recycled) device buffer."""
+        self._check_online()
         host = np.ascontiguousarray(host)
         if self.buffer_pool is None:
             self.pool.allocate(host.nbytes, owner=self.name)
@@ -158,6 +173,11 @@ class GPU:
         the body is skipped and the stats are taken as-is; the pricing and
         the emitted record are otherwise identical to a functional run.
         """
+        if self.fault_schedule is not None:
+            # Count-triggered faults fire *before* the launch executes, so
+            # the n-th call is the first to see the failure.
+            self.fault_schedule.tick()
+        self._check_online()
         occ = config.occupancy_on(self.arch)
         if precomputed_stats is not None:
             stats = precomputed_stats
@@ -194,6 +214,8 @@ class GPU:
             warp_occupancy=occ.warp_occupancy,
         )
         trace.add(record)
+        if self.fault_schedule is not None:
+            self.fault_schedule.advance_time(record.time_s)
         if obs.is_enabled():
             obs.counter("kernel.launches", name=name).inc()
             obs.counter("kernel.sim_time_s", name=name).inc(record.time_s)

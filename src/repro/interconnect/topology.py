@@ -14,7 +14,7 @@ The topology also owns the GPU device objects, so one
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
@@ -33,6 +33,41 @@ class GPUSlot:
     node: int
     network: int  # PCIe network index within the node
     index: int  # position within the PCIe network
+
+
+@dataclass
+class HealthState:
+    """What is currently broken on the machine.
+
+    ``None`` on a topology means "perfect health, zero bookkeeping" — the
+    state only exists once an availability fault schedule is installed (or
+    the serving layer quarantines a device), so the healthy path stays
+    bit-identical to a machine that never heard of faults.
+
+    - ``offline``: GPU ids that are gone; kernels/transfers touching them
+      raise :class:`~repro.errors.DeviceLostError`.
+    - ``degraded_networks``: (node, network) pairs whose P2P path failed
+      soft — traffic silently falls back to host-staged routes.
+    - ``dead_networks``: (node, network) pairs whose switch failed hard —
+      any transfer touching their GPUs raises
+      :class:`~repro.errors.LinkDownError`, and placement avoids them.
+    - ``lane_slowdown``: multiplicative slow factors per transfer lane
+      (e.g. ``{"pcie0.1": 2.0}`` halves that switch's effective rate).
+    """
+
+    offline: set[int] = field(default_factory=set)
+    degraded_networks: set[tuple[int, int]] = field(default_factory=set)
+    dead_networks: set[tuple[int, int]] = field(default_factory=set)
+    lane_slowdown: dict[str, float] = field(default_factory=dict)
+
+    def snapshot(self) -> tuple:
+        """A hashable view (feeds the autotune cost fingerprint)."""
+        return (
+            tuple(sorted(self.offline)),
+            tuple(sorted(self.degraded_networks)),
+            tuple(sorted(self.dead_networks)),
+            tuple(sorted(self.lane_slowdown.items())),
+        )
 
 
 class SystemTopology:
@@ -64,6 +99,7 @@ class SystemTopology:
         engine: ExecutionEngine | None = None,
         cost_params: CostModelParams | None = None,
         memory_capacity: int | None = None,
+        transfer_params=None,
     ):
         if num_nodes < 1 or networks_per_node < 1 or gpus_per_network < 1:
             raise TopologyError(
@@ -74,6 +110,16 @@ class SystemTopology:
         self.gpus_per_network = gpus_per_network
         self.arch = arch
         self.engine = engine or ExecutionEngine()
+        #: Machine-wide PCIe/host transfer constants
+        #: (:class:`~repro.interconnect.transfer.TransferCostParams`).
+        #: ``None`` means the engine defaults; engines built without
+        #: explicit params inherit this, so the autotuner's cost
+        #: fingerprint can see machine-level overrides.
+        self.transfer_params = transfer_params
+        #: Availability state; ``None`` = perfectly healthy, no checks.
+        self.health: HealthState | None = None
+        #: Installed :class:`~repro.gpusim.faults.FaultSchedule` (or None).
+        self.fault_schedule = None
         cost_model = CostModel(arch, cost_params)
 
         self.gpus: list[GPU] = []
@@ -127,6 +173,78 @@ class SystemTopology:
             if gpu.buffer_pool is not None:
                 gpu.buffer_pool.trim()
                 gpu.buffer_pool = None
+
+    # ---------------------------------------------------------------- health
+
+    def ensure_health(self) -> HealthState:
+        """The mutable health state, created on first need."""
+        if self.health is None:
+            self.health = HealthState()
+        return self.health
+
+    def install_faults(self, schedule) -> None:
+        """Arm a :class:`~repro.gpusim.faults.FaultSchedule` on this machine.
+
+        Resets the schedule's counters (a schedule can be reused across
+        machines), creates the health state, and points every GPU at the
+        schedule so kernel launches tick it.
+        """
+        self.ensure_health()
+        self.fault_schedule = schedule
+        schedule.attach(self)
+        for gpu in self.gpus:
+            gpu.fault_schedule = schedule
+
+    def clear_faults(self) -> None:
+        """Return the machine to perfect health (and detach any schedule)."""
+        self.health = None
+        self.fault_schedule = None
+        for gpu in self.gpus:
+            gpu.fault_schedule = None
+            gpu.offline = False
+
+    def mark_offline(self, gpu_id: int) -> None:
+        """Quarantine one GPU: placement skips it, use of it raises."""
+        gpu = self.gpu(gpu_id)
+        self.ensure_health().offline.add(gpu_id)
+        gpu.offline = True
+
+    def is_placeable(self, gpu: GPU | int) -> bool:
+        """Whether placement may use a GPU (online and on a live switch)."""
+        if self.health is None:
+            return True
+        slot = self.slot(gpu)
+        return (
+            slot.gpu_id not in self.health.offline
+            and (slot.node, slot.network) not in self.health.dead_networks
+        )
+
+    def healthy_gpus(self) -> list[GPU]:
+        """Every GPU placement may still use, in id order."""
+        return [g for g in self.gpus if self.is_placeable(g)]
+
+    def first_healthy_gpu(self) -> GPU:
+        """The lowest-id usable GPU (single-GPU executors' fallback peer)."""
+        for gpu in self.gpus:
+            if self.is_placeable(gpu):
+                return gpu
+        raise TopologyError("no healthy GPU left on the machine")
+
+    def healthy_gpus_in_network(self, node: int, network: int) -> list[GPU]:
+        """The placeable GPUs of one PCIe network (all of them when healthy)."""
+        gpus = self.gpus_in_network(node, network)
+        if self.health is None:
+            return gpus
+        if (node, network) in self.health.dead_networks:
+            return []
+        return [g for g in gpus if g.id not in self.health.offline]
+
+    def usable_networks(self, node: int, v: int) -> list[int]:
+        """Network indices of one node with >= ``v`` placeable GPUs."""
+        return [
+            net for net in range(self.networks_per_node)
+            if len(self.healthy_gpus_in_network(node, net)) >= v
+        ]
 
     @property
     def total_gpus(self) -> int:
@@ -243,6 +361,26 @@ class SystemTopology:
         """P2P works exactly between GPUs on the same PCIe network (Section 2)."""
         return self.same_pcie_network(a, b)
 
+    def p2p_usable(self, a: GPU | int, b: GPU | int) -> bool:
+        """P2P capability *minus* availability faults.
+
+        Structurally P2P-capable pairs lose the peer path when their
+        network's link is degraded or dead; callers deciding message
+        granularity (one bulk UVA write vs per-row staged copies) must ask
+        this, not :meth:`p2p_capable`. Identical to :meth:`p2p_capable` on
+        a healthy machine.
+        """
+        if not self.same_pcie_network(a, b):
+            return False
+        if self.health is None:
+            return True
+        slot = self.slot(a)
+        key = (slot.node, slot.network)
+        return (
+            key not in self.health.degraded_networks
+            and key not in self.health.dead_networks
+        )
+
     def route(self, a: GPU | int, b: GPU | int) -> list[str]:
         """Shortest graph path between two GPUs (for diagnostics/tests)."""
         ga = self.gpu(a.id if isinstance(a, GPU) else a)
@@ -278,10 +416,28 @@ class SystemTopology:
         groups: list[list[GPU]] = []
         for node in range(m):
             group: list[GPU] = []
-            for net in range(y):
+            for net in self.placement_networks(node, y, v):
                 group.extend(self.spread_gpus_in_network(node, net, v))
             groups.append(group)
         return groups
+
+    def placement_networks(self, node: int, y: int, v: int) -> list[int]:
+        """The first ``y`` networks of a node that can host ``v`` GPUs each.
+
+        On a healthy machine this is simply ``range(y)`` (the pre-fault
+        selection, bit for bit); with availability faults installed,
+        networks that lost too many GPUs (or whose switch died) are
+        skipped so degraded replanning lands on survivors.
+        """
+        if self.health is None:
+            return list(range(y))
+        usable = self.usable_networks(node, v)
+        if len(usable) < y:
+            raise TopologyError(
+                f"node {node} has only {len(usable)} healthy networks with "
+                f">= {v} GPUs, {y} needed"
+            )
+        return usable[:y]
 
     def spread_gpus_in_network(self, node: int, network: int, count: int) -> list[GPU]:
         """Pick ``count`` GPUs of one network, spreading across boards first.
@@ -291,12 +447,13 @@ class SystemTopology:
         contributes a die do we take board-mates. This is the selection a
         tuned deployment makes (and the reason the paper's W=2 scales
         cleanly while W=4 on one network cannot avoid sharing boards).
+        Offline GPUs (availability faults) are skipped.
         """
-        gpus = self.gpus_in_network(node, network)
+        gpus = self.healthy_gpus_in_network(node, network)
         if count > len(gpus):
             raise TopologyError(
                 f"requested {count} GPUs from network {network} of node {node}, "
-                f"which has {len(gpus)}"
+                f"which has {len(gpus)} healthy"
             )
         dies = self.arch.dies_per_board
         ordered = sorted(range(len(gpus)), key=lambda i: (i % dies, i // dies))

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
-from repro.errors import TransferError
+from repro.errors import LinkDownError, TransferError
 from repro.gpusim.events import Trace, TransferRecord
 from repro.gpusim.memory import DeviceArray
 from repro.interconnect.topology import SystemTopology
@@ -82,12 +82,53 @@ class TransferEngine:
 
     def __init__(self, topology: SystemTopology, params: TransferCostParams | None = None):
         self.topology = topology
-        self.params = params or TransferCostParams()
+        self.params = params or topology.transfer_params or TransferCostParams()
+
+    # -------------------------------------------------------- availability
+
+    def _schedule_tick(self) -> None:
+        """Count this transfer toward any installed fault schedule, before
+        routing — so a call-triggered fault breaks this very transfer."""
+        schedule = self.topology.fault_schedule
+        if schedule is not None:
+            schedule.tick()
+
+    def _schedule_advance(self, dt: float) -> None:
+        schedule = self.topology.fault_schedule
+        if schedule is not None:
+            schedule.advance_time(dt)
+
+    def _check_reachable(self, gpu) -> None:
+        """Raise if ``gpu`` is offline or stranded behind a dead switch."""
+        gpu._check_online()
+        slot = self.topology.slot(gpu)
+        health = self.topology.health
+        if health is not None and (slot.node, slot.network) in health.dead_networks:
+            raise LinkDownError(
+                f"pcie{slot.node}.{slot.network} is down; {gpu.name} unreachable",
+                node=slot.node,
+                network=slot.network,
+            )
+
+    def _lane_scale(self, lane: str) -> float:
+        health = self.topology.health
+        if health is None:
+            return 1.0
+        return health.lane_slowdown.get(lane, 1.0)
 
     # ------------------------------------------------------------- routing
 
     def route_kind(self, src_gpu, dst_gpu) -> str:
-        """Classify the route between two devices: local / p2p / host_staged."""
+        """Classify the route between two devices: local / p2p / host_staged.
+
+        Availability-aware: offline endpoints and hard-dead networks raise;
+        a soft-degraded network silently downgrades P2P to host-staged
+        (``p2p_usable`` vs the structural ``p2p_capable``).
+        """
+        if self.topology.health is not None:
+            self._check_reachable(src_gpu)
+            if dst_gpu.id != src_gpu.id:
+                self._check_reachable(dst_gpu)
         if src_gpu.id == dst_gpu.id:
             return "local"
         if not self.topology.same_node(src_gpu, dst_gpu):
@@ -95,7 +136,7 @@ class TransferEngine:
                 f"{src_gpu.name} and {dst_gpu.name} are on different nodes; "
                 "inter-node traffic must use the MPI layer"
             )
-        if self.topology.p2p_capable(src_gpu, dst_gpu):
+        if self.topology.p2p_usable(src_gpu, dst_gpu):
             return "p2p"
         return "host_staged"
 
@@ -125,12 +166,17 @@ class TransferEngine:
         """Price an H2D copy (data distribution). The node's host-memory
         lane is the shared resource, so simultaneous uploads to several
         GPUs of one node serialise — matching one pinned staging buffer."""
+        self._schedule_tick()
+        if self.topology.health is not None:
+            self._check_reachable(gpu)
         slot = self.topology.slot(gpu)
         p = self.params
+        lane = f"host{slot.node}"
         record = TransferRecord(
             phase=phase,
-            lane=f"host{slot.node}",
-            time_s=p.hostcopy_latency_s * messages + nbytes / (p.h2d_bandwidth_gbs * 1e9),
+            lane=lane,
+            time_s=self._lane_scale(lane)
+            * (p.hostcopy_latency_s * messages + nbytes / (p.h2d_bandwidth_gbs * 1e9)),
             src_gpu=-1,
             dst_gpu=gpu.id,
             nbytes=nbytes,
@@ -138,6 +184,7 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        self._schedule_advance(record.time_s)
         _observe(record)
         return record
 
@@ -145,12 +192,17 @@ class TransferEngine:
         self, trace: Trace, phase: str, gpu, nbytes: int, messages: int = 1
     ) -> TransferRecord:
         """Price a D2H copy (result collection)."""
+        self._schedule_tick()
+        if self.topology.health is not None:
+            self._check_reachable(gpu)
         slot = self.topology.slot(gpu)
         p = self.params
+        lane = f"host{slot.node}"
         record = TransferRecord(
             phase=phase,
-            lane=f"host{slot.node}",
-            time_s=p.hostcopy_latency_s * messages + nbytes / (p.d2h_bandwidth_gbs * 1e9),
+            lane=lane,
+            time_s=self._lane_scale(lane)
+            * (p.hostcopy_latency_s * messages + nbytes / (p.d2h_bandwidth_gbs * 1e9)),
             src_gpu=gpu.id,
             dst_gpu=-1,
             nbytes=nbytes,
@@ -158,6 +210,7 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        self._schedule_advance(record.time_s)
         _observe(record)
         return record
 
@@ -221,13 +274,15 @@ class TransferEngine:
             )
         if messages < 1:
             raise TransferError(f"messages must be >= 1, got {messages}")
+        self._schedule_tick()
         kind = self.route_kind(src.device, dst.device)
         if functional:
             dst.data[...] = src.data
+        lane = self._lane(kind, src.device, dst.device)
         record = TransferRecord(
             phase=phase,
-            lane=self._lane(kind, src.device, dst.device),
-            time_s=self._time(kind, src.nbytes, messages),
+            lane=lane,
+            time_s=self._lane_scale(lane) * self._time(kind, src.nbytes, messages),
             src_gpu=src.device.id,
             dst_gpu=dst.device.id,
             nbytes=src.nbytes,
@@ -235,5 +290,6 @@ class TransferEngine:
             messages=messages,
         )
         trace.add(record)
+        self._schedule_advance(record.time_s)
         _observe(record)
         return record

@@ -78,7 +78,22 @@ class Communicator:
         self.topology = topology
         self.gpus = list(gpus)
         self.params = params or MPICostParams()
-        self.transfer_params = transfer_params or TransferCostParams()
+        self.transfer_params = (
+            transfer_params or topology.transfer_params or TransferCostParams()
+        )
+
+    def _check_ranks_healthy(self) -> None:
+        """A collective blocks on every rank: one lost device fails the op.
+
+        No-op on a healthy machine (``topology.health is None``); with
+        faults installed, raises the lost rank's
+        :class:`~repro.errors.DeviceLostError` so the serving layer can
+        replan the communicator on surviving GPUs.
+        """
+        if self.topology.health is None:
+            return
+        for gpu in self.gpus:
+            gpu._check_online()
 
     @property
     def size(self) -> int:
@@ -107,7 +122,7 @@ class Communicator:
             time = p.internode_latency_s + nbytes / (p.internode_bandwidth_gbs * 1e9)
             return time, "ib"
         src_slot = self.topology.slot(src)
-        if self.topology.p2p_capable(src, dst):
+        if self.topology.p2p_usable(src, dst):
             time = p.intranode_latency_s + nbytes / (t.p2p_bandwidth_gbs * 1e9)
             return time, f"pcie{src_slot.node}.{src_slot.network}"
         time = (
@@ -177,6 +192,7 @@ class Communicator:
         Intra-node rounds ride shared memory (cheap); only the
         ``ceil(log2(nodes))`` inter-node rounds pay InfiniBand latency.
         """
+        self._check_ranks_healthy()
         p = self.params
         num_nodes = len(self._nodes())
         inter_rounds = max(0, math.ceil(math.log2(num_nodes))) if num_nodes > 1 else 0
@@ -202,6 +218,7 @@ class Communicator:
         ``recvbuf`` must be shaped ``(size, *send.shape)`` (or flat with
         ``size * send.size`` elements) and resident on the root's GPU.
         """
+        self._check_ranks_healthy()
         root_gpu = self._check_root(root)
         if len(sendbufs) != self.size:
             raise MPIError(
@@ -240,6 +257,7 @@ class Communicator:
         functional: bool = True,
     ) -> None:
         """MPI_Scatter of ``sendbuf`` (on root) into per-rank device buffers."""
+        self._check_ranks_healthy()
         root_gpu = self._check_root(root)
         sendbuf.require_on(root_gpu)
         if len(recvbufs) != self.size:
@@ -277,6 +295,7 @@ class Communicator:
         root: int = 0,
     ) -> None:
         """MPI_Bcast of root's buffer into every other rank's buffer."""
+        self._check_ranks_healthy()
         root_gpu = self._check_root(root)
         sendbuf.require_on(root_gpu)
         if len(recvbufs) != self.size:
@@ -324,6 +343,7 @@ class Communicator:
         functional: bool = True,
     ) -> None:
         """A matched MPI_Send/MPI_Recv pair between two ranks."""
+        self._check_ranks_healthy()
         if not (0 <= src < self.size and 0 <= dst < self.size):
             raise MPIError(f"ranks ({src}, {dst}) out of range for size {self.size}")
         src_gpu, dst_gpu = self.gpus[src], self.gpus[dst]
@@ -357,6 +377,7 @@ class Communicator:
         from repro.primitives.operators import resolve_operator
 
         operator = resolve_operator(op)
+        self._check_ranks_healthy()
         root_gpu = self._check_root(root)
         if len(sendbufs) != self.size:
             raise MPIError(
@@ -415,6 +436,7 @@ class Communicator:
         inter-node slices pay InfiniBand — the communication pattern of
         multi-GPU transposes and index-digit algorithms.
         """
+        self._check_ranks_healthy()
         if len(sendbufs) != self.size or len(recvbufs) != self.size:
             raise MPIError("alltoall needs one send and one recv buffer per rank")
         for rank, (sbuf, rbuf, gpu) in enumerate(zip(sendbufs, recvbufs, self.gpus)):

@@ -111,30 +111,48 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Linearly interpolated q-quantile (q in [0, 100]) over the window."""
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._ring:
+        if not ordered:
             return 0.0
-        ordered = sorted(self._ring)
         rank = (len(ordered) - 1) * q / 100.0
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
         frac = rank - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def percentile(self, q: float) -> float:
+        """Linearly interpolated q-quantile (q in [0, 100]) over the window.
+
+        A partially-primed window interpolates over the observations made
+        so far — never over unfilled slots, since the ring only grows as
+        values arrive (no cold-start zeros can dilute the tail).
+        """
+        return self._quantile(sorted(self._ring), q)
+
     def summary(self) -> dict:
-        """Snapshot of the standard serving quantiles plus exact totals."""
+        """Snapshot of the standard serving quantiles plus exact totals.
+
+        All three quantiles derive from ONE sorted snapshot of the ring,
+        so the reported p50 <= p95 <= p99 ordering is guaranteed even if
+        observations land between the reads (three independent
+        :meth:`percentile` calls could each see a different window).
+        """
+        ordered = sorted(self._ring)
+        p50 = self._quantile(ordered, 50)
+        p95 = max(p50, self._quantile(ordered, 95))
+        p99 = max(p95, self._quantile(ordered, 99))
         return {
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
 

@@ -5,9 +5,16 @@ import json
 import pytest
 
 from repro.errors import TuningError
-from repro.core.autotune_cache import AutotuneCache, CachedTuner, cache_key
+from repro.core.autotune_cache import (
+    AutotuneCache,
+    CachedTuner,
+    cache_key,
+    cost_fingerprint,
+)
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.interconnect.topology import tsubame_kfc
+from repro.interconnect.transfer import TransferCostParams
 
 
 class TestCacheKey:
@@ -27,6 +34,50 @@ class TestCacheKey:
     def test_stable(self):
         p = ProblemConfig.from_sizes(N=1 << 14, G=8)
         assert cache_key(KEPLER_K80, p, "sp", None) == cache_key(KEPLER_K80, p, "sp", None)
+
+    def test_fingerprint_appended(self):
+        p = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        bare = cache_key(KEPLER_K80, p, "sp", None)
+        printed = cache_key(KEPLER_K80, p, "sp", None, fingerprint="abc123")
+        assert printed == bare + "|abc123"
+
+
+class TestCostFingerprint:
+    def test_stable_across_identical_machines(self):
+        assert cost_fingerprint(tsubame_kfc(1)) == cost_fingerprint(tsubame_kfc(1))
+
+    def test_transfer_params_change_fingerprint(self):
+        """Regression: two machines with identical (W, V, M) shapes but
+        different interconnect pricing must not share an autotune entry."""
+        baseline = tsubame_kfc(1)
+        repriced = tsubame_kfc(1)
+        repriced.transfer_params = TransferCostParams(p2p_bandwidth_gbs=25.0)
+        assert cost_fingerprint(baseline) != cost_fingerprint(repriced)
+
+        p = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        k1 = cache_key(KEPLER_K80, p, "sp", None,
+                       fingerprint=cost_fingerprint(baseline))
+        k2 = cache_key(KEPLER_K80, p, "sp", None,
+                       fingerprint=cost_fingerprint(repriced))
+        assert k1 != k2
+
+    def test_degraded_health_changes_fingerprint(self):
+        """A degraded machine prices transfers differently; its best-K must
+        not be read back on (or written for) the healthy machine."""
+        healthy = tsubame_kfc(1)
+        degraded = tsubame_kfc(1)
+        degraded.ensure_health()
+        before = cost_fingerprint(degraded)
+        degraded.mark_offline(0)
+        assert cost_fingerprint(degraded) != before
+        assert cost_fingerprint(degraded) != cost_fingerprint(healthy)
+
+    def test_armed_but_clean_health_state_is_distinct_key_space(self):
+        # ensure_health() alone creates an empty HealthState; the fingerprint
+        # may differ from the health-less one, but it must be stable.
+        armed = tsubame_kfc(1)
+        armed.ensure_health()
+        assert cost_fingerprint(armed) == cost_fingerprint(armed)
 
 
 class TestCachedTuner:
@@ -73,6 +124,16 @@ class TestCachedTuner:
         k = fresh.best_k(problem, "sp")
         assert k != 1 << 20
         assert fresh.cache.misses == 1
+
+    def test_repriced_machine_is_a_cache_miss(self, machine):
+        """Regression: changing the transfer pricing between calls must make
+        the tuner re-sweep instead of reading the stale best-K back."""
+        tuner = CachedTuner(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        tuner.best_k(problem, "sp")
+        machine.transfer_params = TransferCostParams(p2p_bandwidth_gbs=25.0)
+        tuner.best_k(problem, "sp")
+        assert tuner.cache.misses == 2 and tuner.cache.hits == 0
 
     def test_unreadable_cache_raises(self, tmp_path):
         path = tmp_path / "bad.json"

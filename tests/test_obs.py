@@ -91,6 +91,23 @@ class TestRegistry:
         s = Histogram("lat").summary()
         assert s["count"] == 0 and s["p95"] == 0.0 and s["min"] == 0.0
 
+    def test_cold_start_quantiles_are_ordered(self):
+        """Regression: with very few observations the tail quantiles must
+        never report below the median (p50 <= p95 <= p99)."""
+        for observations in ([5.0], [5.0, 1.0], [3.0, 1.0, 2.0]):
+            h = Histogram("lat")
+            for v in observations:
+                h.observe(v)
+            s = h.summary()
+            assert s["p50"] <= s["p95"] <= s["p99"]
+            assert s["p99"] <= s["max"]
+
+    def test_single_observation_summary_is_that_value(self):
+        h = Histogram("lat")
+        h.observe(7.5)
+        s = h.summary()
+        assert s["p50"] == s["p95"] == s["p99"] == 7.5
+
     def test_snapshot_shapes(self):
         reg = MetricsRegistry()
         reg.counter("a", k="1").inc(3)
