@@ -125,6 +125,40 @@ def _build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--nodes", type=int, default=1)
     cp.add_argument("--no-baselines", action="store_true")
 
+    sv = sub.add_parser(
+        "serve",
+        help="replay a request stream through the coalescing scan service "
+        "and report batches, latency percentiles and the speedup over "
+        "one-request-at-a-time submission",
+    )
+    sv.add_argument("--requests", type=int, default=64,
+                    help="number of requests to replay")
+    sv.add_argument("--sizes", default="12",
+                    help="comma-separated log2 request sizes the stream "
+                    "cycles through, e.g. 10,12,13")
+    sv.add_argument("--rate", type=float, default=0.0,
+                    help="arrival rate in requests per simulated second "
+                    "(0 = all arrive at t=0)")
+    sv.add_argument("--max-batch", type=int, default=64,
+                    help="flush a queue at this many coalesced requests")
+    sv.add_argument("--max-wait", type=float, default=1e-3,
+                    help="flush a queue once its oldest request waited "
+                    "this many simulated seconds")
+    sv.add_argument("--max-queue", type=int, default=1024,
+                    help="admission bound; requests beyond it are rejected")
+    sv.add_argument("--proposal", default="auto",
+                    choices=["auto", *proposal_names()])
+    sv.add_argument("--w", type=int, default=1, help="GPUs per node (W)")
+    sv.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
+    sv.add_argument("--m", type=int, default=1, help="nodes (M)")
+    sv.add_argument("--operator", default="add",
+                    choices=["add", "mul", "max", "min", "or", "xor"])
+    sv.add_argument("--no-solo", action="store_true",
+                    help="skip the one-request-at-a-time baseline")
+    sv.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    sv.add_argument("--seed", type=int, default=0)
+
     hl = sub.add_parser(
         "health",
         help="serve calls (optionally under injected faults) and report "
@@ -298,6 +332,67 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.trace_out and last is not None:
         obs.write_chrome_trace(args.trace_out, last.trace, obs.finished_spans())
         print(f"\nchrome trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a request stream through the coalescing service."""
+    from repro import obs
+    from repro.core.session import ScanSession
+    from repro.serve import poisson_workload, replay, solo_baseline
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, got {args.sizes!r}",
+              file=sys.stderr)
+        return 2
+    machine = tsubame_kfc(max(1, args.m))
+    obs.enable()
+    session = ScanSession(machine)
+    service = session.service(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait,
+        max_queue=args.max_queue,
+        proposal=args.proposal,
+        W=args.w,
+        V=args.v,
+        M=args.m,
+    )
+    workload = poisson_workload(
+        args.requests, sizes_log2=sizes, rate=args.rate,
+        operator=args.operator, seed=args.seed,
+    )
+    report = replay(service, workload)
+    speedup = None
+    if not args.no_solo:
+        solo = solo_baseline(ScanSession(tsubame_kfc(max(1, args.m))), workload)
+        report["solo_sim_s"] = solo["solo_sim_s"]
+        if report["coalesced_sim_s"] > 0:
+            speedup = solo["solo_sim_s"] / report["coalesced_sim_s"]
+            report["coalesce_speedup"] = speedup
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+        return 0
+    lat = report["latency"]
+    print(f"replayed {report['requests']} requests "
+          f"(sizes 2^{{{args.sizes}}}, rate "
+          f"{'burst' if args.rate <= 0 else f'{args.rate:g}/s'}): "
+          f"{report['verified']} verified against numpy, "
+          f"{report['request_failures']} failed, "
+          f"{report['rejected_by_backpressure']} rejected")
+    print(f"batches: {report['batches']}  "
+          f"mean size {report['mean_batch_size']:.2f}  "
+          f"splits {report['splits']}  padded rows {report['padded_rows']}")
+    print(f"simulated executor time: {report['coalesced_sim_s'] * 1e3:.3f} ms "
+          f"(queue wait total {report['total_queue_wait_s'] * 1e3:.3f} ms)")
+    print(f"latency (simulated): p50 {lat['p50'] * 1e6:.1f} us  "
+          f"p95 {lat['p95'] * 1e6:.1f} us  p99 {lat['p99'] * 1e6:.1f} us")
+    if speedup is not None:
+        print(f"one-at-a-time baseline: {report['solo_sim_s'] * 1e3:.3f} ms "
+              f"-> coalescing speedup {speedup:.2f}x")
     return 0
 
 
@@ -494,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_selfcheck()
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "health":
         return _cmd_health(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -79,6 +79,42 @@ def coerce_batch(data: np.ndarray) -> np.ndarray:
     return arr
 
 
+def pad_rows_to_batch(
+    rows: list[np.ndarray], n: int, operator, dtype=None
+) -> np.ndarray:
+    """Stack 1-D problem rows into a legal ``(G, N)`` batch by identity padding.
+
+    The serving front-end coalesces independent requests into the batch
+    shapes the executors are tuned for: each row is padded to ``n``
+    elements with the operator identity (identity padding cannot change
+    any real element's prefix), and the row count is padded to the next
+    power of two with all-identity rows. The same deterministic-degrade
+    philosophy as :func:`shrink_template_to_fit`: shape the work to what
+    the machine accepts rather than reject it.
+    """
+    from repro.primitives.operators import resolve_operator
+    from repro.util.ints import next_power_of_two
+
+    if not rows:
+        raise ConfigurationError("pad_rows_to_batch needs at least one row")
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"padded row length must be a power of two, got {n}")
+    op = resolve_operator(operator)
+    dtype = np.dtype(dtype if dtype is not None else rows[0].dtype)
+    g = next_power_of_two(len(rows))
+    batch = np.full((g, n), op.identity(dtype), dtype=dtype)
+    for i, row in enumerate(rows):
+        row = np.asarray(row)
+        if row.ndim != 1:
+            raise ConfigurationError(f"row {i} must be 1-D, got shape {row.shape}")
+        if row.size > n:
+            raise ConfigurationError(
+                f"row {i} has {row.size} elements, exceeds padded length {n}"
+            )
+        batch[i, : row.size] = row
+    return batch
+
+
 def shrink_template_to_fit(
     template: KernelParams, n_local: int
 ) -> KernelParams:

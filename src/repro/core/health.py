@@ -51,11 +51,18 @@ class RetryPolicy:
     ``max_attempts`` counts the first try: 3 means one try plus at most
     two replanned retries. The backoff before retry *i* (1-based) is
     ``backoff_base_s * backoff_factor ** (i - 1)``.
+
+    ``max_batch_splits`` is the *service*-level budget consulted by
+    :class:`repro.serve.ScanService`: when a coalesced batch exhausts the
+    session's retries, the service bisects it and retries the halves —
+    at most this many levels deep — before failing the individual
+    requests. The session itself never splits (it serves one request).
     """
 
     max_attempts: int = 3
     backoff_base_s: float = 1e-3
     backoff_factor: float = 2.0
+    max_batch_splits: int = 8
 
     def backoff_s(self, attempt: int) -> float:
         return self.backoff_base_s * self.backoff_factor ** (attempt - 1)

@@ -431,6 +431,20 @@ class ScanSession:
             data=request.batch,
         )
 
+    # -------------------------------------------------------------- service
+
+    def service(self, **kwargs):
+        """A request-coalescing front door over this session.
+
+        Returns a :class:`repro.serve.ScanService` dispatching through
+        this session (same machine, plan cache, failover and metrics);
+        keyword arguments are the service knobs (``max_batch``,
+        ``max_wait_s``, ``max_queue``, placement overrides).
+        """
+        from repro.serve.service import ScanService
+
+        return ScanService(session=self, **kwargs)
+
     # -------------------------------------------------------- introspection
 
     def reset(self) -> None:

@@ -69,6 +69,30 @@ class LinkDownError(ReproError):
         self.network = network
 
 
+class BackpressureError(ReproError):
+    """The scan service's admission queue is full; the request was rejected.
+
+    Raised by :meth:`repro.serve.ScanService.submit` when accepting the
+    request would push the queued-request count past the service's
+    ``max_queue`` limit. The request is *not* enqueued; the caller should
+    shed load or retry later.
+    """
+
+
+class RequestFailedError(ReproError):
+    """A coalesced service request ultimately failed (batch exhausted retries).
+
+    Raised by :meth:`repro.serve.SubmitResult.result` when the request's
+    batch — after any service-level splitting — could not complete.
+    ``cause`` carries the underlying
+    :class:`FailoverExhaustedError` (or other terminal error).
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
 class FailoverExhaustedError(ReproError):
     """Every retry attempt of a scan failed; carries the attempt trace.
 

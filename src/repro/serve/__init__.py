@@ -1,0 +1,37 @@
+"""repro.serve: the concurrent scan service front-end.
+
+Turns a stream of small independent scan requests into the batched
+``(G, N)`` shapes the executors and tuner are optimised for:
+
+- :class:`ScanService` — admission queue (``max_batch`` / ``max_wait_s``
+  / ``max_queue`` backpressure), compatibility-keyed coalescing with
+  identity padding, dispatch through a
+  :class:`~repro.core.session.ScanSession`, per-request scatter and
+  simulated-latency accounting, and batch bisection when failover is
+  exhausted.
+- :class:`SubmitResult` — the per-request ticket (output, queue wait,
+  execution share, completion time).
+- :mod:`repro.serve.replay` — deterministic workload schedules and the
+  solo (uncoalesced) baseline the coalescing speedup is measured
+  against.
+
+Everything runs on simulated time (:class:`~repro.serve.clock.SimClock`):
+the clock advances only when the caller advances it, so a request
+schedule replays into identical batches, waits and latencies every run.
+"""
+
+from repro.serve.clock import SimClock
+from repro.serve.replay import Request, poisson_workload, replay, solo_baseline
+from repro.serve.service import BatchReport, QueueKey, ScanService, SubmitResult
+
+__all__ = [
+    "BatchReport",
+    "QueueKey",
+    "Request",
+    "ScanService",
+    "SimClock",
+    "SubmitResult",
+    "poisson_workload",
+    "replay",
+    "solo_baseline",
+]

@@ -1,0 +1,528 @@
+"""The concurrent scan service: admission queue, coalescing, scatter.
+
+The paper's design is *batch* scan — G independent problems executed
+together so fixed per-launch and per-transfer overheads amortise — but a
+deployed service receives a *stream* of small independent requests. This
+module is the front door that turns one into the other:
+
+- :meth:`ScanService.submit` accepts one problem per call (a 1-D array),
+  keyed for compatibility by ``(padded N, dtype, operator, inclusive)``,
+  and parks it in a per-key **admission queue**. Admission is bounded:
+  past ``max_queue`` outstanding requests, :class:`~repro.errors.BackpressureError`
+  is raised instead of queueing (shed load early, never melt down).
+- A queue **flushes** — coalescing its requests into a single batched
+  scan — when it reaches ``max_batch``, when its oldest request has
+  waited ``max_wait_s`` of simulated time, or on an explicit
+  :meth:`flush`/:meth:`drain`. Rows are identity-padded to a common
+  power-of-two length and the row count is identity-padded to a power of
+  two (:func:`repro.core.executor.pad_rows_to_batch`), so ragged
+  stragglers ride along instead of being rejected — the same
+  deterministic-degrade shaping as ``shrink_template_to_fit``.
+- The coalesced batch dispatches through the owning
+  :class:`~repro.core.session.ScanSession` (proposal registry, plan
+  cache, failover, observability — the whole serving stack), and the
+  per-row outputs **scatter** back to their :class:`SubmitResult`
+  tickets.
+- If a batch exhausts the session's failover retries, the service
+  **bisects** it and retries the halves (bounded by
+  ``RetryPolicy.max_batch_splits``) so one poisoned request cannot take
+  down its whole batch; only requests whose singleton batch still fails
+  are marked failed.
+
+Latency accounting is in *simulated* seconds and sums exactly: each
+request's latency is its queue wait plus its **execution share** of the
+batch (batch simulated time divided by the real — unpadded — request
+count, with the division remainder assigned to the last row so the
+shares sum to the batch time bit-exactly instead of drifting). Hence,
+over any set of served requests::
+
+    sum(latency) == sum(queue_wait) + sum(batch simulated time)
+
+which the test suite pins as the no-double-counting invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    FailoverExhaustedError,
+    RequestFailedError,
+)
+from repro.obs.registry import Histogram
+from repro.core.executor import pad_rows_to_batch
+from repro.core.results import ScanResult
+from repro.primitives.operators import resolve_operator
+from repro.serve.clock import SimClock
+from repro.util.ints import next_power_of_two
+
+__all__ = ["QueueKey", "SubmitResult", "BatchReport", "ScanService"]
+
+
+@dataclass(frozen=True)
+class QueueKey:
+    """Compatibility key: requests coalesce iff every field matches.
+
+    ``n`` is the padded problem length (each request's size rounded up to
+    a power of two); dtype and operator are canonical names so the key
+    hashes/compares cheaply.
+    """
+
+    n: int
+    dtype: str
+    operator: str
+    inclusive: bool
+
+    def __str__(self) -> str:
+        kind = "inc" if self.inclusive else "exc"
+        return f"{self.operator}/{self.dtype}/N={self.n}/{kind}"
+
+
+class SubmitResult:
+    """One admitted request: its ticket through queue, batch and scatter.
+
+    Returned immediately by :meth:`ScanService.submit`; filled in when
+    the request's batch executes. ``status`` walks
+    ``"queued" -> "done"`` (or ``"failed"``). All times are simulated
+    seconds on the service's :class:`~repro.serve.clock.SimClock`
+    timeline.
+    """
+
+    __slots__ = (
+        "index", "key", "arrival_s", "size", "status", "output", "error",
+        "queue_wait_s", "exec_share_s", "batch_time_s", "latency_s",
+        "completion_s", "batch_index", "batch_requests", "batch_g",
+        "failover", "splits",
+    )
+
+    def __init__(self, index: int, key: QueueKey, arrival_s: float, size: int):
+        self.index = index
+        self.key = key
+        self.arrival_s = arrival_s
+        #: Original (pre-padding) element count of the request.
+        self.size = size
+        self.status = "queued"
+        self.output: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.queue_wait_s = 0.0
+        #: This request's share of its batch's simulated execution time.
+        self.exec_share_s = 0.0
+        #: Full simulated time of the batch that served this request.
+        self.batch_time_s = 0.0
+        #: queue_wait_s + exec_share_s (the accounting quantity).
+        self.latency_s = 0.0
+        #: Simulated completion: flush time + full batch time.
+        self.completion_s = 0.0
+        self.batch_index: int | None = None
+        #: Real (unpadded) request count of the serving batch.
+        self.batch_requests = 0
+        #: Padded G actually dispatched.
+        self.batch_g = 0
+        #: The batch's ``config["failover"]`` dict, if it failed over.
+        self.failover: dict | None = None
+        #: How many service-level bisections this request went through.
+        self.splits = 0
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    def result(self) -> np.ndarray:
+        """The scanned request, or raise if pending/failed."""
+        if self.status == "queued":
+            raise ConfigurationError(
+                f"request {self.index} is still queued; advance the clock, "
+                "flush or drain the service first"
+            )
+        if self.status == "failed":
+            raise RequestFailedError(
+                f"request {self.index} failed: {self.error}", cause=self.error
+            )
+        assert self.output is not None
+        return self.output
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SubmitResult(#{self.index}, {self.key}, {self.status}, "
+                f"latency={self.latency_s * 1e3:.3f} ms)")
+
+
+@dataclass
+class _Pending:
+    """A queued request: its ticket plus the raw row to coalesce."""
+
+    ticket: SubmitResult
+    data: np.ndarray
+
+
+@dataclass
+class BatchReport:
+    """One dispatched batch: what coalesced into it and what it cost."""
+
+    index: int
+    key: QueueKey
+    reason: str
+    flush_s: float
+    requests: int
+    g: int
+    sim_time_s: float
+    queue_wait_s: float
+    splits: int = 0
+    result: ScanResult | None = field(default=None, repr=False)
+
+
+class ScanService:
+    """A request-coalescing front-end over one :class:`ScanSession`.
+
+    Parameters
+    ----------
+    session:
+        The serving session to dispatch through. ``None`` builds one on
+        ``topology`` (or the default machine).
+    max_batch:
+        Flush a queue as soon as it holds this many requests.
+    max_wait_s:
+        Flush a queue (during :meth:`advance`/timestamped submits) once
+        its oldest request has waited this long in simulated time.
+    max_queue:
+        Admission bound across *all* queues; beyond it :meth:`submit`
+        raises :class:`~repro.errors.BackpressureError`.
+    proposal, W, V, M, K:
+        Placement knobs applied to every dispatched batch (``"auto"``
+        re-runs Premise 4 per batch shape).
+
+    The clock only moves when the caller moves it — via timestamped
+    ``submit(..., at=...)``, :meth:`advance`, or :meth:`advance_to` —
+    so identical request schedules replay into identical batches.
+    """
+
+    def __init__(
+        self,
+        session=None,
+        topology=None,
+        *,
+        max_batch: int = 64,
+        max_wait_s: float = 1e-3,
+        max_queue: int = 1024,
+        proposal: str = "auto",
+        W: int = 1,
+        V: int | None = None,
+        M: int = 1,
+        K: int | str | None = None,
+    ):
+        from repro.core.session import ScanSession, default_session
+
+        if session is None:
+            session = (ScanSession(topology) if topology is not None
+                       else default_session(M))
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ConfigurationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        self.session = session
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self.proposal = proposal
+        self.W = W
+        self.V = V
+        self.M = M
+        self.K = K
+        self.clock = SimClock()
+        self._queues: dict[QueueKey, list[_Pending]] = {}
+        self.batches: list[BatchReport] = []
+        # Serving counters (always on; cheap ints).
+        self.submitted = 0
+        self.served = 0
+        self.failed = 0
+        self.rejected = 0
+        self.padded_rows = 0
+        self.splits = 0
+        # Exact accounting totals for the no-double-counting invariant.
+        self.total_queue_wait_s = 0.0
+        self.total_exec_s = 0.0
+        self.total_latency_s = 0.0
+        #: Streaming distributions (mirroring the session's histograms).
+        self.latency = Histogram("serve.latency_s")
+        self.batch_size = Histogram("serve.batch_size")
+
+    # ------------------------------------------------------------- admission
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued across every key."""
+        return sum(len(q) for q in self._queues.values())
+
+    def submit(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        at: float | None = None,
+    ) -> SubmitResult:
+        """Admit one problem (a 1-D array) into the coalescing queue.
+
+        ``at`` stamps the arrival on the simulated timeline (and first
+        advances the clock there, firing any ``max_wait`` deadlines that
+        elapse on the way); ``None`` means "now". Returns the request's
+        :class:`SubmitResult` ticket immediately — it completes when its
+        batch flushes.
+        """
+        arr = np.asarray(data)
+        if arr.ndim != 1:
+            raise ConfigurationError(
+                f"service requests are single problems (1-D), got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            raise ConfigurationError("service requests must be non-empty")
+        op = resolve_operator(operator)
+        if at is not None:
+            self.advance_to(at)
+        if self.depth >= self.max_queue:
+            self.rejected += 1
+            if obs.is_enabled():
+                obs.counter("serve.rejected").inc()
+            raise BackpressureError(
+                f"admission queue full ({self.depth}/{self.max_queue} queued); "
+                "request rejected"
+            )
+        key = QueueKey(
+            n=next_power_of_two(arr.size),
+            dtype=arr.dtype.name,
+            operator=op.name,
+            inclusive=bool(inclusive),
+        )
+        ticket = SubmitResult(self.submitted, key, self.clock.now, arr.size)
+        self.submitted += 1
+        queue = self._queues.setdefault(key, [])
+        queue.append(_Pending(ticket, arr))
+        if obs.is_enabled():
+            obs.counter("serve.submitted").inc()
+            obs.gauge("serve.queue_depth").set(self.depth)
+        if len(queue) >= self.max_batch:
+            self._flush_key(key, reason="max_batch")
+        return ticket
+
+    # ----------------------------------------------------------------- time
+
+    def _deadlines(self) -> list[tuple[float, QueueKey]]:
+        """(deadline, key) of every non-empty queue, soonest first."""
+        out = [
+            (queue[0].ticket.arrival_s + self.max_wait_s, key)
+            for key, queue in self._queues.items()
+            if queue
+        ]
+        out.sort(key=lambda item: (item[0], item[1].n, item[1].operator))
+        return out
+
+    def advance(self, dt_s: float) -> float:
+        """Advance simulated time, firing ``max_wait`` flushes on the way."""
+        return self.advance_to(self.clock.now + dt_s)
+
+    def advance_to(self, t_s: float) -> float:
+        """Advance to absolute time ``t_s``, flushing queues whose oldest
+        request's ``max_wait`` deadline falls at or before it — each at
+        its exact deadline, in deadline order."""
+        if t_s < self.clock.now:
+            raise ConfigurationError(
+                f"serving clock cannot run backwards: now={self.clock.now}, "
+                f"requested {t_s}"
+            )
+        while True:
+            deadlines = self._deadlines()
+            if not deadlines or deadlines[0][0] > t_s:
+                break
+            deadline, key = deadlines[0]
+            self.clock.advance_to(max(deadline, self.clock.now))
+            self._flush_key(key, reason="max_wait")
+        return self.clock.advance_to(max(t_s, self.clock.now))
+
+    # ---------------------------------------------------------------- flush
+
+    def flush(self, key: QueueKey | None = None, reason: str = "flush") -> None:
+        """Flush one queue (or, with ``key=None``, every queue) now."""
+        if key is not None:
+            self._flush_key(key, reason=reason)
+            return
+        for k in self._ordered_keys():
+            self._flush_key(k, reason=reason)
+
+    def drain(self) -> None:
+        """Flush every queue at the current simulated time."""
+        self.flush(reason="drain")
+
+    def _ordered_keys(self) -> list[QueueKey]:
+        """Non-empty queues, oldest head request first (FIFO across keys)."""
+        keys = [(q[0].ticket.arrival_s, q[0].ticket.index, k)
+                for k, q in self._queues.items() if q]
+        keys.sort(key=lambda item: (item[0], item[1]))
+        return [k for _, _, k in keys]
+
+    def _flush_key(self, key: QueueKey, reason: str) -> None:
+        queue = self._queues.get(key)
+        if not queue:
+            return
+        pending, self._queues[key] = queue[: self.max_batch], queue[self.max_batch:]
+        enabled = obs.is_enabled()
+        with obs.span("serve.coalesce", key=str(key), requests=len(pending),
+                      reason=reason):
+            if enabled:
+                obs.counter("serve.flushes", reason=reason).inc()
+                obs.gauge("serve.queue_depth").set(self.depth)
+            self._dispatch(key, pending, reason, depth=0)
+        # A flush can leave a (rare) over-full remainder behind when
+        # submits outpaced max_batch; keep flushing until legal.
+        if len(self._queues.get(key, ())) >= self.max_batch:
+            self._flush_key(key, reason=reason)
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self, key: QueueKey, pending: list[_Pending], reason: str,
+                  depth: int) -> None:
+        """Coalesce ``pending`` into one batch, run it, scatter results.
+
+        On :class:`FailoverExhaustedError` the batch is bisected and each
+        half redispatched (``depth`` bounds the recursion via the retry
+        policy's ``max_batch_splits``); a singleton that still fails marks
+        its ticket failed.
+        """
+        flush_s = self.clock.now
+        requests = len(pending)
+        rows = [p.data for p in pending]
+        batch = pad_rows_to_batch(rows, key.n, key.operator,
+                                  dtype=np.dtype(key.dtype))
+        g = batch.shape[0]
+        try:
+            with obs.span("serve.flush", key=str(key), requests=requests,
+                          g=g, depth=depth):
+                result = self.session.scan(
+                    batch,
+                    proposal=self.proposal,
+                    W=self.W,
+                    V=self.V,
+                    M=self.M,
+                    operator=key.operator,
+                    inclusive=key.inclusive,
+                    K=self.K,
+                )
+        except FailoverExhaustedError as exc:
+            policy = self.session.health.policy
+            if requests == 1 or depth >= policy.max_batch_splits:
+                self._fail(pending, exc, depth)
+                return
+            self.splits += 1
+            if obs.is_enabled():
+                obs.counter("serve.batch_splits").inc()
+            mid = requests // 2
+            for p in pending:
+                p.ticket.splits += 1
+            self._dispatch(key, pending[:mid], reason, depth + 1)
+            self._dispatch(key, pending[mid:], reason, depth + 1)
+            return
+        self._scatter(key, pending, result, reason, flush_s)
+
+    def _scatter(self, key: QueueKey, pending: list[_Pending],
+                 result: ScanResult, reason: str, flush_s: float) -> None:
+        """Hand each request its output row and its latency accounting."""
+        requests = len(pending)
+        batch_time = result.total_time_s
+        # Equal execution shares, with the division remainder assigned to
+        # the last request so the shares sum to batch_time *bit-exactly*
+        # (requests is not always a power of two; naive D/R shares would
+        # leak float drift into the accounting invariant).
+        share = batch_time / requests
+        batch_index = len(self.batches)
+        failover = result.config.get("failover")
+        queue_wait_total = 0.0
+        enabled = obs.is_enabled()
+        for i, p in enumerate(pending):
+            t = p.ticket
+            t.status = "done"
+            t.output = result.output[i, : t.size].copy()
+            t.queue_wait_s = flush_s - t.arrival_s
+            t.exec_share_s = (share if i < requests - 1
+                              else batch_time - share * (requests - 1))
+            t.batch_time_s = batch_time
+            t.latency_s = t.queue_wait_s + t.exec_share_s
+            t.completion_s = flush_s + batch_time
+            t.batch_index = batch_index
+            t.batch_requests = requests
+            t.batch_g = result.problem.G
+            t.failover = failover
+            queue_wait_total += t.queue_wait_s
+            self.latency.observe(t.latency_s)
+            if enabled:
+                obs.histogram("serve.latency_s").observe(t.latency_s)
+                obs.histogram("serve.queue_wait_s").observe(t.queue_wait_s)
+        self.served += requests
+        self.padded_rows += result.problem.G - requests
+        self.total_queue_wait_s += queue_wait_total
+        self.total_exec_s += batch_time
+        self.total_latency_s += queue_wait_total + batch_time
+        self.batch_size.observe(requests)
+        if enabled:
+            obs.histogram("serve.batch_size").observe(requests)
+            obs.counter("serve.served").inc(requests)
+            obs.counter("serve.padded_rows").inc(result.problem.G - requests)
+        self.batches.append(BatchReport(
+            index=batch_index,
+            key=key,
+            reason=reason,
+            flush_s=flush_s,
+            requests=requests,
+            g=result.problem.G,
+            sim_time_s=batch_time,
+            queue_wait_s=queue_wait_total,
+            splits=pending[0].ticket.splits,
+            result=result,
+        ))
+
+    def _fail(self, pending: list[_Pending], exc: BaseException,
+              depth: int) -> None:
+        for p in pending:
+            t = p.ticket
+            t.status = "failed"
+            t.error = exc
+            t.queue_wait_s = self.clock.now - t.arrival_s
+            t.splits = depth
+        self.failed += len(pending)
+        if obs.is_enabled():
+            obs.counter("serve.request_failures").inc(len(pending))
+
+    # -------------------------------------------------------- introspection
+
+    def stats(self) -> dict:
+        """Counter snapshot plus latency/batch-size distributions."""
+        served_batches = len(self.batches)
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "queued": self.depth,
+            "batches": served_batches,
+            "splits": self.splits,
+            "padded_rows": self.padded_rows,
+            "mean_batch_size": (self.served / served_batches
+                                if served_batches else 0.0),
+            "total_queue_wait_s": self.total_queue_wait_s,
+            "total_exec_s": self.total_exec_s,
+            "total_latency_s": self.total_latency_s,
+            "latency": self.latency.summary(),
+            "batch_size": self.batch_size.summary(),
+            "session": {
+                "calls": self.session.calls,
+                "hits": self.session.hits,
+                "misses": self.session.misses,
+            },
+        }

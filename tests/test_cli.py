@@ -83,6 +83,47 @@ class TestScan:
         assert {"stage1", "stage2", "stage3"} <= names
 
 
+class TestServe:
+    def _run(self, argv):
+        from repro import obs
+
+        try:
+            return main(argv)
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_replay_with_baseline(self, capsys):
+        assert self._run(["serve", "--requests", "16", "--sizes", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 16 requests" in out
+        assert "16 verified against numpy" in out
+        assert "0 rejected" in out
+        assert "coalescing speedup" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert self._run(["serve", "--requests", "24", "--sizes", "10,11",
+                          "--max-batch", "8", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 24
+        assert report["verified"] == 24
+        assert report["request_failures"] == 0
+        assert report["batches"] >= 2  # two size keys cannot share a batch
+        assert report["coalesce_speedup"] > 1.0
+        assert report["latency"]["p95"] >= report["latency"]["p50"]
+
+    def test_backpressure_is_reported(self, capsys):
+        assert self._run(["serve", "--requests", "12", "--sizes", "10",
+                          "--max-batch", "16", "--max-queue", "8"]) == 0
+        assert "4 rejected" in capsys.readouterr().out
+
+    def test_bad_sizes_rejected(self, capsys):
+        assert self._run(["serve", "--sizes", "12,banana"]) == 2
+        assert "--sizes" in capsys.readouterr().err
+
+
 class TestObsCommand:
     def test_report_and_exposition(self, capsys, tmp_path):
         from repro import obs

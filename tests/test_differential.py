@@ -1,0 +1,157 @@
+"""Differential oracle suite: every proposal vs the sequential reference.
+
+Two layers of defence:
+
+- a deterministic grid — all six registered proposals x (add, max, mul)
+  x (int32, int64) — so the acceptance matrix is pinned regardless of
+  random draws;
+- hypothesis-randomised shapes/operators/dtypes per proposal, including
+  the G=1 edge and inclusive/exclusive, plus ragged (non-power-of-two)
+  coverage through :func:`repro.core.ragged.scan_ragged`, which is how
+  non-power-of-two problems legally enter the library.
+
+The oracle is :mod:`repro.primitives.sequential` (plain numpy ufunc
+accumulate). Integer comparisons are exact; float addition re-associates
+across chunks, so float draws use allclose with dtype-scaled tolerances
+(mirroring ``tests/test_dtype_coverage.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import scan
+from repro.core.executor import proposal_names
+from repro.core.ragged import scan_ragged
+from repro.core.session import ScanSession
+from repro.interconnect.topology import tsubame_kfc
+from repro.primitives.sequential import exclusive_scan, inclusive_scan
+
+#: (proposal, placement kwargs, nodes) — every registered proposal on a
+#: legal placement of the paper's 2-networks-x-4-GPUs node.
+PROPOSALS = [
+    ("sp", {}, 1),
+    ("pp", {"W": 4}, 1),
+    ("mps", {"W": 4, "V": 4}, 1),
+    ("mppc", {"W": 8, "V": 4}, 1),
+    ("mn-mps", {"W": 4, "V": 4, "M": 2}, 2),
+    ("chained", {}, 1),
+]
+
+GRID_OPERATORS = ["add", "max", "mul"]
+GRID_DTYPES = [np.int32, np.int64]
+
+
+def oracle(data, operator, inclusive):
+    ref = inclusive_scan if inclusive else exclusive_scan
+    return ref(data, op=operator, axis=-1)
+
+
+def draw_batch(rng, g, n, dtype, operator):
+    if operator == "mul":
+        # Products explode; tiny factors keep signal without overflow
+        # mattering (wrap-around is identical on both sides anyway).
+        return rng.integers(1, 3, (g, n)).astype(dtype)
+    return rng.integers(-40, 90, (g, n)).astype(dtype)
+
+
+def test_registry_is_fully_covered():
+    """The grid below must break when a new proposal is registered."""
+    assert sorted(p[0] for p in PROPOSALS) == sorted(proposal_names())
+
+
+class TestDifferentialGrid:
+    """Deterministic matrix: 6 proposals x 3 operators x 2 dtypes."""
+
+    @pytest.mark.parametrize("dtype", GRID_DTYPES, ids=lambda d: np.dtype(d).name)
+    @pytest.mark.parametrize("operator", GRID_OPERATORS)
+    @pytest.mark.parametrize("proposal,kwargs,nodes", PROPOSALS,
+                             ids=[p[0] for p in PROPOSALS])
+    def test_matches_sequential_oracle(self, rng, proposal, kwargs, nodes,
+                                       operator, dtype):
+        machine = tsubame_kfc(nodes)
+        data = draw_batch(rng, 8, 1 << 11, dtype, operator)
+        result = scan(data, topology=machine, proposal=proposal,
+                      operator=operator, **kwargs)
+        assert result.output.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(
+            result.output, oracle(data, operator, inclusive=True)
+        )
+
+
+class TestDifferentialRandomized:
+    """Hypothesis-drawn shapes (G=1 edge included), operator, dtype,
+    inclusive/exclusive — one suite per proposal, one shared session per
+    proposal so warm-path caching is exercised across draws too."""
+
+    @pytest.mark.parametrize("proposal,kwargs,nodes", PROPOSALS,
+                             ids=[p[0] for p in PROPOSALS])
+    @given(
+        g=st.sampled_from([0, 1, 3, 5]),
+        n=st.integers(min_value=8, max_value=12),
+        operator=st.sampled_from(["add", "max", "min", "mul"]),
+        dtype=st.sampled_from([np.int32, np.int64]),
+        inclusive=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_draws_match_oracle(self, proposal, kwargs, nodes,
+                                       g, n, operator, dtype, inclusive, seed):
+        machine = tsubame_kfc(nodes)
+        session = ScanSession(machine)
+        rng = np.random.default_rng(seed)
+        data = draw_batch(rng, 1 << g, 1 << n, dtype, operator)
+        result = session.scan(data, proposal=proposal, operator=operator,
+                              inclusive=inclusive, **kwargs)
+        np.testing.assert_array_equal(
+            result.output, oracle(data, operator, inclusive)
+        )
+
+    @pytest.mark.parametrize("proposal,kwargs,nodes",
+                             [p for p in PROPOSALS if p[0] != "chained"],
+                             ids=[p[0] for p in PROPOSALS if p[0] != "chained"])
+    @given(
+        n=st.integers(min_value=9, max_value=13),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_float_add_close_to_oracle(self, proposal, kwargs, nodes, n, seed):
+        """Float addition re-associates across chunks/GPUs; the parallel
+        result must stay within accumulation tolerance of the oracle."""
+        machine = tsubame_kfc(nodes)
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 10, (4, 1 << n)).astype(np.float64)
+        result = scan(data, topology=machine, proposal=proposal, **kwargs)
+        np.testing.assert_allclose(
+            result.output, oracle(data, "add", True), rtol=1e-12, atol=1e-9
+        )
+
+
+class TestDifferentialRagged:
+    """Non-power-of-two problems enter through the ragged layer; identity
+    padding must leave every real element's prefix untouched."""
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=3000),
+                         min_size=1, max_size=6),
+        operator=st.sampled_from(["add", "max", "min"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ragged_matches_oracle(self, lengths, operator, seed):
+        machine = tsubame_kfc(1)
+        rng = np.random.default_rng(seed)
+        arrays = [rng.integers(-40, 90, size).astype(np.int64)
+                  for size in lengths]
+        outputs, _ = scan_ragged(arrays, machine, operator=operator)
+        for arr, out in zip(arrays, outputs):
+            np.testing.assert_array_equal(
+                out, inclusive_scan(arr, op=operator)
+            )
+
+    def test_single_element_problem(self, rng):
+        """The smallest legal problem: N=1, G=1."""
+        machine = tsubame_kfc(1)
+        data = rng.integers(-5, 5, (1, 1)).astype(np.int32)
+        result = scan(data, topology=machine, proposal="sp")
+        np.testing.assert_array_equal(result.output, data)

@@ -16,7 +16,10 @@ from repro.core.premises import (
     k_search_space,
     premise3_k_max,
 )
+from repro.core.executor import pad_rows_to_batch
 from repro.core.single_gpu import shrink_template_to_fit
+from repro.primitives.operators import resolve_operator
+from repro.primitives.sequential import inclusive_scan
 
 ARCHS = [KEPLER_K80, MAXWELL_GM200, PASCAL_P100]
 
@@ -133,3 +136,48 @@ class TestShrinkInvariants:
         assert shrunk.lx <= template.lx
         # Shuffle bound survives shrinking.
         assert shrunk.s <= 5
+
+
+class TestPadRowsInvariants:
+    """The serving layer's batch shaping (`pad_rows_to_batch`) must be
+    output-invisible: identity padding can never perturb the prefix of any
+    real element, and the padded shape must always be a legal power-of-two
+    ``(G, N)`` problem."""
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=500),
+                         min_size=1, max_size=9),
+        log_n=st.integers(min_value=9, max_value=11),
+        operator=st.sampled_from(["add", "max", "min", "mul"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_padding_is_output_invisible(self, lengths, log_n, operator, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        low = 1 if operator == "mul" else -40
+        high = 3 if operator == "mul" else 90
+        rows = [rng.integers(low, high, size).astype(np.int64)
+                for size in lengths]
+        batch = pad_rows_to_batch(rows, n, operator)
+
+        # Legal problem shape: power-of-two row count covering all rows.
+        g = batch.shape[0]
+        assert batch.shape[1] == n
+        assert g & (g - 1) == 0
+        assert len(rows) <= g < 2 * max(len(rows), 1) + 1
+
+        # Padding cells hold the operator identity...
+        op = resolve_operator(operator)
+        ident = op.identity(batch.dtype)
+        for i, row in enumerate(rows):
+            assert (batch[i, row.size:] == ident).all()
+        assert (batch[len(rows):] == ident).all()
+
+        # ...so scanning the padded batch reproduces each row's scan on
+        # its real prefix exactly.
+        scanned = inclusive_scan(batch, op=operator, axis=-1)
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(
+                scanned[i, : row.size], inclusive_scan(row, op=operator)
+            )
