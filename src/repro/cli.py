@@ -204,17 +204,29 @@ def _cmd_info() -> int:
 
 
 def _cmd_proposals() -> int:
-    """The executor registry, printed: one row per registered proposal."""
+    """The executor registry, printed: one row per registered proposal.
+
+    The capability column makes the algorithmic trade-offs scannable:
+    passes over device memory (3-pass pipeline vs 2-pass single-pass
+    variants), whether one problem spreads over multiple GPUs, and whether
+    the analytic ``estimate()`` path is available.
+    """
     specs = proposal_specs()
     name_w = max(len(s.name) for s in specs)
     label_w = max(len(s.result_label) for s in specs)
+    caps_w = len("3-pass multi-GPU estimate")
     for spec in specs:
         tunable = "K-tunable" if spec.tunable else "fixed-K  "
+        caps = " ".join((
+            f"{spec.memory_passes:g}-pass",
+            "multi-GPU" if spec.multi_gpu else "1-GPU    ",
+            "estimate" if spec.supports_estimate else "run-only",
+        ))
         print(f"  {spec.name:<{name_w}}  {spec.result_label:<{label_w}}  "
-              f"{tunable}  {spec.summary}")
+              f"{tunable}  {caps:<{caps_w}}  {spec.summary}")
         if spec.paper_ref:
             print(f"  {'':<{name_w}}  {'':<{label_w}}  {'':<9}  "
-                  f"[{spec.paper_ref}]")
+                  f"{'':<{caps_w}}  [{spec.paper_ref}]")
     return 0
 
 
@@ -470,6 +482,7 @@ def _cmd_selfcheck() -> int:
             ("mps", {"W": 4, "V": 4}),
             ("mppc", {"W": 8, "V": 4}),
             ("mn-mps", {"W": 4, "V": 4, "M": 2}),
+            ("sp-dlb", {}),
         ):
             result = scan(data, topology=machine, proposal=proposal, **kwargs)
             np.testing.assert_array_equal(result.output, expected)

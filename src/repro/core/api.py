@@ -85,9 +85,10 @@ def scan(
         The machine. Defaults to one TSUBAME-KFC-like node (2 PCIe
         networks x 4 K80 GPUs); pass ``tsubame_kfc(m)`` for multi-node.
     proposal:
-        ``"auto"`` (Premise 4) or any registered proposal name —
-        ``"sp"``, ``"pp"``, ``"mps"``, ``"mppc"``, ``"mn-mps"`` or
-        ``"chained"`` (see
+        ``"auto"`` (Premise 4, plus the memoised three-kernel vs
+        decoupled-lookback choice on one GPU) or any registered proposal
+        name — ``"sp"``, ``"pp"``, ``"mps"``, ``"mppc"``, ``"mn-mps"``,
+        ``"chained"`` or ``"sp-dlb"`` (see
         :func:`repro.core.executor.proposal_names` /
         ``python -m repro proposals``).
     W, V, M:

@@ -21,7 +21,16 @@ from repro.errors import TuningError
 from repro.gpusim.arch import GPUArchitecture
 from repro.interconnect.topology import SystemTopology
 from repro.core.params import NodeConfig, ProblemConfig
-from repro.core.tuner import PremiseTuner, TuningOutcome
+from repro.core.tuner import PremiseTuner, TuningOutcome, VariantOutcome
+
+#: Pseudo-proposal under which the single-GPU algorithm choice (three-kernel
+#: ``sp`` vs decoupled-lookback ``sp-dlb``) is memoised. A distinct key
+#: space from the per-proposal K sweeps: the variant decision is *which*
+#: algorithm, not which K.
+VARIANT_PSEUDO_PROPOSAL = "sp-variant"
+
+#: The algorithms the single-GPU variant choice may resolve to.
+SINGLE_GPU_VARIANTS = ("sp", "sp-dlb")
 
 
 def cost_fingerprint(topology: SystemTopology) -> str:
@@ -80,6 +89,8 @@ class CacheEntry:
     best_k: int
     best_time_s: float
     candidates: int
+    #: Winning algorithm for variant-selection entries (empty for K sweeps).
+    variant: str = ""
 
 
 class AutotuneCache:
@@ -108,6 +119,7 @@ class AutotuneCache:
                 best_k=int(entry["best_k"]),
                 best_time_s=float(entry["best_time_s"]),
                 candidates=int(entry["candidates"]),
+                variant=str(entry.get("variant", "")),
             )
 
     def save(self) -> None:
@@ -118,6 +130,7 @@ class AutotuneCache:
                 "best_k": e.best_k,
                 "best_time_s": e.best_time_s,
                 "candidates": e.candidates,
+                "variant": e.variant,
             }
             for key, e in self._entries.items()
         }
@@ -134,6 +147,15 @@ class AutotuneCache:
             best_k=outcome.best_k,
             best_time_s=outcome.best.time_s,
             candidates=len(outcome.candidates),
+        )
+
+    def put_variant(self, key: str, outcome: VariantOutcome) -> None:
+        """Memoise a single-GPU algorithm choice (``best_k`` is meaningless)."""
+        self._entries[key] = CacheEntry(
+            best_k=0,
+            best_time_s=outcome.best.time_s,
+            candidates=len(outcome.candidates),
+            variant=outcome.best_proposal,
         )
 
 
@@ -187,3 +209,27 @@ class CachedTuner:
         self.cache.put(key, outcome)
         self.cache.save()
         return outcome.best_k
+
+    def best_single_gpu_variant(self, problem: ProblemConfig) -> str:
+        """The winning single-GPU algorithm (``sp`` or ``sp-dlb``), memoised.
+
+        Keyed like the K sweeps — architecture, problem, cost fingerprint —
+        under the :data:`VARIANT_PSEUDO_PROPOSAL` name, so a repriced cost
+        model, changed transfer constants or a health change (a GPU marked
+        offline) invalidates the cached choice exactly as it invalidates a
+        cached K. A cached variant outside :data:`SINGLE_GPU_VARIANTS` is
+        stale (e.g. a renamed proposal) and re-tuned.
+        """
+        key = cache_key(
+            self.topology.arch, problem, VARIANT_PSEUDO_PROPOSAL, None,
+            fingerprint=cost_fingerprint(self.topology),
+        )
+        hit = self.cache.get(key)
+        if hit is not None and hit.variant in SINGLE_GPU_VARIANTS:
+            self.cache.hits += 1
+            return hit.variant
+        self.cache.misses += 1
+        outcome = self.tuner.tune_single_gpu_variant(problem)
+        self.cache.put_variant(key, outcome)
+        self.cache.save()
+        return outcome.best_proposal

@@ -251,4 +251,6 @@ register_proposal(ProposalSpec(
     tunable=False,
     paper_ref="related work [25]; CUB decoupled lookback",
     order=60,
+    memory_passes=2.0,
+    multi_gpu=False,
 ))

@@ -20,6 +20,7 @@ from repro.core.multi_node import ScanMultiNodeMPS
 from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.prioritized import ScanMPPC
 from repro.core.single_gpu import ScanSP
+from repro.core.single_pass import ScanSinglePassDLB
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,8 @@ def compare_proposals(
     candidates: list[tuple[str, str, object, str]] = [
         ("scan-sp", "proposal", ScanSP(topology.gpus[0]), "W=1"),
         ("scan-chained", "extension", ScanChained(topology.gpus[0]), "W=1 single-pass"),
+        ("scan-sp-dlb", "extension", ScanSinglePassDLB(topology.gpus[0]),
+         "W=1 single-pass lookback"),
     ]
     for w in (2, 4, 8):
         if w > topology.gpus_per_node:

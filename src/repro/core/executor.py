@@ -508,6 +508,14 @@ class ProposalSpec:
     tunable: bool = True
     paper_ref: str = ""
     order: int = 100
+    #: Full passes over device memory the algorithm costs (the three-kernel
+    #: pipeline reads+writes ~3N bytes = 3 passes; single-pass variants ~2).
+    memory_passes: float = 3.0
+    #: Whether the executor spreads one problem across multiple GPUs.
+    multi_gpu: bool = True
+    #: Whether ``estimate()`` reproduces ``run()`` analytically (all current
+    #: proposals do; the flag makes the guarantee queryable and printable).
+    supports_estimate: bool = True
 
     def build(
         self, topology: "SystemTopology", node: NodeConfig, K: int | None = None
@@ -533,6 +541,7 @@ def _ensure_registered() -> None:
     import repro.core.prioritized  # noqa: F401
     import repro.core.multi_node  # noqa: F401
     import repro.core.chained  # noqa: F401
+    import repro.core.single_pass  # noqa: F401
 
 
 def proposal_specs() -> tuple[ProposalSpec, ...]:

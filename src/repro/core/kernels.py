@@ -27,10 +27,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LaunchError
+from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import GPU
 from repro.gpusim.events import KernelRecord, Trace
 from repro.gpusim.kernel import KernelContext, LaunchConfig
+from repro.gpusim.lookback import (
+    STATE_AGGREGATE,
+    STATE_INVALID,
+    STATE_PREFIX,
+    LookbackParams,
+    lookback_reads_per_block,
+    lookback_stall_s,
+    resident_capacity,
+    total_lookback_reads,
+)
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.kernel import LaunchStats
 from repro.gpusim.warp import warp_exclusive_scan, warp_scan_cost
@@ -535,3 +546,295 @@ def launch_scan_add(
         ctx.stats.address_math(nb * kp.K * kp.Lx * 6)
 
     return gpu.launch(trace, "scan_add", phase, config, body, coalesced=vector_loads)
+
+
+# --------------------------------------------------------------------------
+# Decoupled-lookback single pass (the sp-dlb proposal, repro.core.single_pass)
+# --------------------------------------------------------------------------
+
+#: Threads of the descriptor-reset memset kernel (a trivial 1D grid).
+_RESET_BLOCK_THREADS = 256
+
+
+def _lookback_geometry(
+    plan: ExecutionPlan, arch: GPUArchitecture
+) -> tuple[LaunchConfig, int, LookbackParams]:
+    """(launch config, resident-block capacity, protocol params) of the pass.
+
+    The capacity — how many scan blocks are concurrently resident — is the
+    lookback horizon of the cost model: a block can only ever observe
+    ``A`` descriptors from co-resident predecessors; everything older has
+    already published its inclusive ``P`` prefix.
+    """
+    kp = plan.stage1.params
+    config = _launch_config(kp, plan.stage1.bx, plan.stage1.by, plan.problem.itemsize)
+    occ = config.occupancy_on(arch)
+    capacity = resident_capacity(occ.blocks_per_sm, arch.sm_count)
+    return config, capacity, LookbackParams(window=arch.warp_size)
+
+
+def descriptor_reset_stats(g_local: int, bx_total: int) -> LaunchStats:
+    """Closed-form counters of the descriptor memset (one status word each)."""
+    n_desc = g_local * bx_total
+    lb = LookbackParams()
+    stats = LaunchStats()
+    stats.write_global(n_desc * lb.status_bytes)
+    stats.address_math(n_desc)
+    return stats
+
+
+def launch_descriptor_reset(
+    trace: Trace,
+    gpu: GPU,
+    descriptors: DeviceArray,
+    plan: ExecutionPlan,
+    phase: str = "sp-dlb",
+    functional: bool = True,
+) -> KernelRecord:
+    """Reset every lookback descriptor to ``X`` (invalid) before the pass.
+
+    The scan kernel cannot start until no stale status word is observable,
+    so this launch also carries the protocol-arming latency
+    (:attr:`~repro.gpusim.costmodel.CostModelParams.lookback_setup_s`):
+    the memset/fence round trip plus priming the polling path. This fixed
+    cost — not bandwidth — is what the three-kernel pipeline undercuts at
+    small N, giving the tuner a genuine crossover to find.
+    """
+    descriptors.require_on(gpu)
+    g_local, bx_total, _ = descriptors.shape
+    n_desc = g_local * bx_total
+    config = LaunchConfig(
+        grid_x=ceil_div(n_desc, _RESET_BLOCK_THREADS),
+        grid_y=1,
+        block_x=_RESET_BLOCK_THREADS,
+        block_y=1,
+        regs_per_thread=8,
+        smem_per_block=0,
+    )
+    setup_s = gpu.cost_model.params.lookback_setup_s
+    if not functional:
+        return gpu.launch(
+            trace, "descriptor_reset", phase, config, None,
+            precomputed_stats=descriptor_reset_stats(g_local, bx_total),
+            extra_latency_s=setup_s,
+        )
+    status = descriptors.data[:, :, 0]
+    lb = LookbackParams()
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        bx, _ = ctx.block_xy(block_ids)
+        covered = 0
+        for b in bx:
+            start = b * _RESET_BLOCK_THREADS
+            end = min(start + _RESET_BLOCK_THREADS, n_desc)
+            flat = np.arange(start, end)
+            status[flat // bx_total, flat % bx_total] = STATE_INVALID
+            covered += end - start
+        ctx.stats.write_global(covered * lb.status_bytes)
+        ctx.stats.address_math(covered)
+
+    return gpu.launch(
+        trace, "descriptor_reset", phase, config, body, extra_latency_s=setup_s
+    )
+
+
+def single_pass_scan_stats(plan: ExecutionPlan, arch: GPUArchitecture) -> LaunchStats:
+    """Closed-form counters of the decoupled-lookback pass (exact).
+
+    The streaming traffic is the chained kernel's ~2N bytes; on top of it
+    the protocol moves descriptors at warp granularity:
+    :func:`~repro.gpusim.lookback.total_lookback_reads` aggregate/prefix
+    reads (a pure function of grid column and resident capacity, so the
+    functional bodies reproduce the same totals block by block) and two
+    publishes per block (``A`` then ``P``), each
+    :attr:`~repro.gpusim.lookback.LookbackParams.descriptor_words` words.
+    """
+    kp = plan.stage1.params
+    itemsize = plan.problem.itemsize
+    nb = plan.stage1.blocks
+    width, nw = _warp_geometry(kp, arch.warp_size)
+    warp_cost = warp_scan_cost(width, "lf", exclusive=True)
+    if nw > 1:
+        cross = warp_scan_cost(nw, "lf", exclusive=True)
+        cross_shuffles, cross_ops = cross.shuffles, cross.operator_applications
+    else:
+        cross_shuffles = cross_ops = 0
+    _, capacity, lb = _lookback_geometry(plan, arch)
+    reads = total_lookback_reads(plan.stage1.bx, plan.stage1.by, capacity)
+    stats = LaunchStats()
+    stats.read_global(
+        nb * kp.chunk_size * itemsize + reads * lb.descriptor_words * itemsize
+    )
+    stats.write_global(
+        nb * kp.chunk_size * itemsize + nb * 2 * lb.descriptor_words * itemsize
+    )
+    stats.shuffles(nb * kp.K * (nw * warp_cost.shuffles + cross_shuffles))
+    stats.apply_operator(
+        nb * kp.K * kp.Lx * max(0, kp.P - 1)
+        + nb * kp.K * (nw * warp_cost.operator_applications + cross_ops)
+        + nb * kp.K * nw
+        + nb * max(0, kp.K - 1)
+        + nb * kp.K * kp.Lx * kp.P  # prefix application
+        + reads  # lookback accumulation
+        + nb  # inclusive-prefix publish
+    )
+    stats.write_smem(nb * kp.K * nw * itemsize)
+    stats.read_smem(nb * kp.K * nw * itemsize)
+    stats.address_math(nb * kp.K * kp.Lx * 6 + reads)
+    return stats
+
+
+def launch_single_pass_scan(
+    trace: Trace,
+    gpu: GPU,
+    data: DeviceArray,
+    descriptors: DeviceArray,
+    plan: ExecutionPlan,
+    phase: str = "sp-dlb",
+    functional: bool = True,
+) -> KernelRecord:
+    """The decoupled-lookback pass: local scan + descriptor protocol, once.
+
+    ``descriptors`` is the ``(g_local, Bx, 3)`` global-memory protocol
+    state — ``[status, aggregate, inclusive_prefix]`` per block, reset to
+    ``X`` by :func:`launch_descriptor_reset`. Each block:
+
+    1. runs the Stage-1/3 register/warp/smem flow over its chunk;
+    2. publishes its chunk aggregate (state ``A``; block 0 publishes its
+       inclusive prefix ``P`` directly — it has nothing to wait for);
+    3. looks back over predecessor descriptors, accumulating ``A``
+       aggregates until it reaches a ``P`` prefix, folding left-to-right
+       so the association is exactly the chained scan's sequential chain
+       (bit-identical across vectorized/blockwise execution modes);
+    4. applies the resolved exclusive prefix to its elements and publishes
+       its own inclusive prefix (state ``P``).
+
+    The polling stall is round-trip-bound, invisible to the byte-counting
+    roofline, so it rides on the launch as ``extra_latency_s`` — computed
+    closed-form from the grid geometry (schedule-independent), identical
+    for the functional run and the analytic estimate.
+    """
+    data.require_on(gpu)
+    descriptors.require_on(gpu)
+    kp = plan.stage1.params
+    op = plan.problem.operator
+    g_local, n_local = data.shape
+    bx_total = plan.stage1.bx
+    itemsize = plan.problem.itemsize
+    inclusive_out = plan.problem.inclusive
+    if descriptors.shape != (g_local, bx_total, 3):
+        raise ConfigurationError(
+            f"descriptor array must be {(g_local, bx_total, 3)}, "
+            f"got {descriptors.shape}"
+        )
+    config, capacity, lb = _lookback_geometry(plan, gpu.arch)
+    params = gpu.cost_model.params
+    stall_s = lookback_stall_s(
+        config.blocks, bx_total, capacity,
+        params.dram_round_trip_s, params.lookback_contention, lb,
+    )
+    if not functional:
+        return gpu.launch(
+            trace, "single_pass_scan", phase, config, None, ordered=True,
+            precomputed_stats=single_pass_scan_stats(plan, gpu.arch),
+            extra_latency_s=stall_s,
+        )
+
+    arr = data.data.reshape(g_local, bx_total, kp.K, kp.Lx, kp.P)
+    desc = descriptors.data
+    identity = op.identity(plan.problem.dtype)
+    core = _BlockScanCore(kp, op, gpu.arch.warp_size, plan.problem.dtype)
+
+    def body(ctx: KernelContext, block_ids: np.ndarray) -> None:
+        bx, g = ctx.block_xy(block_ids)
+        nb = len(block_ids)
+        chunks = arr[g, bx]
+        partials = core.run(chunks)
+        carries = core.cascade_carries(partials["iteration_totals"])
+        totals = core.chunk_totals(partials["iteration_totals"])  # (nb,)
+
+        # The protocol runs in resident waves of ``capacity`` blocks (the
+        # co-scheduling window real hardware exposes): within a wave every
+        # block first posts its aggregate (``A``), then each walks its
+        # predecessors — co-resident ones still ``A``, older waves already
+        # ``P`` — and only after the whole wave resolved are the inclusive
+        # prefixes published. Folding the collected aggregates
+        # left-to-right is the canonical chain association, so results are
+        # bit-identical however the engine batches blocks into calls.
+        prefixes = np.empty(nb, dtype=arr.dtype)
+        for start in range(0, nb, capacity):
+            wave = range(start, min(start + capacity, nb))
+            for i in wave:
+                gi, bi = g[i], bx[i]
+                if bi == 0:
+                    desc[gi, bi, 2] = totals[i]
+                    desc[gi, bi, 0] = STATE_PREFIX
+                else:
+                    desc[gi, bi, 1] = totals[i]
+                    desc[gi, bi, 0] = STATE_AGGREGATE
+            for i in wave:
+                gi, bi = g[i], bx[i]
+                if bi == 0:
+                    prefixes[i] = identity
+                    continue
+                j = bi - 1
+                pending = []
+                while desc[gi, j, 0] == STATE_AGGREGATE:
+                    pending.append(desc[gi, j, 1])
+                    j -= 1
+                if desc[gi, j, 0] != STATE_PREFIX:
+                    raise LaunchError(
+                        f"lookback hit an invalid descriptor at block {j} "
+                        f"(problem {gi}): reset/ordering protocol violated"
+                    )
+                acc = desc[gi, j, 2]
+                for aggregate in reversed(pending):
+                    acc = op.combine(acc, aggregate)
+                prefixes[i] = acc
+            for i in wave:
+                gi, bi = g[i], bx[i]
+                if bi > 0:
+                    desc[gi, bi, 2] = op.combine(prefixes[i], totals[i])
+                    desc[gi, bi, 0] = STATE_PREFIX
+
+        local = partials["local"]
+        if not inclusive_out:
+            shifted = np.empty_like(local)
+            shifted[..., 0] = identity
+            shifted[..., 1:] = local[..., :-1]
+            local = shifted
+        offset = op.combine(
+            prefixes[:, None, None],
+            op.combine(carries[:, :, None], partials["warp_offsets"]),
+        )
+        offset = op.combine(offset[..., None], partials["thread_offsets"])
+        result = op.combine(offset[..., None], local)
+        arr[g, bx] = result.reshape(nb, kp.K, kp.Lx, kp.P)
+
+        # Counters use the protocol *model* (a pure function of grid
+        # column and capacity), not the walk the serialised simulator
+        # happened to take — vectorized, blockwise and closed-form
+        # accounting therefore agree exactly.
+        reads = int(lookback_reads_per_block(bx, capacity).sum())
+        ctx.stats.read_global(
+            nb * kp.chunk_size * itemsize + reads * lb.descriptor_words * itemsize
+        )
+        ctx.stats.write_global(
+            nb * kp.chunk_size * itemsize + nb * 2 * lb.descriptor_words * itemsize
+        )
+        ctx.stats.shuffles(partials["shuffles"])
+        ctx.stats.apply_operator(
+            partials["operator_applications"]
+            + nb * max(0, kp.K - 1)
+            + nb * kp.K * kp.Lx * kp.P
+            + reads
+            + nb
+        )
+        ctx.stats.write_smem(partials["smem_bytes"] // 2)
+        ctx.stats.read_smem(partials["smem_bytes"] // 2)
+        ctx.stats.address_math(nb * kp.K * kp.Lx * 6 + reads)
+
+    return gpu.launch(
+        trace, "single_pass_scan", phase, config, body, ordered=True,
+        extra_latency_s=stall_s,
+    )

@@ -173,6 +173,12 @@ class ScanSession:
                 )
                 if proposal == "auto":
                     proposal = recommend_proposal(self.topology, node, problem)
+                    # Single-GPU problems additionally pick the winning
+                    # algorithm (three-kernel vs decoupled lookback) from
+                    # the memoised crossover — transparently, so callers
+                    # and the service get sp-dlb at large N for free.
+                    if proposal == "sp":
+                        proposal = self.tuner.best_single_gpu_variant(problem)
                 if K != "tune" and K is not None and not isinstance(K, int):
                     raise ConfigurationError(
                         f"K must be an int, None or 'tune', got {K!r}"
@@ -233,6 +239,10 @@ class ScanSession:
                 node = NodeConfig.from_counts(W=W, V=V, M=M)
                 if proposal == "auto":
                     proposal = recommend_proposal(self.topology, node, problem)
+                    # Same variant refinement as scan(): auto at W=1
+                    # resolves through the memoised sp vs sp-dlb crossover.
+                    if proposal == "sp":
+                        proposal = self.tuner.best_single_gpu_variant(problem)
                 if K != "tune" and K is not None and not isinstance(K, int):
                     raise ConfigurationError(
                         f"K must be an int, None or 'tune', got {K!r}"

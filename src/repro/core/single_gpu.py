@@ -173,4 +173,6 @@ register_proposal(ProposalSpec(
     tunable=True,
     paper_ref="Section 3, Figure 11",
     order=10,
+    memory_passes=3.0,
+    multi_gpu=False,
 ))

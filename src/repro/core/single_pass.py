@@ -1,0 +1,138 @@
+"""``sp-dlb``: single-pass decoupled-lookback scan as a registry proposal.
+
+Where :mod:`repro.core.chained` models the StreamScan family as an
+*idealised* serial chain (a handful of descriptor words per block, no
+protocol cost), this executor prices the protocol honestly, the way CUB's
+``DeviceScan`` and LightScan (arXiv:1604.04815) actually pay for it:
+
+- a descriptor-reset memset launch plus fixed protocol-arming latency
+  before the pass can start;
+- per-block descriptor traffic at warp granularity (aggregate reads over
+  the resident lookback window, two publishes);
+- an exposed polling stall, round-trip-bound rather than bandwidth-bound
+  (:func:`repro.gpusim.lookback.lookback_stall_s`).
+
+The payoff is ~2N bytes of streaming traffic against the three-kernel
+pipeline's ~3N and one kernel launch against three — so ``sp-dlb`` loses
+at small N (fixed protocol cost dominates) and wins at large N (saved
+memory pass dominates). That crossover is exactly what
+``PremiseTuner.tune_single_gpu_variant`` measures and the autotune cache
+memoises; sessions resolve ``proposal="auto"`` through it so callers get
+the winner transparently (see ``benchmarks/bench_single_pass.py``).
+
+The executor shares the :class:`~repro.core.executor.PlanResolver` /
+:class:`~repro.core.executor.Placement` machinery: its plan spec is
+identical to the chained executor's (small K keeps many blocks in flight
+to pipeline the lookback), so the two even share a resolver cache entry.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.device import GPU
+from repro.gpusim.events import Trace
+from repro.gpusim.memory import AllocationScope
+from repro.core.executor import (
+    Placement,
+    PlanSpec,
+    ProposalSpec,
+    ScanExecutor,
+    ScanRequest,
+    register_proposal,
+)
+from repro.core.kernels import (
+    _lookback_geometry,
+    launch_descriptor_reset,
+    launch_single_pass_scan,
+)
+from repro.core.params import ExecutionPlan, KernelParams, ProblemConfig
+
+
+class ScanSinglePassDLB(ScanExecutor):
+    """Single-GPU batched decoupled-lookback scan executor."""
+
+    proposal = "sp-dlb"
+    result_label = "scan-sp-dlb"
+
+    def __init__(
+        self,
+        gpu: GPU,
+        K: int | None = None,
+        stage1_template: KernelParams | None = None,
+    ):
+        self.gpu = gpu
+        self.placement = Placement.single(gpu)
+        self.K = K
+        self.stage1_template = stage1_template
+
+    def _arch(self) -> GPUArchitecture:
+        return self.gpu.arch
+
+    def _plan_spec(self, problem: ProblemConfig) -> PlanSpec:
+        # Same geometry preference as the chained executor: lookback
+        # pipelining wants many blocks in flight, so K stays at the bottom
+        # of the search space unless explicitly overridden.
+        return PlanSpec(
+            problem=problem, parts=1, K=self.K, template=self.stage1_template,
+            k_space="sp", k_pick="min", clamp_chunks=True,
+        )
+
+    def _place_buffers(self, scope: AllocationScope, plan: ExecutionPlan,
+                       request: ScanRequest):
+        problem = request.problem
+        # Descriptors: (status, aggregate, inclusive prefix) per block.
+        desc_shape = (problem.G, plan.stage1.bx, 3)
+        if request.batch is None:
+            device_data = scope.alloc(
+                self.gpu, (problem.G, problem.N), problem.dtype, virtual=True
+            )
+            descriptors = scope.alloc(
+                self.gpu, desc_shape, problem.dtype, virtual=True
+            )
+        else:
+            device_data = scope.upload(self.gpu, request.batch)
+            descriptors = scope.alloc(self.gpu, desc_shape, problem.dtype)
+        return (device_data, descriptors)
+
+    def _device_flow(self, buffers, plan: ExecutionPlan,
+                     functional: bool = True) -> Trace:
+        device_data, descriptors = buffers
+        trace = Trace()
+        with obs.span("sp-dlb"):
+            launch_descriptor_reset(
+                trace, self.gpu, descriptors, plan, functional=functional,
+            )
+            launch_single_pass_scan(
+                trace, self.gpu, device_data, descriptors, plan,
+                functional=functional,
+            )
+        return trace
+
+    def _collect_output(self, buffers):
+        return buffers[0].to_host()
+
+    def _describe(self, problem: ProblemConfig, plan: ExecutionPlan) -> dict:
+        _, capacity, lb = _lookback_geometry(plan, self.gpu.arch)
+        return {
+            "K": plan.stage1.params.K,
+            "single_pass": True,
+            "lookback_window": lb.window,
+            "lookback_capacity": capacity,
+            "gpu_ids": [self.gpu.id],
+        }
+
+
+register_proposal(ProposalSpec(
+    name="sp-dlb",
+    result_label="scan-sp-dlb",
+    summary="single-pass decoupled-lookback scan with costed descriptor protocol",
+    builder=lambda topology, node, K: ScanSinglePassDLB(
+        topology.first_healthy_gpu(), K=K
+    ),
+    tunable=False,
+    paper_ref="StreamScan [25]; LightScan arXiv:1604.04815; CUB DeviceScan",
+    order=65,
+    memory_passes=2.0,
+    multi_gpu=False,
+))

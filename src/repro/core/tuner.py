@@ -24,6 +24,7 @@ from repro.core.premises import derive_stage_kernel_params, k_search_space
 from repro.core.prioritized import ScanMPPC
 from repro.core.results import ScanResult
 from repro.core.single_gpu import ScanSP, shrink_template_to_fit
+from repro.core.single_pass import ScanSinglePassDLB
 from repro.util.logging import get_logger
 
 _log = get_logger("core.tuner")
@@ -72,6 +73,26 @@ def tune_k(
         proposal, len(candidates), best.K, best.time_s * 1e3,
     )
     return TuningOutcome(best=best, candidates=tuple(candidates), proposal=proposal)
+
+
+@dataclass(frozen=True)
+class VariantCandidate:
+    """One algorithm variant evaluated for a single-GPU problem."""
+
+    proposal: str
+    time_s: float
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """Result of the three-kernel vs decoupled-lookback comparison."""
+
+    best: VariantCandidate
+    candidates: tuple[VariantCandidate, ...]
+
+    @property
+    def best_proposal(self) -> str:
+        return self.best.proposal
 
 
 class PremiseTuner:
@@ -141,6 +162,34 @@ class PremiseTuner:
             space,
             proposal="mps",
         )
+
+    def tune_single_gpu_variant(self, problem: ProblemConfig) -> VariantOutcome:
+        """Three-kernel pipeline vs decoupled lookback for one problem.
+
+        Compares analytic estimates — exact by the run/estimate
+        equivalence guarantee of the executor pipeline, and
+        data-independent, so no synthetic batch is needed. The ordering is
+        a genuine crossover: the lookback variant pays fixed protocol
+        costs (descriptor reset, arming, polling stall) but saves a full
+        pass over memory, so ``sp`` wins small problems and ``sp-dlb``
+        large ones, with the frontier shifting in (N, G, dtype).
+        """
+        gpu = self.topology.first_healthy_gpu()
+        candidates = tuple(
+            VariantCandidate(proposal=name, time_s=executor.estimate(problem).total_time_s)
+            for name, executor in (
+                ("sp", ScanSP(gpu)),
+                ("sp-dlb", ScanSinglePassDLB(gpu)),
+            )
+        )
+        best = min(candidates, key=lambda c: c.time_s)
+        _log.debug(
+            "tune_single_gpu_variant: n=%d g=%d %s -> %s",
+            problem.n, problem.g,
+            {c.proposal: round(c.time_s * 1e6, 1) for c in candidates},
+            best.proposal,
+        )
+        return VariantOutcome(best=best, candidates=candidates)
 
     def tune_mppc(self, node: NodeConfig, data: np.ndarray, operator="add") -> TuningOutcome:
         batch = np.atleast_2d(np.asarray(data))

@@ -26,6 +26,12 @@ from repro.gpusim.kernel import (
     LaunchConfig,
     LaunchStats,
 )
+from repro.gpusim.lookback import (
+    LookbackParams,
+    lookback_reads_per_block,
+    lookback_stall_s,
+    total_lookback_reads,
+)
 from repro.gpusim.memory import DeviceArray, MemoryPool
 from repro.gpusim.occupancy import (
     OccupancyResult,
@@ -63,6 +69,10 @@ __all__ = [
     "KernelContext",
     "LaunchConfig",
     "LaunchStats",
+    "LookbackParams",
+    "lookback_reads_per_block",
+    "lookback_stall_s",
+    "total_lookback_reads",
     "DeviceArray",
     "MemoryPool",
     "OccupancyResult",

@@ -47,6 +47,18 @@ class CostModelParams:
     #: the sharing cost is only the GPU-Boost clock throttle under the
     #: common power/thermal envelope — a mild derate.
     dual_die_contention: float = 0.90
+    #: DRAM/L2 round-trip latency of one descriptor poll window in the
+    #: decoupled-lookback protocol (see :mod:`repro.gpusim.lookback`).
+    dram_round_trip_s: float = 1.0e-6
+    #: Fixed per-invocation cost of arming the lookback protocol: resetting
+    #: descriptor state, fencing the reset against the scan kernel and
+    #: priming the polling path. Calibrated against the LightScan family's
+    #: measured per-call overhead (``baselines.lightscan`` charges 53 us of
+    #: host-side overhead for the same bookkeeping).
+    lookback_setup_s: float = 18e-6
+    #: Fractional round-trip inflation when a full resident wave of blocks
+    #: polls the same descriptor cache lines concurrently.
+    lookback_contention: float = 0.25
 
 
 @dataclass(frozen=True)

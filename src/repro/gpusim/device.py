@@ -160,6 +160,7 @@ class GPU:
         coalesced: bool = True,
         precomputed_stats: LaunchStats | None = None,
         ordered: bool = False,
+        extra_latency_s: float = 0.0,
     ) -> KernelRecord:
         """Run one kernel: execute the body, price it, record it.
 
@@ -172,6 +173,10 @@ class GPU:
         When ``precomputed_stats`` is given (the analytic estimate path),
         the body is skipped and the stats are taken as-is; the pricing and
         the emitted record are otherwise identical to a functional run.
+
+        ``extra_latency_s`` adds schedule-independent exposed latency that
+        the roofline cannot see — e.g. the decoupled-lookback polling
+        stall, which is round-trip-bound rather than bandwidth-bound.
         """
         if self.fault_schedule is not None:
             # Count-triggered faults fire *before* the launch executes, so
@@ -202,7 +207,7 @@ class GPU:
             name=name,
             phase=phase,
             lane=self.lane,
-            time_s=self.cost_model.kernel_time(cost),
+            time_s=self.cost_model.kernel_time(cost) + extra_latency_s,
             gpu_id=self.id,
             grid=(config.grid_x, config.grid_y),
             block=(config.block_x, config.block_y),

@@ -1,0 +1,126 @@
+"""Decoupled-lookback descriptor protocol: states, window and cost model.
+
+The single-pass scan family (StreamScan, LightScan, CUB's ``DeviceScan``)
+replaces the three-kernel pipeline's global barrier with per-block
+*descriptors* in global memory. Each block publishes its chunk aggregate,
+then resolves its exclusive prefix by inspecting the descriptors of its
+predecessors — a warp of threads polls one descriptor per lane (the
+*lookback window*), summing published aggregates backwards until it finds
+a descriptor that already carries an inclusive prefix. Descriptors move
+through three states:
+
+- ``X`` (:data:`STATE_INVALID`): nothing published yet;
+- ``A`` (:data:`STATE_AGGREGATE`): the block's own aggregate is readable;
+- ``P`` (:data:`STATE_PREFIX`): the block's *inclusive prefix* (everything
+  up to and including it) is readable — lookback stops here.
+
+This module prices that protocol for the simulator. The model is at warp
+granularity and deliberately schedule-independent (the same closed forms
+serve the functional run, the analytic estimate and the blockwise
+execution mode):
+
+- **depth**: a block at grid column ``bx`` can look back at most over the
+  concurrently-resident predecessors (``capacity - 1`` of them, where
+  ``capacity = blocks_per_sm * sm_count``); anything earlier has already
+  published a ``P`` descriptor, which terminates the walk in one extra
+  read. Hence ``reads(bx) = min(bx, capacity - 1) + [bx >= capacity]``.
+- **traffic**: each descriptor read/write moves
+  :attr:`LookbackParams.descriptor_words` machine words (CUB packs the
+  status flag with the value so one vectorised access suffices).
+- **latency**: the polling loop is not bandwidth-bound but *round-trip*
+  bound — a window of ``window`` descriptors costs one DRAM/L2 round
+  trip, and the block's own two publishes cost another. The resulting
+  per-wave stall is exposed only while the grid is too shallow to overlap
+  it with the streaming work of later waves, so the exposure saturates
+  after :attr:`LookbackParams.exposure_horizon` waves. Contention from
+  many resident pollers hammering the same descriptor lines inflates the
+  round trip (:attr:`~repro.gpusim.costmodel.CostModelParams.lookback_contention`).
+
+The constants the stall converts through (DRAM round-trip latency, the
+protocol-arming overhead, the contention factor) live on
+:class:`~repro.gpusim.costmodel.CostModelParams` so the autotune cost
+fingerprint covers them: repricing the lookback invalidates any cached
+three-kernel-vs-single-pass decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.ints import ceil_div
+
+#: Descriptor states (StreamScan / CUB nomenclature).
+STATE_INVALID = 0  #: X — block not arrived, lookback must spin.
+STATE_AGGREGATE = 1  #: A — aggregate readable, keep walking back.
+STATE_PREFIX = 2  #: P — inclusive prefix readable, walk terminates.
+
+
+@dataclass(frozen=True)
+class LookbackParams:
+    """Structural constants of the lookback protocol."""
+
+    #: Descriptors inspected per poll round trip — one warp, one lane each.
+    window: int = 32
+    #: Machine words per descriptor access (status flag packed with value).
+    descriptor_words: int = 2
+    #: Bytes of the status word the reset kernel clears per descriptor.
+    status_bytes: int = 4
+    #: Waves whose resolution latency stays exposed before the polling
+    #: pipelines behind the streaming work of later waves.
+    exposure_horizon: int = 2
+
+
+def resident_capacity(blocks_per_sm: int, sm_count: int) -> int:
+    """Concurrently resident blocks: the lookback horizon of the model."""
+    return max(1, blocks_per_sm * sm_count)
+
+
+def lookback_reads_per_block(bx: np.ndarray, capacity: int) -> np.ndarray:
+    """Descriptor reads each block performs to resolve its prefix.
+
+    ``min(bx, capacity - 1)`` aggregate reads over the resident
+    predecessors, plus one terminating ``P`` read when the row extends
+    past the resident window. Vectorised over grid columns; a pure
+    function of ``bx`` so vectorized, blockwise and closed-form
+    accounting agree exactly.
+    """
+    bx = np.asarray(bx)
+    return np.minimum(bx, capacity - 1) + (bx >= capacity).astype(np.int64)
+
+
+def total_lookback_reads(grid_x: int, grid_y: int, capacity: int) -> int:
+    """Closed form of :func:`lookback_reads_per_block` summed over the grid."""
+    m = min(grid_x, capacity)
+    aggregate_reads = m * (m - 1) // 2 + max(0, grid_x - capacity) * (capacity - 1)
+    prefix_reads = max(0, grid_x - capacity)
+    return grid_y * (aggregate_reads + prefix_reads)
+
+
+def lookback_stall_s(
+    total_blocks: int,
+    grid_x: int,
+    capacity: int,
+    round_trip_s: float,
+    contention: float,
+    params: LookbackParams | None = None,
+) -> float:
+    """Exposed serialisation latency of the lookback resolution.
+
+    Per wave, the deepest block needs ``ceil(max_reads / window)`` poll
+    round trips plus one publish round trip; only the first
+    ``exposure_horizon`` waves expose that latency (later waves overlap it
+    with the streaming of still-unprocessed blocks). Resident-poller
+    pressure on the shared descriptor lines inflates each round trip by
+    up to ``1 + contention``.
+    """
+    params = params or LookbackParams()
+    if grid_x <= 1 or total_blocks <= 1:
+        return 0.0
+    max_reads = min(grid_x - 1, capacity - 1) + (1 if grid_x > capacity else 0)
+    rounds = ceil_div(max_reads, params.window) + 1
+    waves = ceil_div(total_blocks, capacity)
+    exposed = min(waves, params.exposure_horizon)
+    pressure = 1.0 + contention * min(1.0, (total_blocks - 1) / capacity)
+    return rounds * exposed * round_trip_s * pressure

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import TuningError
 from repro.core.autotune_cache import (
+    VARIANT_PSEUDO_PROPOSAL,
     AutotuneCache,
     CachedTuner,
     cache_key,
@@ -145,3 +146,96 @@ class TestCachedTuner:
         tuner = CachedTuner(machine)
         with pytest.raises(TuningError):
             tuner.best_k(ProblemConfig.from_sizes(N=1 << 14), "teleport")
+
+
+class TestVariantSelection:
+    """The sp vs sp-dlb algorithm choice: its own key space, memoised,
+    persisted, and invalidated by the PR-4 cost fingerprint."""
+
+    def test_variant_key_space_is_distinct_from_k_sweeps(self):
+        """The cache key distinguishes three-kernel plans, lookback plans
+        and the variant decision itself — no aliasing between them."""
+        p = ProblemConfig.from_sizes(N=1 << 20, G=1)
+        keys = {
+            cache_key(KEPLER_K80, p, "sp", None, fingerprint="f"),
+            cache_key(KEPLER_K80, p, "sp-dlb", None, fingerprint="f"),
+            cache_key(KEPLER_K80, p, VARIANT_PSEUDO_PROPOSAL, None,
+                      fingerprint="f"),
+        }
+        assert len(keys) == 3
+
+    def test_memoises(self, machine):
+        tuner = CachedTuner(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
+        first = tuner.best_single_gpu_variant(problem)
+        second = tuner.best_single_gpu_variant(problem)
+        assert first == second == "sp-dlb"
+        assert tuner.cache.misses == 1 and tuner.cache.hits == 1
+
+    def test_crossover_is_cached_per_problem(self, machine):
+        tuner = CachedTuner(machine)
+        assert tuner.best_single_gpu_variant(
+            ProblemConfig.from_sizes(N=1 << 13, G=1)
+        ) == "sp"
+        assert tuner.best_single_gpu_variant(
+            ProblemConfig.from_sizes(N=1 << 24, G=1)
+        ) == "sp-dlb"
+        assert tuner.cache.misses == 2  # distinct keys, no aliasing
+
+    def test_persists_roundtrip(self, machine, tmp_path):
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
+        first = CachedTuner(machine, AutotuneCache(path))
+        choice = first.best_single_gpu_variant(problem)
+        payload = json.loads(path.read_text())
+        assert any(e.get("variant") == choice for e in payload.values())
+
+        second = CachedTuner(machine, AutotuneCache(path))
+        assert second.best_single_gpu_variant(problem) == choice
+        assert second.cache.hits == 1 and second.cache.misses == 0
+
+    def test_forced_health_change_invalidates_the_variant(self, machine):
+        """The satellite regression: marking a GPU offline changes the
+        PR-4 cost fingerprint, so the cached algorithm choice is not read
+        back — the decision is re-tuned against the degraded machine."""
+        tuner = CachedTuner(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
+        tuner.best_single_gpu_variant(problem)
+        assert tuner.cache.misses == 1
+
+        machine.ensure_health()
+        machine.mark_offline(0)
+        tuner.best_single_gpu_variant(problem)
+        assert tuner.cache.misses == 2 and tuner.cache.hits == 0
+
+    def test_stale_variant_name_is_retuned(self, machine, tmp_path):
+        """An on-disk entry naming an unknown algorithm (e.g. from a
+        renamed proposal) must not be trusted."""
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
+        tuner = CachedTuner(machine, AutotuneCache(path))
+        tuner.best_single_gpu_variant(problem)
+        payload = json.loads(path.read_text())
+        for entry in payload.values():
+            entry["variant"] = "sp-dlb-v0"
+        path.write_text(json.dumps(payload))
+
+        fresh = CachedTuner(machine, AutotuneCache(path))
+        assert fresh.best_single_gpu_variant(problem) in ("sp", "sp-dlb")
+        assert fresh.cache.misses == 1 and fresh.cache.hits == 0
+
+    def test_legacy_cache_without_variant_field_loads(self, machine, tmp_path):
+        """Caches written before the variant field exist; they must load
+        (variant defaults empty) and keep serving their K entries."""
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        writer = CachedTuner(machine, AutotuneCache(path))
+        k = writer.best_k(problem, "sp")
+        payload = json.loads(path.read_text())
+        for entry in payload.values():
+            entry.pop("variant", None)
+        path.write_text(json.dumps(payload))
+
+        reader = CachedTuner(machine, AutotuneCache(path))
+        assert reader.best_k(problem, "sp") == k
+        assert reader.cache.hits == 1

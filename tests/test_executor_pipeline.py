@@ -28,6 +28,7 @@ from repro.core.params import NodeConfig, ProblemConfig
 from repro.core.prioritized import ScanMPPC
 from repro.core.session import ScanSession
 from repro.core.single_gpu import ScanSP
+from repro.core.single_pass import ScanSinglePassDLB
 from repro.errors import ConfigurationError, ReproError
 
 N = 1 << 13
@@ -51,6 +52,7 @@ def executor_cases(machine, cluster):
             cluster, NodeConfig.from_counts(W=4, V=4, M=2)
         ),
         "chained": ScanChained(machine.gpus[0]),
+        "sp-dlb": ScanSinglePassDLB(machine.gpus[0]),
     }
 
 
@@ -58,7 +60,7 @@ class TestRunEstimateEquivalence:
     """For every proposal: estimate == run, to the last trace record."""
 
     @pytest.mark.parametrize(
-        "name", ["sp", "pp", "mps", "mppc", "mn-mps", "chained"]
+        "name", ["sp", "pp", "mps", "mppc", "mn-mps", "chained", "sp-dlb"]
     )
     def test_estimate_matches_run_exactly(self, name, machine, cluster, rng):
         executor = executor_cases(machine, cluster)[name]
@@ -120,16 +122,34 @@ class TestRunEstimateEquivalence:
 
 class TestProposalRegistry:
     def test_registry_lists_every_proposal(self):
-        assert proposal_names() == ("sp", "pp", "mps", "mppc", "mn-mps", "chained")
+        assert proposal_names() == (
+            "sp", "pp", "mps", "mppc", "mn-mps", "chained", "sp-dlb"
+        )
 
     def test_specs_carry_identity_and_capabilities(self):
         by_name = {s.name: s for s in proposal_specs()}
         assert by_name["sp"].result_label == "scan-sp"
         assert by_name["mppc"].result_label == "scan-mp-pc"
+        assert by_name["sp-dlb"].result_label == "scan-sp-dlb"
         assert by_name["sp"].tunable and by_name["mps"].tunable
         assert not by_name["pp"].tunable and not by_name["chained"].tunable
+        assert not by_name["sp-dlb"].tunable
         for spec in by_name.values():
             assert spec.summary
+
+    def test_specs_carry_capability_flags(self):
+        """The satellite: passes over memory / multi-GPU / estimate are
+        queryable per proposal, making sp-dlb's single-pass nature visible."""
+        by_name = {s.name: s for s in proposal_specs()}
+        assert by_name["sp"].memory_passes == 3.0
+        assert by_name["sp-dlb"].memory_passes == 2.0
+        assert by_name["chained"].memory_passes == 2.0
+        for single_gpu in ("sp", "chained", "sp-dlb"):
+            assert not by_name[single_gpu].multi_gpu
+        for multi in ("pp", "mps", "mppc", "mn-mps"):
+            assert by_name[multi].multi_gpu
+        for spec in by_name.values():
+            assert spec.supports_estimate
 
     def test_build_executor_constructs_the_right_class(self, machine, cluster):
         node = NodeConfig.from_counts(W=4, V=4)
@@ -137,6 +157,9 @@ class TestProposalRegistry:
         assert isinstance(build_executor("pp", machine, node), ScanProblemParallel)
         assert isinstance(build_executor("mps", machine, node), ScanMPS)
         assert isinstance(build_executor("chained", machine, node), ScanChained)
+        assert isinstance(
+            build_executor("sp-dlb", machine, node), ScanSinglePassDLB
+        )
         mn = build_executor(
             "mn-mps", cluster, NodeConfig.from_counts(W=4, V=4, M=2), K=2
         )

@@ -1,0 +1,244 @@
+"""The sp-dlb decoupled-lookback proposal: protocol, cost model, crossover.
+
+Four layers:
+
+- the :mod:`repro.gpusim.lookback` model itself (per-block read formula vs
+  its closed form, stall-model properties);
+- the kernel protocol (descriptor end states, execution-mode invariance,
+  the association guarantee that makes float results bit-identical to the
+  chained executor's);
+- the cost structure (sp-dlb never beats the idealised chained bound, but
+  crosses the three-kernel pipeline as N grows — per dtype and G);
+- the tuner/session integration (``auto`` resolves through the memoised
+  variant choice; CLI and capability flags expose the proposal).
+
+Bit-exactness against the sequential oracle lives in the differential
+suite; estimate==run in ``test_executor_pipeline`` — both parametrize over
+the registry, which now includes ``sp-dlb``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProblemConfig
+from repro.core.chained import ScanChained
+from repro.core.single_gpu import ScanSP
+from repro.core.single_pass import ScanSinglePassDLB
+from repro.core.session import ScanSession
+from repro.core.tuner import PremiseTuner
+from repro.gpusim.kernel import ExecutionEngine
+from repro.gpusim.lookback import (
+    LookbackParams,
+    lookback_reads_per_block,
+    lookback_stall_s,
+    total_lookback_reads,
+)
+from repro.interconnect.topology import tsubame_kfc
+
+
+class TestLookbackModel:
+    @pytest.mark.parametrize("grid_x,grid_y,capacity", [
+        (1, 1, 208), (7, 3, 4), (100, 2, 208), (500, 1, 208), (4096, 8, 104),
+    ])
+    def test_closed_form_matches_per_block_sum(self, grid_x, grid_y, capacity):
+        bx = np.arange(grid_x)
+        per_block = lookback_reads_per_block(bx, capacity)
+        assert total_lookback_reads(grid_x, grid_y, capacity) == (
+            grid_y * int(per_block.sum())
+        )
+
+    def test_reads_saturate_at_capacity(self):
+        """Blocks beyond the resident window pay capacity-1 aggregate reads
+        plus one terminating prefix read — never more."""
+        capacity = 16
+        reads = lookback_reads_per_block(np.arange(100), capacity)
+        assert reads[0] == 0
+        assert reads[1] == 1
+        assert reads[15] == 15
+        assert (reads[16:] == 16).all()
+
+    def test_stall_is_zero_for_single_block_rows(self):
+        assert lookback_stall_s(8, 1, 208, 1e-6, 0.25) == 0.0
+
+    def test_stall_saturates_with_waves(self):
+        """Exposure is capped: a 10-wave grid stalls like a 2-wave grid
+        (the tail hides behind streaming), so the stall cannot grow
+        linearly with N and destroy the large-N win."""
+        lb = LookbackParams(window=32, exposure_horizon=2)
+        two_waves = lookback_stall_s(416, 416, 208, 1e-6, 0.25, lb)
+        ten_waves = lookback_stall_s(2080, 2080, 208, 1e-6, 0.25, lb)
+        assert two_waves > 0
+        assert ten_waves == pytest.approx(two_waves)
+
+    def test_contention_inflates_the_round_trip(self):
+        calm = lookback_stall_s(416, 416, 208, 1e-6, 0.0)
+        loud = lookback_stall_s(416, 416, 208, 1e-6, 0.5)
+        assert loud > calm
+
+
+class TestLookbackProtocol:
+    def test_descriptors_end_in_prefix_state(self, machine, rng):
+        """After the pass every block published its inclusive prefix (P)
+        and the prefixes equal the chunk-wise scan of the chunk totals."""
+        data = rng.integers(-40, 90, (2, 1 << 12)).astype(np.int64)
+        executor = ScanSinglePassDLB(machine.gpus[0])
+        result = executor.run(data)
+        plan = executor.plan_for(
+            ProblemConfig.from_sizes(N=data.shape[1], G=data.shape[0],
+                                     dtype=data.dtype)
+        )
+        bx = plan.stage1.bx
+        assert bx > 1  # the protocol actually ran a lookback
+        # Reconstruct the descriptors' published prefixes from the output:
+        # the inclusive prefix of block b is the scan at its last element.
+        chunk = data.shape[1] // bx
+        expected = result.output[:, chunk - 1::chunk]
+        np.testing.assert_array_equal(
+            np.cumsum(data.reshape(2, bx, chunk).sum(axis=2), axis=1), expected
+        )
+
+    def test_execution_modes_agree_bitwise(self, rng):
+        """Vectorized and blockwise engines must produce identical bytes
+        AND identical traces — the protocol model is schedule-independent."""
+        data = rng.normal(0, 10, (4, 1 << 13)).astype(np.float64)
+        results = []
+        for mode in ("vectorized", "blockwise"):
+            m = tsubame_kfc(1)
+            m.gpus[0].engine = ExecutionEngine(mode=mode)
+            results.append(ScanSinglePassDLB(m.gpus[0]).run(data))
+        a, b = results
+        assert (a.output == b.output).all()
+        assert a.total_time_s == b.total_time_s
+        assert a.breakdown == b.breakdown
+
+    def test_float_association_matches_chained(self, machine, rng):
+        """The lookback fold is the canonical chain association, so float
+        results are bit-identical to the chained executor's (and the two
+        share one differential-suite tolerance story)."""
+        data = rng.normal(0, 10, (4, 1 << 13)).astype(np.float64)
+        dlb = ScanSinglePassDLB(machine.gpus[0]).run(data)
+        chained = ScanChained(machine.gpus[0]).run(data)
+        assert (dlb.output == chained.output).all()
+
+    def test_trace_shape(self, machine, rng):
+        """Exactly two launches — reset + pass — against the pipeline's 3."""
+        data = rng.integers(0, 100, (1, 1 << 13)).astype(np.int32)
+        result = ScanSinglePassDLB(machine.gpus[0]).run(data)
+        names = [r.name for r in result.trace.records]
+        assert names == ["descriptor_reset", "single_pass_scan"]
+        assert result.config["single_pass"] is True
+        assert result.config["lookback_window"] == machine.arch.warp_size
+
+
+class TestCostStructure:
+    def test_never_beats_the_idealised_chained_bound(self, machine):
+        """chained models the same algorithm with free descriptors and no
+        stalls; honest pricing must always cost at least as much."""
+        for n in (12, 16, 20, 24):
+            problem = ProblemConfig.from_sizes(N=1 << n, G=1)
+            dlb = ScanSinglePassDLB(machine.gpus[0]).estimate(problem)
+            chained = ScanChained(machine.gpus[0]).estimate(problem)
+            assert dlb.total_time_s > chained.total_time_s
+
+    @pytest.mark.parametrize("dtype,g,small_n,large_n", [
+        (np.int32, 1, 13, 23),
+        (np.int32, 8, 13, 21),
+        (np.int64, 8, 13, 19),
+    ])
+    def test_crossover_against_three_kernel(self, machine, dtype, g,
+                                            small_n, large_n):
+        """Small problems: fixed protocol cost loses to the pipeline.
+        Large problems: the saved memory pass wins."""
+        gpu = machine.gpus[0]
+        small = ProblemConfig.from_sizes(N=1 << small_n, G=g, dtype=dtype)
+        large = ProblemConfig.from_sizes(N=1 << large_n, G=g, dtype=dtype)
+        assert (
+            ScanSinglePassDLB(gpu).estimate(small).total_time_s
+            > ScanSP(gpu).estimate(small).total_time_s
+        )
+        assert (
+            ScanSinglePassDLB(gpu).estimate(large).total_time_s
+            < ScanSP(gpu).estimate(large).total_time_s
+        )
+
+    def test_memory_traffic_is_two_pass_not_three(self, machine):
+        """The headline claim: ~2N streamed bytes vs the pipeline's ~3N.
+
+        The descriptor protocol honestly adds traffic on top of the 2N
+        streaming floor (lookback reads scale with blocks x capacity), so
+        the ratio lands between 2 and the pipeline's 3 — never at an
+        idealised 2.0 exactly, and never enough to erase the saved pass.
+        """
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1, dtype=np.int32)
+        nbytes = (1 << 24) * 4
+
+        def moved(result):
+            return sum(r.global_bytes_read + r.global_bytes_written
+                       for r in result.trace.records)
+
+        dlb = moved(ScanSinglePassDLB(machine.gpus[0]).estimate(problem))
+        sp = moved(ScanSP(machine.gpus[0]).estimate(problem))
+        assert sp / nbytes == pytest.approx(3.0, rel=0.05)
+        assert 2.0 <= dlb / nbytes < 2.6
+        assert dlb < sp
+
+
+class TestVariantTuning:
+    def test_tuner_picks_sp_small_and_dlb_large(self, machine):
+        tuner = PremiseTuner(machine)
+        small = tuner.tune_single_gpu_variant(
+            ProblemConfig.from_sizes(N=1 << 13, G=1)
+        )
+        large = tuner.tune_single_gpu_variant(
+            ProblemConfig.from_sizes(N=1 << 24, G=1)
+        )
+        assert small.best_proposal == "sp"
+        assert large.best_proposal == "sp-dlb"
+        assert {c.proposal for c in small.candidates} == {"sp", "sp-dlb"}
+
+    def test_session_auto_serves_the_winner(self, machine, rng):
+        """End to end: auto on one GPU returns sp at small N and sp-dlb at
+        large N, with bit-exact output either way."""
+        session = ScanSession(machine)
+        small = rng.integers(-40, 90, (1, 1 << 12)).astype(np.int64)
+        result = session.scan(small, proposal="auto")
+        assert result.proposal == "scan-sp"
+        np.testing.assert_array_equal(result.output, np.cumsum(small, axis=1))
+
+        large = rng.integers(-40, 90, (1, 1 << 22)).astype(np.int32)
+        result = session.scan(large, proposal="auto")
+        assert result.proposal == "scan-sp-dlb"
+        np.testing.assert_array_equal(result.output, np.cumsum(large, axis=1))
+
+    def test_session_estimate_auto_matches_scan_auto(self, machine):
+        session = ScanSession(machine)
+        problem = ProblemConfig.from_sizes(N=1 << 24, G=1, dtype=np.int32)
+        est = session.estimate(problem, proposal="auto")
+        assert est.proposal == "scan-sp-dlb"
+
+    def test_explicit_proposal_bypasses_the_variant_choice(self, machine, rng):
+        """proposal="sp" means sp — the refinement only applies to auto."""
+        session = ScanSession(machine)
+        large = rng.integers(0, 9, (1, 1 << 22)).astype(np.int32)
+        assert session.scan(large, proposal="sp").proposal == "scan-sp"
+
+
+class TestCli:
+    def test_proposals_lists_capability_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["proposals"]) == 0
+        out = capsys.readouterr().out
+        assert "sp-dlb" in out
+        assert "2-pass" in out and "3-pass" in out
+        assert "1-GPU" in out and "multi-GPU" in out
+        assert "estimate" in out
+
+    def test_scan_with_sp_dlb(self, capsys):
+        from repro.cli import main
+
+        assert main(["scan", "--n", "13", "--g", "2",
+                     "--proposal", "sp-dlb"]) == 0
+        out = capsys.readouterr().out
+        assert "scan-sp-dlb" in out
+        assert "verified against numpy reference" in out
