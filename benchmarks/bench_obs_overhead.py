@@ -11,7 +11,12 @@ the disabled path's absolute cost instead:
   this is the configuration ``bench_serving_throughput.py`` gates at
   >= 3x cold, which would fail if the disabled checks cost real time;
 - **on**: the same serving loop with ``obs.enable()`` — spans, counters,
-  and latency histograms all live.
+  and latency histograms all live;
+- **profile**: the enabled loop plus a full attribution fold
+  (:func:`repro.obs.profile.profile_result`) of every result — the
+  analysis an operator pays for when actively asking "what bounds this
+  request", so it gets its own (slightly larger) budget relative to the
+  plain enabled path.
 
 The enabled path may cost more (it does real work per span/counter) but
 must stay within a small constant factor of the disabled path, and both
@@ -37,14 +42,28 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: stay within this factor of the disabled path (median wall-clock).
 MAX_ENABLED_RATIO = 3.0
 
+#: Profiler budget: folding every result into an attribution profile on
+#: top of the enabled path must stay within this factor of the enabled
+#: path alone (the fold is one pass over the trace records).
+MAX_PROFILE_RATIO = 1.35
 
-def _serve(session: ScanSession, data: np.ndarray, repeats: int):
+
+def _serve(session: ScanSession, data: np.ndarray, repeats: int,
+           profile: bool = False):
+    from repro.obs.profile import profile_result
+
     samples: list[float] = []
     result = None
+    last_profile = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         result = session.scan(data, proposal="mps", W=4, V=4)
+        if profile:
+            last_profile = profile_result(result)
         samples.append(time.perf_counter() - t0)
+    if profile:
+        # The fold must keep its bit-exactness contract while being timed.
+        assert sum(last_profile.categories.values()) == result.trace.total_time()
     return float(np.median(samples)), result
 
 
@@ -74,6 +93,8 @@ def run_obs_overhead_benchmark(
         on_session.scan(data, proposal="mps", W=4, V=4)
         on_s, on_result = _serve(on_session, data, repeats)
         stats = on_session.stats()
+        profile_s, profile_result_ = _serve(on_session, data, repeats,
+                                            profile=True)
     finally:
         obs.disable()
         obs.reset()
@@ -82,6 +103,8 @@ def run_obs_overhead_benchmark(
         raise AssertionError("observability changed scan output bits")
     if off_result.trace.total_time() != on_result.trace.total_time():
         raise AssertionError("observability changed simulated time")
+    if profile_result_.trace.total_time() != on_result.trace.total_time():
+        raise AssertionError("profiling changed simulated time")
 
     payload = {
         "n_log2": n_log2,
@@ -91,6 +114,9 @@ def run_obs_overhead_benchmark(
         "on_s_median": on_s,
         "enabled_ratio": on_s / off_s,
         "max_enabled_ratio": MAX_ENABLED_RATIO,
+        "profile_s_median": profile_s,
+        "profile_ratio": profile_s / on_s,
+        "max_profile_ratio": MAX_PROFILE_RATIO,
         "warm_latency_p50_s": stats["latency"]["p50"],
         "warm_latency_p95_s": stats["latency"]["p95"],
     }
@@ -107,6 +133,9 @@ def format_obs_overhead_table(payload: dict) -> str:
         f"  obs on:            {payload['on_s_median'] * 1e3:8.3f} ms/call",
         f"  enabled ratio:     {payload['enabled_ratio']:8.2f}x "
         f"(budget {payload['max_enabled_ratio']:.1f}x)",
+        f"  obs on + profile:  {payload['profile_s_median'] * 1e3:8.3f} ms/call",
+        f"  profile ratio:     {payload['profile_ratio']:8.2f}x "
+        f"(budget {payload['max_profile_ratio']:.2f}x, vs enabled path)",
         f"  enabled p50/p95:   {payload['warm_latency_p50_s'] * 1e3:.3f} / "
         f"{payload['warm_latency_p95_s'] * 1e3:.3f} ms",
     ])
@@ -116,3 +145,4 @@ def test_regenerate_obs_overhead(report):
     payload = run_obs_overhead_benchmark()
     report("obs_overhead", format_obs_overhead_table(payload))
     assert payload["enabled_ratio"] <= MAX_ENABLED_RATIO, payload
+    assert payload["profile_ratio"] <= MAX_PROFILE_RATIO, payload

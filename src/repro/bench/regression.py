@@ -1,0 +1,292 @@
+"""Benchmark regression sentry: gate committed ``BENCH_*.json`` baselines.
+
+Every benchmark artifact this repo commits is (at least partly) a record
+of **deterministic simulated time** — the cost model is a closed form of
+the plan geometry, so the same code must reproduce the same numbers to
+the last bit. That makes the artifacts double as golden references: a
+cost-model tweak, a plan change, or a hook leaking simulated cost into
+the healthy path all show up as a drifted ratio. This module replays the
+deterministic parts of each benchmark and compares them against the
+committed baselines under explicit tolerances, replacing the ad-hoc
+drift-gate shell lines that used to live in CI with one command::
+
+    repro bench check            # all suites
+    repro bench check --only serving --only serve
+
+Suites (each skipped silently when its baseline file is absent):
+
+- ``serving`` (``BENCH_serving.json``): one warm scan per recorded
+  proposal on the seed-7 workload; simulated time must match the
+  recorded ``simulated_time_s`` exactly (ratio 1.0 — no tolerance, the
+  healthy path is bit-deterministic).
+- ``single_pass`` (``BENCH_single_pass.json``): the full analytic
+  crossover sweep; ``sp_s``/``sp_dlb_s``/``lightscan_s`` within 1e-9
+  relative, winners and the crossover frontier exactly equal.
+- ``serve`` (``BENCH_serve.json``): replays every placement x arrival
+  cell (seed-11 workloads); batch shapes exactly equal, simulated
+  times/latencies/speedups at ratio 1.0.
+- ``obs_overhead`` (``BENCH_obs_overhead.json``): wall-clock medians are
+  machine-dependent, so nothing is re-timed; the recorded ratios are
+  checked against their recorded budgets (``enabled_ratio`` within
+  ``max_enabled_ratio``, ``profile_ratio`` within ``max_profile_ratio``).
+
+Wall-clock fields (``cold_s_median`` etc.) are never compared — they are
+measurements of the host, not of the code under test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["run_checks", "format_report", "SUITES"]
+
+SUITES = ("serving", "single_pass", "serve", "obs_overhead")
+
+
+class _Suite:
+    """Accumulates pass/fail facts for one baseline file."""
+
+    def __init__(self, name: str, path: Path):
+        self.name = name
+        self.path = path
+        self.checked = 0
+        self.failures: list[str] = []
+
+    def expect(self, ok: bool, message: str) -> None:
+        self.checked += 1
+        if not ok:
+            self.failures.append(message)
+
+    def expect_ratio(self, actual: float, recorded: float, what: str,
+                     rel_tol: float = 0.0) -> None:
+        """Compare a replayed value against the baseline.
+
+        ``rel_tol=0.0`` demands bit-exact reproduction (simulated time);
+        a positive tolerance admits benign re-association drift.
+        """
+        if recorded == 0.0:
+            self.expect(actual == 0.0, f"{what}: {actual!r} != recorded 0.0")
+            return
+        ratio = actual / recorded
+        self.expect(
+            abs(ratio - 1.0) <= rel_tol,
+            f"{what}: ratio {ratio!r} off 1.0 "
+            f"(replayed {actual!r}, recorded {recorded!r}, tol {rel_tol:g})",
+        )
+
+    def report(self) -> dict:
+        return {
+            "baseline": str(self.path),
+            "checked": self.checked,
+            "ok": not self.failures,
+            "failures": list(self.failures),
+        }
+
+
+def _load(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------- suites
+
+
+def _check_serving(suite: _Suite, recorded: dict) -> None:
+    from repro.core.session import ScanSession
+    from repro.interconnect.topology import tsubame_kfc
+
+    rng = np.random.default_rng(7)
+    data = rng.integers(
+        -(2**20), 2**20, size=(recorded["G"], 1 << recorded["n_log2"])
+    ).astype(np.int64)
+    for proposal, row in recorded["proposals"].items():
+        spec = {k: row[k] for k in ("W", "V", "M")}
+        session = ScanSession(tsubame_kfc(spec["M"]))
+        result = session.scan(data, proposal=proposal, K="tune", **spec)
+        suite.expect_ratio(
+            result.trace.total_time(), row["simulated_time_s"],
+            f"serving {proposal} simulated_time_s",
+        )
+
+
+def _check_single_pass(suite: _Suite, recorded: dict) -> None:
+    from repro.baselines import LIGHTSCAN
+    from repro.core.params import ProblemConfig
+    from repro.core.single_gpu import ScanSP
+    from repro.core.single_pass import ScanSinglePassDLB
+    from repro.interconnect.topology import tsubame_kfc
+
+    machine = tsubame_kfc(1)
+    gpu = machine.gpus[0]
+    crossovers: dict[str, int | None] = {}
+    for key, points in recorded["series"].items():
+        dtype, g = key.split("|G")[0], int(key.split("|G")[1])
+        winners = []
+        for ref in points:
+            problem = ProblemConfig.from_sizes(
+                N=1 << ref["n_log2"], G=g, dtype=np.dtype(dtype)
+            )
+            sp = ScanSP(gpu).estimate(problem).total_time_s
+            dlb = ScanSinglePassDLB(gpu).estimate(problem).total_time_s
+            light, _ = LIGHTSCAN.time_batch(problem.N, g, machine.arch)
+            label = f"single_pass {key} n=2^{ref['n_log2']}"
+            suite.expect_ratio(sp, ref["sp_s"], f"{label} sp_s", rel_tol=1e-9)
+            suite.expect_ratio(dlb, ref["sp_dlb_s"], f"{label} sp_dlb_s",
+                               rel_tol=1e-9)
+            suite.expect_ratio(light, ref["lightscan_s"],
+                               f"{label} lightscan_s", rel_tol=1e-9)
+            winner = "sp-dlb" if dlb < sp else "sp"
+            winners.append(winner)
+            suite.expect(
+                winner == ref["winner"],
+                f"{label}: winner {winner} != recorded {ref['winner']}",
+            )
+        crossover = None
+        for i in range(len(winners)):
+            if all(w == "sp-dlb" for w in winners[i:]):
+                crossover = points[i]["n_log2"]
+                break
+        crossovers[key] = crossover
+    suite.expect(
+        crossovers == recorded["crossover_n_log2"],
+        f"single_pass crossover frontier {crossovers} != recorded "
+        f"{recorded['crossover_n_log2']}",
+    )
+
+
+def _check_serve(suite: _Suite, recorded: dict) -> None:
+    from repro.core.session import ScanSession
+    from repro.interconnect.topology import tsubame_kfc
+    from repro.serve import poisson_workload, replay, solo_baseline
+
+    requests = recorded["requests"]
+    size_log2 = recorded["size_log2"]
+    solo_by_rate: dict[float, float] = {}
+    for cell, row in recorded["cells"].items():
+        rate = row["rate_per_s"]
+        workload = poisson_workload(
+            requests, sizes_log2=(size_log2,), rate=rate, seed=11,
+        )
+        service = ScanSession(tsubame_kfc(1)).service(
+            max_batch=recorded["max_batch"], max_wait_s=1e-3,
+            proposal=row["proposal"], W=row["W"], V=row["W"],
+        )
+        coalesced = replay(service, workload)
+        suite.expect(
+            coalesced["verified"] == requests,
+            f"serve {cell}: only {coalesced['verified']}/{requests} verified",
+        )
+        suite.expect(
+            coalesced["batches"] == row["batches"],
+            f"serve {cell}: {coalesced['batches']} batches != "
+            f"recorded {row['batches']}",
+        )
+        suite.expect(
+            coalesced["padded_rows"] == row["padded_rows"],
+            f"serve {cell}: padded_rows {coalesced['padded_rows']} != "
+            f"recorded {row['padded_rows']}",
+        )
+        suite.expect_ratio(coalesced["mean_batch_size"],
+                           row["mean_batch_size"],
+                           f"serve {cell} mean_batch_size")
+        suite.expect_ratio(coalesced["coalesced_sim_s"],
+                           row["coalesced_sim_s"],
+                           f"serve {cell} coalesced_sim_s")
+        suite.expect_ratio(coalesced["latency"]["p50"], row["latency_p50_s"],
+                           f"serve {cell} latency_p50_s")
+        suite.expect_ratio(coalesced["latency"]["p95"], row["latency_p95_s"],
+                           f"serve {cell} latency_p95_s")
+        suite.expect_ratio(coalesced["total_queue_wait_s"],
+                           row["total_queue_wait_s"],
+                           f"serve {cell} total_queue_wait_s")
+        # The solo baseline's simulated time depends only on the request
+        # mix, not arrival times; compute it once per rate and compare.
+        if rate not in solo_by_rate:
+            solo_by_rate[rate] = solo_baseline(
+                ScanSession(tsubame_kfc(1)), workload
+            )["solo_sim_s"]
+        suite.expect_ratio(solo_by_rate[rate], row["solo_sim_s"],
+                           f"serve {cell} solo_sim_s")
+
+
+def _check_obs_overhead(suite: _Suite, recorded: dict) -> None:
+    ratio = recorded["enabled_ratio"]
+    budget = recorded["max_enabled_ratio"]
+    suite.expect(
+        math.isfinite(ratio) and ratio <= budget,
+        f"obs_overhead enabled_ratio {ratio!r} exceeds budget {budget!r}",
+    )
+    profile_ratio = recorded.get("profile_ratio")
+    if profile_ratio is not None:
+        profile_budget = recorded["max_profile_ratio"]
+        suite.expect(
+            math.isfinite(profile_ratio) and profile_ratio <= profile_budget,
+            f"obs_overhead profile_ratio {profile_ratio!r} exceeds "
+            f"budget {profile_budget!r}",
+        )
+
+
+_CHECKERS = {
+    "serving": ("BENCH_serving.json", _check_serving),
+    "single_pass": ("BENCH_single_pass.json", _check_single_pass),
+    "serve": ("BENCH_serve.json", _check_serve),
+    "obs_overhead": ("BENCH_obs_overhead.json", _check_obs_overhead),
+}
+
+
+# ------------------------------------------------------------------ driver
+
+
+def run_checks(repo_root: str | os.PathLike | None = None,
+               only: list[str] | tuple[str, ...] | None = None) -> dict:
+    """Run the drift gates; returns a JSON-friendly report.
+
+    ``repo_root`` is the directory holding the ``BENCH_*.json`` baselines
+    (default: the current working directory). ``only`` restricts to a
+    subset of :data:`SUITES`. A missing baseline file marks its suite
+    ``"skipped"`` — absent history is not drift.
+    """
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    names = tuple(only) if only else SUITES
+    for name in names:
+        if name not in _CHECKERS:
+            raise ValueError(f"unknown bench suite {name!r}; "
+                             f"known: {', '.join(SUITES)}")
+    suites: dict[str, dict] = {}
+    for name in names:
+        filename, checker = _CHECKERS[name]
+        path = root / filename
+        recorded = _load(path)
+        if recorded is None:
+            suites[name] = {"baseline": str(path), "skipped": True,
+                            "checked": 0, "ok": True, "failures": []}
+            continue
+        suite = _Suite(name, path)
+        checker(suite, recorded)
+        suites[name] = suite.report()
+    return {
+        "ok": all(s["ok"] for s in suites.values()),
+        "root": str(root),
+        "suites": suites,
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [f"bench check against baselines in {report['root']}:"]
+    for name, suite in report["suites"].items():
+        if suite.get("skipped"):
+            lines.append(f"  {name:>12}: skipped (no "
+                         f"{Path(suite['baseline']).name})")
+            continue
+        verdict = "ok" if suite["ok"] else "DRIFTED"
+        lines.append(f"  {name:>12}: {verdict} ({suite['checked']} checks)")
+        for failure in suite["failures"]:
+            lines.append(f"    ! {failure}")
+    lines.append("bench check: " + ("PASS" if report["ok"] else "FAIL"))
+    return "\n".join(lines)

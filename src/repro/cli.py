@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="emit a machine-readable JSON bundle instead of text")
     sc.add_argument("--trace-out", default=None, metavar="FILE",
                     help="write a Chrome/Perfetto trace-event JSON file")
+    sc.add_argument("--profile", action="store_true",
+                    help="print the time-attribution profile (category "
+                    "table, critical path, device utilization)")
+    sc.add_argument("--flame-out", default=None, metavar="FILE",
+                    help="write a folded-stack flamegraph file "
+                    "(FlameGraph/speedscope collapsed format)")
     sc.add_argument("--inject-fault", action="append", default=[],
                     metavar="SPEC",
                     help="inject an availability fault before running, e.g. "
@@ -179,6 +185,24 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="availability fault spec (see `repro scan`); repeatable")
     hl.add_argument("--seed", type=int, default=0)
 
+    bc = sub.add_parser(
+        "bench",
+        help="benchmark tooling: `repro bench check` compares committed "
+        "BENCH_*.json baselines against a deterministic re-run within "
+        "tolerances (the CI drift gate)",
+    )
+    bc.add_argument("action", choices=["check"],
+                    help="check: re-run the deterministic benchmark replays "
+                    "and compare against the committed BENCH_*.json files")
+    bc.add_argument("--repo-root", default=None, metavar="DIR",
+                    help="directory holding the BENCH_*.json baselines "
+                    "(default: the repository root)")
+    bc.add_argument("--only", action="append", default=[],
+                    choices=["serving", "single_pass", "serve", "obs_overhead"],
+                    help="restrict the check to one suite (repeatable)")
+    bc.add_argument("--json", action="store_true",
+                    help="emit the check report as JSON")
+
     return parser
 
 
@@ -269,6 +293,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         verified = True
     if args.trace_out:
         obs.write_chrome_trace(args.trace_out, result.trace, obs.finished_spans())
+    if args.flame_out:
+        from repro.obs.profile import write_folded
+
+        write_folded(args.flame_out, result.trace, proposal=result.proposal)
     if args.json:
         import json
 
@@ -287,6 +315,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "metrics": summarize(result.trace, machine.arch),
             "wall_s": wall,
         }
+        if args.profile:
+            bundle["profile"] = result.profile().to_dict()
         print(json.dumps(bundle, indent=2))
         return 0
     if verified:
@@ -314,8 +344,13 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print()
         for key, value in summarize(result.trace, machine.arch).items():
             print(f"  {key}: {value}")
+    if args.profile:
+        print()
+        print(result.profile().format())
     if args.trace_out:
         print(f"chrome trace written to {args.trace_out}")
+    if args.flame_out:
+        print(f"folded-stack flamegraph written to {args.flame_out}")
     print(f"(simulation wall-clock: {wall:.3f} s)")
     return 0
 
@@ -582,6 +617,20 @@ def _cmd_breakdown(total: int) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Tolerance-gated benchmark regression check (`repro bench check`)."""
+    from repro.bench.regression import format_report, run_checks
+
+    report = run_checks(repo_root=args.repo_root, only=args.only or None)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "info":
@@ -606,6 +655,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "health":
         return _cmd_health(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -46,6 +46,7 @@ from repro.errors import ConfigurationError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.events import Trace
 from repro.gpusim.memory import AllocationScope
+from repro.gpusim.metrics import communication_share
 from repro.core.params import (
     ExecutionPlan,
     KernelParams,
@@ -450,6 +451,14 @@ class ScanExecutor(ABC):
         config = self._describe(problem, plan)
         if not request.functional:
             config["estimated"] = True
+        if obs.is_enabled():
+            # Stamp the attribution headline on the ambient span so span
+            # dumps (and flight-recorder bundles built from them) say not
+            # just how long the execution took but what bounded it.
+            span = obs.current_span()
+            if span is not None:
+                span.set("sim_total_s", trace.total_time())
+                span.set("communication_share", communication_share(trace))
         return ScanResult(
             problem=problem,
             proposal=self.result_label,

@@ -57,6 +57,18 @@ class ScanResult:
             return float("inf")
         return 2 * self.problem.total_bytes / t / 1e9
 
+    def profile(self):
+        """Fold this result's trace into an attribution profile.
+
+        Convenience front door to :func:`repro.obs.profile.profile_result`:
+        category times (compute, lookback stall, transfers, backoff) that
+        sum to :attr:`total_time_s` bit-exactly, the per-phase critical
+        path, and compute-vs-communication share.
+        """
+        from repro.obs.profile import profile_result
+
+        return profile_result(self)
+
     def summary(self) -> str:
         parts = [
             f"{self.proposal}: N=2^{self.problem.n} G=2^{self.problem.g}",

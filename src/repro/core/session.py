@@ -25,6 +25,7 @@ import time
 import numpy as np
 
 from repro import obs
+from repro.obs import flight
 from repro.errors import ConfigurationError, FailoverExhaustedError, TopologyError
 from repro.obs.registry import Histogram
 from repro.gpusim.events import TransferRecord
@@ -314,10 +315,12 @@ class ScanSession:
                 if attempt_no >= policy.max_attempts:
                     if obs.is_enabled():
                         obs.histogram("scan.attempts").observe(attempt_no)
-                    raise FailoverExhaustedError(
+                    error = FailoverExhaustedError(
                         f"scan failed after {attempt_no} attempts "
                         f"(last: {exc})", attempts,
-                    ) from exc
+                    )
+                    self._flight_dump(error)
+                    raise error from exc
                 with obs.span("failover", proposal=entry.proposal,
                               attempt=attempt_no, error=type(exc).__name__):
                     entry = self._degraded_entry(request, attempts)
@@ -375,10 +378,29 @@ class ScanSession:
             )
             self._entries[request.cache_key] = entry
             return entry
-        raise FailoverExhaustedError(
+        error = FailoverExhaustedError(
             f"no degraded placement left for {request.proposal} "
             f"(W={request.node.W}, V={request.node.V}, M={request.node.M}) "
             f"on {len(self.topology.healthy_gpus())} healthy GPUs", attempts,
+        )
+        self._flight_dump(error)
+        raise error
+
+    def _flight_dump(self, error: FailoverExhaustedError) -> None:
+        """Leave a postmortem bundle behind when failover gives up.
+
+        No-op unless the flight recorder is armed (``REPRO_FLIGHT_DIR``
+        or :func:`repro.obs.flight.arm`); the error still raises either
+        way — the bundle is a side artifact, never control flow.
+        """
+        if not flight.is_armed():
+            return
+        flight.note("failover_exhausted", error=str(error),
+                    attempts=len(error.attempts))
+        flight.dump_postmortem(
+            error,
+            registry=obs.registry(),
+            health=self.health.snapshot(),
         )
 
     # ----------------------------------------------------------- internals

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.obs import flight
 from repro.errors import DeviceLostError, LaunchError
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.costmodel import CostModel, KernelCostInput
@@ -217,6 +218,7 @@ class GPU:
             operator_applications=stats.operator_applications,
             blocks_per_sm=occ.blocks_per_sm,
             warp_occupancy=occ.warp_occupancy,
+            stall_s=extra_latency_s,
         )
         trace.add(record)
         if self.fault_schedule is not None:
@@ -224,6 +226,9 @@ class GPU:
         if obs.is_enabled():
             obs.counter("kernel.launches", name=name).inc()
             obs.counter("kernel.sim_time_s", name=name).inc(record.time_s)
+            if flight.is_armed():
+                flight.note("kernel", name=name, phase=phase, lane=self.lane,
+                            time_s=record.time_s)
         return record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -43,6 +43,11 @@ class KernelRecord:
     operator_applications: int
     blocks_per_sm: int
     warp_occupancy: float
+    #: Exposed schedule-independent latency folded into ``time_s`` (the
+    #: decoupled-lookback polling stall, descriptor-arming round trips).
+    #: Kept separately so attribution profilers can split "kernel compute"
+    #: from "lookback stall" without re-deriving the cost model.
+    stall_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -144,7 +149,9 @@ class Trace:
 
     #: Version of the JSON payload produced by :meth:`to_json`. Bump when
     #: the payload shape changes so downstream tooling can dispatch.
-    SCHEMA_VERSION = 1
+    #: v2: :class:`KernelRecord` gained ``stall_s`` (exposed latency split
+    #: out of ``time_s`` for attribution profiling).
+    SCHEMA_VERSION = 2
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialise the trace for external tooling (timelines, flamegraphs)."""

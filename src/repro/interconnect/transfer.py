@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.obs import flight
 from repro.errors import LinkDownError, TransferError
 from repro.gpusim.events import Trace, TransferRecord
 from repro.gpusim.memory import DeviceArray
@@ -75,6 +76,10 @@ def _observe(record: TransferRecord) -> None:
     if record.kind != "dispatch":
         obs.counter("transfer.bytes", kind=record.kind).inc(record.nbytes)
     obs.counter("transfer.sim_time_s", kind=record.kind).inc(record.time_s)
+    if flight.is_armed() and record.kind != "dispatch":
+        flight.note("transfer", kind=record.kind, lane=record.lane,
+                    phase=record.phase, nbytes=record.nbytes,
+                    time_s=record.time_s)
 
 
 class TransferEngine:

@@ -11,7 +11,16 @@ One switchboard over three pieces:
   the simulated trace it subsumes;
 - **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.report`):
   Chrome trace-event / Perfetto JSON, Prometheus text exposition, and
-  latency-percentile session reports.
+  latency-percentile session reports;
+- **analysis** (:mod:`repro.obs.profile`): time-attribution profiling —
+  folding a trace into kernel-compute / lookback-stall / transfer /
+  backoff categories, critical-path compute-vs-communication share, and
+  folded-stack flamegraphs;
+- **SLO monitoring** (:mod:`repro.obs.slo`): declarative latency /
+  availability objectives with multi-window burn-rate alerting on
+  rolling simulated-time windows;
+- a **flight recorder** (:mod:`repro.obs.flight`): a bounded ring of
+  recent telemetry that dumps a postmortem bundle when a request dies.
 
 Everything is **off by default** and costs nothing while off: the module
 globals below resolve to a :data:`~repro.obs.registry.NULL_REGISTRY` and
@@ -38,6 +47,23 @@ from repro.obs.export import (
     trace_to_chrome_events,
     write_chrome_trace,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    dump_postmortem,
+    flight_recorder,
+)
+from repro.obs.flight import arm as arm_flight
+from repro.obs.flight import disarm as disarm_flight
+from repro.obs.flight import is_armed as flight_armed
+from repro.obs.flight import note as flight_note
+from repro.obs.profile import (
+    AttributionProfile,
+    folded_stacks,
+    profile_result,
+    profile_service,
+    profile_trace,
+    write_folded,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -47,6 +73,13 @@ from repro.obs.registry import (
     NULL_REGISTRY,
 )
 from repro.obs.report import SessionReport, session_report
+from repro.obs.slo import (
+    BurnRateAlert,
+    SLOMonitor,
+    SLOObjective,
+    availability_objective,
+    latency_objective,
+)
 from repro.obs.tracing import NULL_SPAN, Span, Tracer, current_span
 
 __all__ = [
@@ -54,6 +87,12 @@ __all__ = [
     "counter", "gauge", "histogram", "finished_spans", "reset",
     "chrome_trace", "trace_to_chrome_events", "spans_to_chrome_events",
     "write_chrome_trace", "render_prometheus", "session_report",
+    "profile_trace", "profile_result", "profile_service",
+    "folded_stacks", "write_folded", "AttributionProfile",
+    "SLOObjective", "SLOMonitor", "BurnRateAlert",
+    "latency_objective", "availability_objective",
+    "FlightRecorder", "flight_recorder", "arm_flight", "disarm_flight",
+    "flight_armed", "flight_note", "dump_postmortem",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "SessionReport",
     "Span", "Tracer", "NULL_INSTRUMENT", "NULL_REGISTRY", "NULL_SPAN",
 ]

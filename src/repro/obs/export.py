@@ -113,7 +113,9 @@ def spans_to_chrome_events(
     Timestamps are rebased to the earliest span start so the host
     timeline begins at zero alongside the simulated one.
     """
-    roots = [s for s in spans if s.start_s is not None]
+    # getattr: the disabled path hands out _NullSpan, which has no clock
+    # fields at all — exporting it must yield nothing, not crash.
+    roots = [s for s in spans if getattr(s, "start_s", None) is not None]
     if not roots:
         return []
     origin = min(s.start_s for s in roots)
@@ -181,8 +183,19 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: the backslash must
+    go first or it would re-escape the escapes it just introduced."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(pairs: Iterable[tuple[str, str]]) -> str:
-    rendered = ",".join(f'{_prom_name(k)}="{v}"' for k, v in pairs)
+    rendered = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in pairs)
     return f"{{{rendered}}}" if rendered else ""
 
 

@@ -1,0 +1,167 @@
+"""Flight recorder: bounded in-memory black box + postmortem bundles.
+
+Long chaos replays generate far more telemetry than anyone wants to keep,
+but when a request finally dies — ``FailoverExhaustedError`` after the
+retry budget, ``BackpressureError`` at admission — the *recent* history
+is exactly what a postmortem needs. The :class:`FlightRecorder` keeps a
+bounded ring of notes (kernel launches, transfers, retries, service
+decisions) that instrumented sites push into while armed, and on a fatal
+error dumps a **postmortem bundle**: one ``postmortem-NNN/`` directory
+holding
+
+- ``trace.json`` — the failing request's trace in Chrome/Perfetto format
+  (when a trace is attached to the error context),
+- ``registry.json`` — a metrics-registry snapshot,
+- ``health.json`` — the session's device-health state,
+- ``flight.json`` — the ring contents plus the error description.
+
+The recorder is a module-level singleton, **disarmed by default**: every
+hook is behind the same ``obs.is_enabled()`` gates as the metrics
+instrumentation plus an armed check, so the cold path costs one global
+read. Arm it explicitly with :func:`arm`, or set ``REPRO_FLIGHT_DIR`` in
+the environment (the CI chaos suite does, so a red run uploads its black
+box as a workflow artifact). Dumps are capped (:attr:`FlightRecorder
+.max_dumps`) so a chaos suite that kills hundreds of requests bounds its
+disk writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.events import Trace
+
+__all__ = [
+    "FlightRecorder",
+    "flight_recorder",
+    "arm",
+    "disarm",
+    "is_armed",
+    "note",
+    "dump_postmortem",
+]
+
+
+class FlightRecorder:
+    """Bounded ring of recent telemetry notes with postmortem dumping."""
+
+    def __init__(self, capacity: int = 256, max_dumps: int = 8):
+        self.capacity = capacity
+        self.max_dumps = max_dumps
+        self.directory: str | None = None
+        self.notes: deque = deque(maxlen=capacity)
+        self.dumps: list[str] = []
+        self._seq = 0
+
+    @property
+    def armed(self) -> bool:
+        return self.directory is not None
+
+    def arm(self, directory: str, capacity: int | None = None,
+            max_dumps: int | None = None) -> None:
+        self.directory = directory
+        if capacity is not None and capacity != self.capacity:
+            self.capacity = capacity
+            self.notes = deque(self.notes, maxlen=capacity)
+        if max_dumps is not None:
+            self.max_dumps = max_dumps
+
+    def disarm(self) -> None:
+        self.directory = None
+        self.notes.clear()
+        self.dumps.clear()
+        self._seq = 0
+
+    def note(self, event: str, **fields) -> None:
+        """Push one telemetry note into the ring (armed callers only)."""
+        self._seq += 1
+        self.notes.append({"seq": self._seq, "event": event, **fields})
+
+    def dump(
+        self,
+        error: BaseException | str,
+        trace: "Trace | None" = None,
+        registry=None,
+        health: dict | None = None,
+        slo: dict | None = None,
+    ) -> str | None:
+        """Write one postmortem bundle; returns its directory (or ``None``).
+
+        Returns ``None`` when disarmed or when :attr:`max_dumps` bundles
+        already exist — errors past the cap still raise normally, they
+        just stop producing disk artifacts.
+        """
+        if not self.armed or len(self.dumps) >= self.max_dumps:
+            return None
+        bundle = os.path.join(self.directory, f"postmortem-{len(self.dumps):03d}")
+        os.makedirs(bundle, exist_ok=True)
+        flight = {
+            "error": {
+                "type": type(error).__name__
+                if isinstance(error, BaseException) else "str",
+                "message": str(error),
+            },
+            "notes": list(self.notes),
+        }
+        if slo is not None:
+            flight["slo"] = slo
+        with open(os.path.join(bundle, "flight.json"), "w") as fh:
+            json.dump(flight, fh, indent=2)
+        if trace is not None:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(os.path.join(bundle, "trace.json"), trace=trace)
+        if registry is not None:
+            snapshot = registry.snapshot() if hasattr(registry, "snapshot") else {}
+            with open(os.path.join(bundle, "registry.json"), "w") as fh:
+                json.dump(snapshot, fh, indent=2)
+        if health is not None:
+            with open(os.path.join(bundle, "health.json"), "w") as fh:
+                json.dump(health, fh, indent=2)
+        self.dumps.append(bundle)
+        return bundle
+
+
+#: The module singleton every instrumented site talks to.
+_RECORDER = FlightRecorder()
+
+
+def flight_recorder() -> FlightRecorder:
+    return _RECORDER
+
+
+def arm(directory: str, capacity: int | None = None,
+        max_dumps: int | None = None) -> FlightRecorder:
+    _RECORDER.arm(directory, capacity=capacity, max_dumps=max_dumps)
+    return _RECORDER
+
+
+def disarm() -> None:
+    _RECORDER.disarm()
+
+
+def is_armed() -> bool:
+    return _RECORDER.armed
+
+
+def note(event: str, **fields) -> None:
+    if _RECORDER.armed:
+        _RECORDER.note(event, **fields)
+
+
+def dump_postmortem(error, trace=None, registry=None, health=None,
+                    slo=None) -> str | None:
+    return _RECORDER.dump(error, trace=trace, registry=registry,
+                          health=health, slo=slo)
+
+
+# Environment arming: the CI chaos suite exports REPRO_FLIGHT_DIR so a
+# failing run leaves its black box behind for artifact upload.
+_env_dir = os.environ.get("REPRO_FLIGHT_DIR")
+if _env_dir:  # pragma: no cover - exercised via subprocess in tests
+    _RECORDER.arm(_env_dir)
+del _env_dir

@@ -135,6 +135,14 @@ class Histogram:
     def summary(self) -> dict:
         """Snapshot of the standard serving quantiles plus exact totals.
 
+        ``count``/``sum``/``mean``/``min``/``max`` are **cumulative over
+        the instrument's lifetime** — they survive window eviction, so a
+        long replay's totals stay exact even though only the last
+        ``window`` samples back the quantiles. ``window_count`` says how
+        many samples those quantiles actually describe; when it is less
+        than ``count``, the percentiles are recent-window estimates, not
+        lifetime ones.
+
         All three quantiles derive from ONE sorted snapshot of the ring,
         so the reported p50 <= p95 <= p99 ordering is guaranteed even if
         observations land between the reads (three independent
@@ -150,6 +158,7 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "window_count": len(self._ring),
             "p50": p50,
             "p95": p95,
             "p99": p99,
@@ -260,7 +269,7 @@ class _NullInstrument:
 
     def summary(self) -> dict:
         return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                "window_count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 NULL_INSTRUMENT = _NullInstrument()

@@ -25,7 +25,7 @@ class SessionReport:
     warm_calls: int
     cold_calls: int
     cached_configurations: int
-    latency: dict  # count/sum/mean/min/max/p50/p95/p99 of host wall-clock
+    latency: dict  # lifetime count/sum/mean/min/max + window_count + p50/p95/p99
     sim_time: dict  # same summary over simulated seconds
     pool: dict  # aggregated buffer-pool counters
 
@@ -52,6 +52,14 @@ class SessionReport:
                 f"p99 {sim['p99'] * 1e3:9.3f} ms   "
                 f"mean {sim['mean'] * 1e3:9.3f} ms"
             )
+            window = lat.get("window_count", lat["count"])
+            if window < lat["count"]:
+                # Totals (count/sum/mean/min/max) are lifetime-exact; the
+                # quantile window has evicted older samples.
+                lines.append(
+                    f"  (percentiles over the last {window} of "
+                    f"{lat['count']} lifetime samples; totals are exact)"
+                )
         else:
             lines.append(
                 "host latency: (no samples — enable observability with "

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.obs import flight
 from repro.errors import (
     BackpressureError,
     ConfigurationError,
@@ -198,6 +199,12 @@ class ScanService:
     proposal, W, V, M, K:
         Placement knobs applied to every dispatched batch (``"auto"``
         re-runs Premise 4 per batch shape).
+    slo:
+        Optional :class:`~repro.obs.slo.SLOMonitor`. Completed requests
+        feed it latency outcomes at their simulated completion time;
+        failed and backpressure-rejected requests feed availability
+        outcomes — so burn-rate alerts fire deterministically inside
+        replays, at simulated timestamps.
 
     The clock only moves when the caller moves it — via timestamped
     ``submit(..., at=...)``, :meth:`advance`, or :meth:`advance_to` —
@@ -217,6 +224,7 @@ class ScanService:
         V: int | None = None,
         M: int = 1,
         K: int | str | None = None,
+        slo=None,
     ):
         from repro.core.session import ScanSession, default_session
 
@@ -238,6 +246,7 @@ class ScanService:
         self.V = V
         self.M = M
         self.K = K
+        self.slo = slo
         self.clock = SimClock()
         self._queues: dict[QueueKey, list[_Pending]] = {}
         self.batches: list[BatchReport] = []
@@ -292,10 +301,28 @@ class ScanService:
             self.rejected += 1
             if obs.is_enabled():
                 obs.counter("serve.rejected").inc()
-            raise BackpressureError(
+            if self.slo is not None:
+                self.slo.observe(self.clock.now, ok=False)
+            error = BackpressureError(
                 f"admission queue full ({self.depth}/{self.max_queue} queued); "
                 "request rejected"
             )
+            if flight.is_armed():
+                flight.note("backpressure", at_s=self.clock.now,
+                            depth=self.depth, max_queue=self.max_queue)
+                last_trace = next(
+                    (b.result.trace for b in reversed(self.batches)
+                     if b.result is not None),
+                    None,
+                )
+                flight.dump_postmortem(
+                    error,
+                    trace=last_trace,
+                    registry=obs.registry(),
+                    health=self.session.health.snapshot(),
+                    slo=self.slo.snapshot() if self.slo is not None else None,
+                )
+            raise error
         key = QueueKey(
             n=next_power_of_two(arr.size),
             dtype=arr.dtype.name,
@@ -398,6 +425,9 @@ class ScanService:
         """
         flush_s = self.clock.now
         requests = len(pending)
+        if flight.is_armed():
+            flight.note("dispatch", at_s=flush_s, key=str(key),
+                        requests=requests, reason=reason, depth=depth)
         rows = [p.data for p in pending]
         batch = pad_rows_to_batch(rows, key.n, key.operator,
                                   dtype=np.dtype(key.dtype))
@@ -461,6 +491,8 @@ class ScanService:
             t.failover = failover
             queue_wait_total += t.queue_wait_s
             self.latency.observe(t.latency_s)
+            if self.slo is not None:
+                self.slo.observe(t.completion_s, latency_s=t.latency_s, ok=True)
             if enabled:
                 obs.histogram("serve.latency_s").observe(t.latency_s)
                 obs.histogram("serve.queue_wait_s").observe(t.queue_wait_s)
@@ -495,9 +527,14 @@ class ScanService:
             t.error = exc
             t.queue_wait_s = self.clock.now - t.arrival_s
             t.splits = depth
+            if self.slo is not None:
+                self.slo.observe(self.clock.now, ok=False)
         self.failed += len(pending)
         if obs.is_enabled():
             obs.counter("serve.request_failures").inc(len(pending))
+        if flight.is_armed():
+            flight.note("requests_failed", at_s=self.clock.now,
+                        requests=len(pending), depth=depth, error=str(exc))
 
     # -------------------------------------------------------- introspection
 
@@ -520,6 +557,7 @@ class ScanService:
             "total_latency_s": self.total_latency_s,
             "latency": self.latency.summary(),
             "batch_size": self.batch_size.summary(),
+            "slo": self.slo.snapshot() if self.slo is not None else None,
             "session": {
                 "calls": self.session.calls,
                 "hits": self.session.hits,

@@ -208,3 +208,60 @@ class TestAsciiChart:
         from repro.bench.reporting import ascii_chart
 
         assert ascii_chart("T", []) == "T"
+
+
+class TestScanProfile:
+    def test_profile_prints_attribution(self, capsys):
+        assert main(["scan", "--n", "12", "--g", "3",
+                     "--proposal", "mps", "--w", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "attribution" in out and "critical path" in out
+
+    def test_profile_rides_in_json_bundle(self, capsys):
+        import json
+
+        assert main(["scan", "--n", "12", "--g", "3", "--proposal", "mps",
+                     "--w", "4", "--json", "--profile"]) == 0
+        bundle = json.loads(capsys.readouterr().out)
+        profile = bundle["profile"]
+        assert profile["total_time_s"] > 0
+        assert sum(profile["categories"].values()) == profile["total_time_s"]
+
+    def test_flame_out_writes_folded_stacks(self, tmp_path, capsys):
+        path = tmp_path / "scan.folded"
+        assert main(["scan", "--n", "12", "--g", "2",
+                     "--flame-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines and all(" " in line and ";" in line for line in lines)
+        assert "flamegraph written" in capsys.readouterr().out
+
+
+class TestBenchCheck:
+    REPO_ROOT = None  # set lazily; tests may not run from the repo root
+
+    def _root(self):
+        from pathlib import Path
+
+        return str(Path(__file__).resolve().parent.parent)
+
+    def test_check_passes_against_committed_baseline(self, capsys):
+        assert main(["bench", "check", "--repo-root", self._root(),
+                     "--only", "obs_overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "bench check: PASS" in out
+
+    def test_check_json_report(self, capsys):
+        import json
+
+        assert main(["bench", "check", "--repo-root", self._root(),
+                     "--only", "obs_overhead", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and "obs_overhead" in report["suites"]
+
+    def test_missing_baselines_skip_and_pass(self, tmp_path, capsys):
+        assert main(["bench", "check", "--repo-root", str(tmp_path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "check", "--only", "warp-drive"])

@@ -1,0 +1,241 @@
+"""Exporter round-trips: files that external tools actually accept.
+
+The Chrome-trace and Prometheus exporters feed third-party consumers
+(Perfetto, a scraper), so the contract is *parse-level*: a written trace
+file must load back as valid JSON whose events pass the structural rules
+a viewer relies on (complete X slices, per-thread timestamp monotonicity,
+records nested inside their phase slice), and every Prometheus line must
+match the text-exposition grammar — including label values containing
+backslashes, quotes and newlines, which must escape rather than corrupt
+the stream. Both exporters must also behave on the disabled path
+(``NullRegistry`` / no spans): empty output, not errors.
+"""
+
+import json
+import math
+import re
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.session import ScanSession
+from repro.interconnect.topology import tsubame_kfc
+from repro.obs.export import (
+    HOST_PID,
+    SIM_PID,
+    _prom_escape,
+    _prom_labels,
+    chrome_trace,
+    render_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import SessionReport
+
+
+@pytest.fixture
+def enabled():
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs.registry()
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.fixture
+def served(enabled, rng):
+    session = ScanSession(tsubame_kfc(1))
+    data = rng.integers(-40, 90, (8, 1 << 11)).astype(np.int64)
+    result = session.scan(data, proposal="mps", W=4, V=4)
+    return result, obs.finished_spans()
+
+
+class TestChromeTraceRoundTrip:
+    def test_written_file_loads_and_validates(self, served, tmp_path):
+        result, spans = served
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), trace=result.trace, spans=spans)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events
+
+        slices = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(slices) + len(metas) == len(events)  # only X + M used
+        for e in slices:
+            assert e["pid"] in (SIM_PID, HOST_PID)
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert isinstance(e["name"], str) and e["name"]
+
+        # Per-thread timestamps never go backwards (same-lane records
+        # serialise; phases run back to back).
+        by_tid = {}
+        for e in slices:
+            by_tid.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        for key, stamps in by_tid.items():
+            assert stamps == sorted(stamps), key
+
+        # Both timelines made it into one file.
+        assert any(e["pid"] == SIM_PID for e in slices)
+        assert any(e["pid"] == HOST_PID for e in slices)
+
+    def test_records_nest_inside_their_phase_slice(self, served):
+        result, _ = served
+        events = chrome_trace(trace=result.trace)["traceEvents"]
+        phase_bounds = {
+            e["name"]: (e["ts"], e["ts"] + e["dur"])
+            for e in events if e.get("cat") == "phase"
+        }
+        records = [e for e in events if e.get("cat") == "record"]
+        assert records
+        for e in records:
+            lo, hi = phase_bounds[e["args"]["phase"]]
+            assert e["ts"] >= lo - 1e-6
+            assert e["ts"] + e["dur"] <= hi + 1e-6
+
+    def test_slice_set_reproduces_breakdown(self, served):
+        result, _ = served
+        events = chrome_trace(trace=result.trace)["traceEvents"]
+        phase_durs = {e["name"]: e["dur"] for e in events
+                      if e.get("cat") == "phase"}
+        assert phase_durs == {
+            phase: pytest.approx(t * 1e6)
+            for phase, t in result.trace.breakdown().items()
+        }
+
+    def test_no_spans_exports_empty_host_timeline(self, served):
+        result, _ = served
+        events = chrome_trace(trace=result.trace, spans=[])["traceEvents"]
+        assert all(e["pid"] == SIM_PID for e in events)
+
+    def test_disabled_path_produces_valid_empty_payload(self, tmp_path):
+        # The null span never starts, so the span exporter drops it; no
+        # trace at all still writes a loadable file.
+        from repro.obs.tracing import NULL_SPAN
+        path = tmp_path / "empty.json"
+        write_chrome_trace(str(path), trace=None, spans=[NULL_SPAN])
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"] == []
+
+
+#: Text-exposition grammar: a TYPE header or `name{labels} value`.
+#: Label values may contain anything except raw newline / unescaped `"`.
+PROM_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"
+    r" \S+$"
+)
+
+
+def assert_parses(exposition: str) -> None:
+    for line in exposition.splitlines():
+        assert PROM_TYPE.match(line) or PROM_SAMPLE.match(line), line
+        if PROM_SAMPLE.match(line):
+            float(line.rsplit(" ", 1)[1])  # the value must be a number
+
+
+class TestPrometheusRoundTrip:
+    def test_real_registry_parses_line_by_line(self, served):
+        exposition = render_prometheus(obs.registry())
+        assert exposition.endswith("\n")
+        assert_parses(exposition)
+        assert "# TYPE scan_calls counter" in exposition
+        assert "scan_latency_s_count" in exposition
+
+    def test_null_registry_renders_empty(self):
+        assert render_prometheus(NULL_REGISTRY) == ""
+
+    def test_label_escaping_survives_hostile_values(self):
+        reg = MetricsRegistry()
+        hostile = 'back\\slash "quoted"\nnewline'
+        reg.counter("hostile.series", where=hostile).inc(3)
+        exposition = render_prometheus(reg)
+        # One header + one sample: the newline did NOT split the sample.
+        assert len(exposition.splitlines()) == 2
+        assert_parses(exposition)
+        sample = exposition.splitlines()[1]
+        assert '\\\\slash' in sample and '\\"quoted\\"' in sample \
+            and "\\nnewline" in sample
+
+    def test_escape_is_order_correct_and_reversible(self):
+        hostile = 'a\\b"c\nd'
+        escaped = _prom_escape(hostile)
+        assert escaped == 'a\\\\b\\"c\\nd'
+        # Standard exposition unescaping recovers the original value.
+        unescaped = (escaped.replace("\\\\", "\x00")
+                     .replace('\\"', '"').replace("\\n", "\n")
+                     .replace("\x00", "\\"))
+        assert unescaped == hostile
+
+    def test_labels_render_sorted_pairs(self):
+        rendered = _prom_labels([("kind", "p2p"), ("node", "0")])
+        assert rendered == '{kind="p2p",node="0"}'
+        assert _prom_labels([]) == ""
+
+
+class TestHistogramWindowSemantics:
+    def test_lifetime_totals_survive_window_eviction(self):
+        hist = Histogram("h", window=8)
+        values = list(range(1, 21))                  # 20 > window of 8
+        for v in values:
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 20                # lifetime, not window
+        assert summary["sum"] == float(sum(values))
+        assert summary["mean"] == sum(values) / 20
+        assert summary["min"] == 1.0 and summary["max"] == 20.0
+        assert summary["window_count"] == 8
+        # Percentiles describe only the surviving window (13..20).
+        assert summary["p50"] >= 13.0
+
+    def test_window_count_equals_count_before_eviction(self):
+        hist = Histogram("h", window=8)
+        for v in range(5):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == summary["window_count"] == 5
+
+    def test_null_instrument_summary_has_parity(self):
+        assert set(NULL_INSTRUMENT.summary()) == set(Histogram("h").summary())
+
+    def test_session_report_flags_evicted_percentiles(self):
+        lat = Histogram("lat", window=4)
+        sim = Histogram("sim", window=4)
+        for i in range(10):
+            lat.observe(1e-3 * (i + 1))
+            sim.observe(5e-4)
+        report = SessionReport(
+            calls=10, warm_calls=9, cold_calls=1, cached_configurations=1,
+            latency=lat.summary(), sim_time=sim.summary(), pool={},
+        )
+        text = report.format()
+        assert "percentiles over the last 4 of 10 lifetime samples" in text
+        assert "totals are exact" in text
+
+    def test_prometheus_count_is_lifetime_after_eviction(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("evicted.series", window=4)
+        for v in range(10):
+            hist.observe(float(v))
+        exposition = render_prometheus(reg)
+        assert "evicted_series_count 10" in exposition
+        assert f"evicted_series_sum {float(sum(range(10)))}" in exposition
+        assert_parses(exposition)
+
+    def test_histogram_summary_is_json_serializable(self):
+        hist = Histogram("h", window=4)
+        hist.observe(1.0)
+        payload = json.loads(json.dumps(hist.summary()))
+        assert payload["window_count"] == 1
+        assert math.isfinite(payload["p99"])

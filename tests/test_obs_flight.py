@@ -1,0 +1,180 @@
+"""Flight recorder: bounded telemetry ring + postmortem bundles.
+
+Integration-level acceptance: a terminal serving error — failover
+exhaustion in the session, backpressure at service admission — leaves a
+``postmortem-NNN/`` bundle behind when the recorder is armed, and the
+original exception propagates unchanged whether or not a bundle was
+written (disarmed, or past the dump cap).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.session import ScanSession
+from repro.errors import BackpressureError, FailoverExhaustedError
+from repro.gpusim.faults import DeviceDown, FaultSchedule
+from repro.interconnect.topology import tsubame_kfc
+from repro.obs import flight
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SLOMonitor, availability_objective
+
+
+@pytest.fixture(autouse=True)
+def isolated_recorder():
+    """Start every test disarmed (even under REPRO_FLIGHT_DIR) and leave
+    the singleton disarmed-and-empty afterwards."""
+    flight.disarm()
+    yield
+    flight.disarm()
+
+
+@pytest.fixture
+def armed(tmp_path):
+    """Arm the module singleton at tmp_path; fully disarm afterwards."""
+    flight.arm(str(tmp_path))
+    try:
+        yield tmp_path
+    finally:
+        flight.disarm()
+
+
+class TestRecorderUnit:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=4)
+        rec.arm("unused")
+        for i in range(10):
+            rec.note("event", i=i)
+        assert len(rec.notes) == 4
+        assert [n["i"] for n in rec.notes] == [6, 7, 8, 9]
+        assert rec.notes[-1]["seq"] == 10      # seq keeps counting
+
+    def test_dump_disarmed_returns_none(self, tmp_path):
+        rec = FlightRecorder()
+        assert rec.dump(RuntimeError("x")) is None
+
+    def test_dump_writes_bundle(self, tmp_path):
+        rec = FlightRecorder()
+        rec.arm(str(tmp_path))
+        rec.note("something", detail=1)
+        bundle = rec.dump(RuntimeError("boom"), health={"ok": False})
+        assert bundle == str(tmp_path / "postmortem-000")
+        payload = json.loads((tmp_path / "postmortem-000" / "flight.json")
+                             .read_text())
+        assert payload["error"] == {"type": "RuntimeError", "message": "boom"}
+        assert payload["notes"][0]["event"] == "something"
+        assert json.loads((tmp_path / "postmortem-000" / "health.json")
+                          .read_text()) == {"ok": False}
+        assert not (tmp_path / "postmortem-000" / "trace.json").exists()
+
+    def test_dump_cap_bounds_disk_writes(self, tmp_path):
+        rec = FlightRecorder(max_dumps=2)
+        rec.arm(str(tmp_path))
+        assert rec.dump("one") is not None
+        assert rec.dump("two") is not None
+        assert rec.dump("three") is None
+        assert sorted(os.listdir(tmp_path)) == ["postmortem-000",
+                                                "postmortem-001"]
+
+    def test_disarm_clears_everything(self, tmp_path):
+        rec = FlightRecorder()
+        rec.arm(str(tmp_path))
+        rec.note("x")
+        rec.dump("x")
+        rec.disarm()
+        assert not rec.armed
+        assert len(rec.notes) == 0 and rec.dumps == []
+
+    def test_module_note_is_a_noop_while_disarmed(self):
+        assert not flight.is_armed()
+        flight.note("dropped", x=1)
+        assert len(flight.flight_recorder().notes) == 0
+
+    def test_env_variable_arms_at_import(self, tmp_path):
+        env = dict(os.environ, REPRO_FLIGHT_DIR=str(tmp_path),
+                   PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.obs import flight; print(flight.is_armed())"],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == "True"
+
+
+def batch(rng, g=8, n=1 << 11):
+    return rng.integers(-40, 90, (g, n)).astype(np.int64)
+
+
+class TestSessionIntegration:
+    def test_failover_exhaustion_dumps_bundle(self, armed, rng):
+        machine = tsubame_kfc(1)
+        session = ScanSession(machine)
+        machine.install_faults(FaultSchedule(
+            [DeviceDown(at_call=1, gpu_id=g) for g in range(8)]
+        ))
+        with pytest.raises(FailoverExhaustedError):
+            session.scan(batch(rng), proposal="mps", W=4, V=4)
+        bundle = armed / "postmortem-000"
+        payload = json.loads((bundle / "flight.json").read_text())
+        assert payload["error"]["type"] == "FailoverExhaustedError"
+        assert payload["notes"][-1]["event"] == "failover_exhausted"
+        health = json.loads((bundle / "health.json").read_text())
+        assert health["healthy_gpus"] < health["total_gpus"]
+        assert (bundle / "registry.json").exists()
+
+    def test_disarmed_failure_leaves_no_artifacts(self, tmp_path, rng):
+        assert not flight.is_armed()
+        machine = tsubame_kfc(1)
+        session = ScanSession(machine)
+        machine.install_faults(FaultSchedule(
+            [DeviceDown(at_call=1, gpu_id=g) for g in range(8)]
+        ))
+        with pytest.raises(FailoverExhaustedError):
+            session.scan(batch(rng), proposal="mps", W=4, V=4)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestServiceIntegration:
+    def test_backpressure_dumps_with_slo_and_last_trace(self, armed, rng):
+        mon = SLOMonitor([availability_objective("avail", target=0.9)])
+        service = ScanSession(tsubame_kfc(1)).service(
+            max_batch=8, max_queue=2, slo=mon,
+        )
+        data = rng.integers(0, 9, 1 << 9).astype(np.int64)
+        service.submit(data)
+        service.submit(data)
+        service.drain()             # one real batch on the books
+        service.submit(data)
+        service.submit(data)        # queue back at the admission bound
+        with pytest.raises(BackpressureError):
+            service.submit(data)
+        bundle = armed / "postmortem-000"
+        payload = json.loads((bundle / "flight.json").read_text())
+        assert payload["error"]["type"] == "BackpressureError"
+        assert payload["notes"][-1]["event"] == "backpressure"
+        assert payload["slo"]["observed"] == 3   # 2 served ok + the rejection
+        # A batch completed before the rejection, so its trace rides along.
+        trace = json.loads((bundle / "trace.json").read_text())
+        assert trace["traceEvents"]
+
+    def test_exception_identical_with_and_without_recorder(self, tmp_path,
+                                                           rng):
+        def reject(arm_dir):
+            if arm_dir is not None:
+                flight.arm(str(arm_dir))
+            try:
+                service = ScanSession(tsubame_kfc(1)).service(max_batch=8,
+                                                              max_queue=1)
+                data = rng.integers(0, 9, 1 << 9).astype(np.int64)
+                service.submit(data)
+                with pytest.raises(BackpressureError) as excinfo:
+                    service.submit(data)
+                return str(excinfo.value)
+            finally:
+                flight.disarm()
+
+        assert reject(None) == reject(tmp_path / "armed")

@@ -1,0 +1,198 @@
+"""SLO objectives and multi-window burn-rate alerting.
+
+The service-level acceptance property: a fault-injected bursty Poisson
+replay trips a latency burn-rate alert **deterministically** (same alert,
+same simulated timestamp, run after run), and the identical healthy
+replay stays silent. The unit layer pins the alerting mechanics: burn =
+bad fraction / error budget, both windows must violate, alerts fire on
+the rising edge only, and windows evict on simulated time.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.session import ScanSession
+from repro.errors import BackpressureError
+from repro.gpusim.faults import DeviceDown, FaultSchedule
+from repro.interconnect.topology import tsubame_kfc
+from repro.obs.slo import (
+    BurnRateAlert,
+    SLOMonitor,
+    availability_objective,
+    latency_objective,
+)
+from repro.serve import poisson_workload, replay
+
+
+class TestObjectives:
+    def test_latency_objective_judges_threshold(self):
+        obj = latency_objective("lat", target=0.99, threshold_s=1e-3)
+        assert obj.error_budget == pytest.approx(0.01)
+        assert not obj.is_bad(5e-4, ok=True)
+        assert obj.is_bad(2e-3, ok=True)
+        assert obj.is_bad(5e-4, ok=False)      # failure is always bad
+        assert obj.is_bad(None, ok=True)       # no latency recorded
+
+    def test_availability_objective_judges_success_only(self):
+        obj = availability_objective("avail", target=0.999)
+        assert not obj.is_bad(10.0, ok=True)   # slow but up
+        assert obj.is_bad(None, ok=False)
+
+    def test_validation(self):
+        from repro.obs.slo import SLOObjective
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLOObjective(name="x", kind="throughput", target=0.9)
+        with pytest.raises(ValueError, match="target must be in"):
+            availability_objective("x", target=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            SLOObjective(name="x", kind="latency", target=0.9)
+        with pytest.raises(ValueError, match="short window"):
+            SLOMonitor([availability_objective("x", target=0.9)],
+                       short_window_s=0.02, long_window_s=0.02)
+
+
+def monitor(**kwargs):
+    defaults = dict(short_window_s=0.002, long_window_s=0.02,
+                    burn_rate_threshold=10.0)
+    defaults.update(kwargs)
+    return SLOMonitor([availability_objective("avail", target=0.9)],
+                      **defaults)
+
+
+class TestBurnRateMechanics:
+    def test_burn_is_bad_fraction_over_budget(self):
+        mon = monitor()
+        for i in range(8):
+            mon.observe(i * 1e-4, ok=(i % 2 == 0))
+        short, long_ = mon.burn_rates()["avail"]
+        assert short == pytest.approx(0.5 / 0.1)
+        assert long_ == pytest.approx(0.5 / 0.1)
+
+    def test_alert_needs_both_windows(self):
+        """A short bad burst diluted by a long good history must not
+        alert: short burn violates, long burn does not."""
+        mon = monitor()
+        for i in range(100):
+            mon.observe(i * 1e-4, ok=True)          # 10ms of good traffic
+        # Burst starts 2.5ms later: the short window (2ms) holds only the
+        # bad events, the long window (20ms) still holds all 100 good.
+        fired = []
+        for i in range(3):
+            fired += mon.observe(0.0125 + i * 1e-5, ok=False)
+        short, long_ = mon.burn_rates()["avail"]
+        assert short >= mon.burn_rate_threshold
+        assert long_ < mon.burn_rate_threshold
+        assert fired == [] and mon.alerts == []
+
+    def test_rising_edge_fires_once_until_recovery(self):
+        mon = monitor()
+        for i in range(20):
+            mon.observe(i * 1e-4, ok=False)          # sustained violation
+        assert len(mon.alerts) == 1
+        # Good traffic long enough to evict the bad window clears it...
+        for i in range(400):
+            mon.observe(0.002 + i * 1e-4, ok=True)
+        short, long_ = mon.burn_rates()["avail"]
+        assert short < mon.burn_rate_threshold
+        assert long_ < mon.burn_rate_threshold
+        # ...so a second excursion — far enough out that the long window
+        # has shed the recovery traffic too — fires a second alert.
+        for i in range(20):
+            mon.observe(0.07 + i * 1e-5, ok=False)
+        assert len(mon.alerts) == 2
+
+    def test_windows_evict_on_simulated_time(self):
+        mon = monitor()
+        mon.observe(0.0, ok=False)
+        assert mon.burn_rates()["avail"][0] > 0
+        mon.observe(1.0, ok=True)                    # 1s later: all evicted
+        assert mon.burn_rates()["avail"] == (0.0, 0.0)
+
+    def test_sink_receives_alerts(self):
+        seen = []
+        mon = SLOMonitor([availability_objective("avail", target=0.9)],
+                         sink=seen.append)
+        for i in range(10):
+            mon.observe(i * 1e-5, ok=False)
+        assert len(seen) == 1
+        assert isinstance(seen[0], BurnRateAlert)
+        assert seen[0] is mon.alerts[0]
+        assert "burn rate" in seen[0].format()
+
+    def test_snapshot_is_json_friendly(self):
+        mon = monitor()
+        for i in range(10):
+            mon.observe(i * 1e-5, ok=False)
+        snap = json.loads(json.dumps(mon.snapshot()))
+        assert snap["observed"] == 10
+        assert snap["objectives"][0]["name"] == "avail"
+        assert snap["burn_rates"]["avail"]["short"] > 0
+        assert len(snap["alerts"]) == 1
+
+
+def faultable_replay(faulted: bool) -> tuple[SLOMonitor, dict]:
+    """One bursty Poisson replay through a Scan-MPS service, optionally
+    with a GPU dying under the third batch. The failover backoff
+    (RetryPolicy.backoff_base_s = 1ms simulated) dominates the healthy
+    per-request latency (~0.15ms), so a threshold between them separates
+    the runs deterministically."""
+    machine = tsubame_kfc(1)
+    mon = SLOMonitor(
+        [latency_objective("p-lat", target=0.99, threshold_s=4e-4)],
+        short_window_s=0.002, long_window_s=0.02, burn_rate_threshold=10.0,
+    )
+    session = ScanSession(machine)
+    service = session.service(max_batch=4, max_wait_s=1e-4,
+                              proposal="mps", W=4, V=4, slo=mon)
+    if faulted:
+        machine.install_faults(FaultSchedule([DeviceDown(at_call=3,
+                                                         gpu_id=0)]))
+    workload = poisson_workload(64, sizes_log2=(10,), rate=50000.0, seed=11)
+    report = replay(service, workload)
+    return mon, {"report": report, "service": service, "session": session}
+
+
+class TestServiceWiring:
+    def test_healthy_replay_stays_silent(self):
+        mon, ctx = faultable_replay(faulted=False)
+        assert mon.observed == 64
+        assert mon.alerts == []
+        assert ctx["session"].health.failovers == 0
+
+    def test_fault_injected_replay_fires_deterministically(self):
+        mon_a, ctx = faultable_replay(faulted=True)
+        assert ctx["session"].health.failovers == 1
+        assert len(mon_a.alerts) == 1
+        alert = mon_a.alerts[0]
+        assert alert.objective == "p-lat"
+        assert alert.short_burn >= 10.0 and alert.long_burn >= 10.0
+        # Same replay, same alert, same simulated timestamp — bit for bit.
+        mon_b, _ = faultable_replay(faulted=True)
+        assert len(mon_b.alerts) == 1
+        assert mon_b.alerts[0] == alert
+
+    def test_stats_carries_slo_snapshot(self):
+        mon, ctx = faultable_replay(faulted=True)
+        stats = ctx["service"].stats()
+        assert stats["slo"] == mon.snapshot()
+        assert stats["slo"]["alerts"]
+
+    def test_service_without_slo_reports_none(self, machine, rng):
+        service = ScanSession(machine).service(max_batch=4)
+        service.submit(rng.integers(0, 9, 1 << 9).astype(np.int64))
+        service.drain()
+        assert service.stats()["slo"] is None
+
+    def test_backpressure_counts_against_availability(self, machine, rng):
+        mon = SLOMonitor([availability_objective("avail", target=0.9)])
+        service = ScanSession(machine).service(max_batch=64, max_queue=2,
+                                               slo=mon)
+        data = rng.integers(0, 9, 1 << 9).astype(np.int64)
+        service.submit(data)
+        service.submit(data)
+        with pytest.raises(BackpressureError):
+            service.submit(data)
+        assert mon.observed == 1                 # only the rejection so far
+        assert mon.burn_rates()["avail"][0] > 0

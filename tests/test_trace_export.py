@@ -27,11 +27,14 @@ class TestTraceExport:
         data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
         result = scan(data, topology=machine, proposal="sp")
         payload = json.loads(result.trace.to_json())
-        assert payload["schema"] == Trace.SCHEMA_VERSION == 1
+        assert payload["schema"] == Trace.SCHEMA_VERSION == 2
         # Round-trip: the payload alone reconstructs the breakdown.
         assert len(payload["records"]) == len(result.trace.records)
         assert payload["breakdown_s"] == result.trace.breakdown()
-        assert json.loads(Trace().to_json())["schema"] == 1
+        assert json.loads(Trace().to_json())["schema"] == 2
+        # v2: kernel records carry the exposed-stall split.
+        kernels = [r for r in payload["records"] if r["type"] == "KernelRecord"]
+        assert all("stall_s" in r for r in kernels)
 
     def test_dicts_carry_counters(self, machine, rng):
         data = rng.integers(0, 100, (2, 1024)).astype(np.int32)
