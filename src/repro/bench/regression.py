@@ -29,6 +29,12 @@ Suites (each skipped silently when its baseline file is absent):
   machine-dependent, so nothing is re-timed; the recorded ratios are
   checked against their recorded budgets (``enabled_ratio`` within
   ``max_enabled_ratio``, ``profile_ratio`` within ``max_profile_ratio``).
+- ``restart`` (``BENCH_restart.json``): the recorded cold-vs-restored
+  first-request speedup is checked against its recorded floor (wall
+  clock, so not re-timed), and the determinism half *is* re-run: a cold
+  replay is snapshotted, restored into a fresh resolver/session, and the
+  restored replay must reproduce the cold batch traces bit-identically
+  with zero plan-resolver misses and zero tuner sweeps.
 
 Wall-clock fields (``cold_s_median`` etc.) are never compared — they are
 measurements of the host, not of the code under test.
@@ -45,7 +51,7 @@ import numpy as np
 
 __all__ = ["run_checks", "format_report", "SUITES"]
 
-SUITES = ("serving", "single_pass", "serve", "obs_overhead")
+SUITES = ("serving", "single_pass", "serve", "obs_overhead", "restart")
 
 
 class _Suite:
@@ -232,11 +238,104 @@ def _check_obs_overhead(suite: _Suite, recorded: dict) -> None:
         )
 
 
+def _check_restart(suite: _Suite, recorded: dict) -> None:
+    from repro.core.executor import PlanResolver, ScanExecutor
+    from repro.core.session import ScanSession
+    from repro.interconnect.topology import tsubame_kfc
+    from repro.serve import poisson_workload, replay
+
+    # Wall-clock half: the recorded speedup against its recorded floor.
+    speedup = recorded["first_request_speedup"]
+    floor = recorded["min_first_request_speedup"]
+    suite.expect(
+        math.isfinite(speedup) and speedup >= floor,
+        f"restart first_request_speedup {speedup!r} below floor {floor!r}",
+    )
+    suite.expect(
+        recorded["restored_resolver_misses"] == 0,
+        f"restart recorded {recorded['restored_resolver_misses']} "
+        "resolver misses on the restored replay (want 0)",
+    )
+    suite.expect(
+        recorded.get("identical_traces") is True,
+        "restart baseline recorded non-identical cold vs restored traces",
+    )
+
+    # Determinism half, re-run live: cold replay -> snapshot -> restore
+    # into a fresh resolver -> the restored replay must reproduce the
+    # cold one bit-identically with zero misses and zero sweeps.
+    workload = poisson_workload(
+        recorded["requests"],
+        sizes_log2=tuple(recorded["sizes_log2"]),
+        rate=recorded["rate_per_s"],
+        seed=recorded["seed"],
+    )
+    original_resolver = ScanExecutor.resolver
+    try:
+        def _run(snapshot=None):
+            topology = tsubame_kfc(1)
+            topology.enable_buffer_pooling()
+            ScanExecutor.resolver = PlanResolver()
+            session = ScanSession(topology, autotune_cache=None,
+                                  snapshot=snapshot)
+            service = session.service(max_batch=8, proposal="auto", K="tune")
+            stats = replay(service, workload)
+            return session, service, stats
+
+        cold_session, cold_service, cold_stats = _run()
+        snapshot = cold_session.snapshot()
+        restored_session, restored_service, restored_stats = _run(
+            snapshot=snapshot
+        )
+        suite.expect(
+            restored_session.tuner.cache.misses == 0,
+            f"restart restored replay re-tuned: "
+            f"{restored_session.tuner.cache.misses} tuner sweeps (want 0)",
+        )
+        suite.expect(
+            restored_stats["verified"] == recorded["requests"],
+            f"restart replay: only {restored_stats['verified']}/"
+            f"{recorded['requests']} verified",
+        )
+        suite.expect(
+            ScanExecutor.resolver.misses == 0,
+            f"restart restored replay re-planned: "
+            f"{ScanExecutor.resolver.misses} resolver misses (want 0)",
+        )
+        cold_batches = [b.sim_time_s for b in cold_service.batches]
+        restored_batches = [b.sim_time_s for b in restored_service.batches]
+        suite.expect(
+            cold_batches == restored_batches,
+            "restart restored replay diverged from cold "
+            f"({len(restored_batches)} batches vs {len(cold_batches)})",
+        )
+        suite.expect_ratio(
+            sum(restored_batches), sum(cold_batches),
+            "restart restored vs cold total simulated time",
+        )
+        # Latency percentiles compare restored-vs-cold from the live
+        # replays (the benchmark's timed protocol flushes its first
+        # request early, so its recorded distribution is not this one).
+        suite.expect_ratio(
+            restored_stats["latency"]["p50"],
+            cold_stats["latency"]["p50"],
+            "restart restored vs cold latency_p50_s",
+        )
+        suite.expect_ratio(
+            restored_stats["latency"]["p99"],
+            cold_stats["latency"]["p99"],
+            "restart restored vs cold latency_p99_s",
+        )
+    finally:
+        ScanExecutor.resolver = original_resolver
+
+
 _CHECKERS = {
     "serving": ("BENCH_serving.json", _check_serving),
     "single_pass": ("BENCH_single_pass.json", _check_single_pass),
     "serve": ("BENCH_serve.json", _check_serve),
     "obs_overhead": ("BENCH_obs_overhead.json", _check_obs_overhead),
+    "restart": ("BENCH_restart.json", _check_restart),
 }
 
 

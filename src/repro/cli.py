@@ -89,7 +89,33 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="inject an availability fault before running, e.g. "
                     "device:1@call=5, link:0.1@t=1e-4, link-hard:0.0@call=3, "
                     "slow:pcie0.1*2@call=2 (repeatable)")
+    sc.add_argument("--snapshot", default=None, metavar="FILE",
+                    help="serve through a session restored from this "
+                    "snapshot file (see `repro snapshot save`)")
     sc.add_argument("--seed", type=int, default=0)
+
+    sn = sub.add_parser(
+        "snapshot",
+        help="save/load session snapshots: warm plans, tuned K entries and "
+        "buffer-pool hints persisted for zero-warmup restarts",
+    )
+    sn.add_argument("action", choices=["save", "load"],
+                    help="save: warm a session and persist its snapshot; "
+                    "load: inspect a snapshot file and report whether it "
+                    "would restore onto this machine")
+    sn.add_argument("file", nargs="?", default=None,
+                    help="snapshot path (default: "
+                    "$REPRO_CACHE_DIR/snapshot.json)")
+    sn.add_argument("--n", type=int, default=14, help="log2 problem size")
+    sn.add_argument("--g", type=int, default=3, help="log2 batch size")
+    sn.add_argument("--proposal", default="auto",
+                    choices=["auto", *proposal_names()])
+    sn.add_argument("--w", type=int, default=1, help="GPUs per node (W)")
+    sn.add_argument("--v", type=int, default=None, help="GPUs per PCIe network (V)")
+    sn.add_argument("--m", type=int, default=1, help="nodes (M)")
+    sn.add_argument("--tune", action="store_true",
+                    help="sweep K empirically while warming")
+    sn.add_argument("--seed", type=int, default=0)
 
     ob = sub.add_parser(
         "obs",
@@ -159,6 +185,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--m", type=int, default=1, help="nodes (M)")
     sv.add_argument("--operator", default="add",
                     choices=["add", "mul", "max", "min", "or", "xor"])
+    sv.add_argument("--snapshot", default=None, metavar="FILE",
+                    help="restore the serving session from this snapshot "
+                    "before replaying (zero-warmup start)")
     sv.add_argument("--no-solo", action="store_true",
                     help="skip the one-request-at-a-time baseline")
     sv.add_argument("--json", action="store_true",
@@ -198,7 +227,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="directory holding the BENCH_*.json baselines "
                     "(default: the repository root)")
     bc.add_argument("--only", action="append", default=[],
-                    choices=["serving", "single_pass", "serve", "obs_overhead"],
+                    choices=["serving", "single_pass", "serve", "obs_overhead",
+                             "restart"],
                     help="restrict the check to one suite (repeatable)")
     bc.add_argument("--json", action="store_true",
                     help="emit the check report as JSON")
@@ -274,9 +304,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if args.trace_out:
         obs.enable()
     t0 = time.perf_counter()
-    result = scan(
-        data,
-        topology=machine,
+    scan_kwargs = dict(
         proposal=args.proposal,
         W=args.w,
         V=args.v,
@@ -285,6 +313,17 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         inclusive=not args.exclusive,
         K="tune" if args.tune else None,
     )
+    if args.snapshot:
+        from repro.core.session import ScanSession
+
+        session = ScanSession.restore(args.snapshot, machine)
+        info = session.restore_info or {}
+        if not info.get("compatible"):
+            print(f"snapshot not applicable ({info.get('reason', 'unknown')}); "
+                  "serving cold", file=sys.stderr)
+        result = session.scan(data, **scan_kwargs)
+    else:
+        result = scan(data, topology=machine, **scan_kwargs)
     wall = time.perf_counter() - t0
     verified = False
     reference = result.problem.operator.accumulate(data, axis=-1)
@@ -382,6 +421,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Persist or inspect a session snapshot (zero-warmup restarts)."""
+    from repro.core.autotune_cache import cost_fingerprint
+    from repro.core.session import ScanSession
+    from repro.core.store import SessionSnapshot, default_snapshot_path
+    from repro.errors import SnapshotError
+
+    machine = tsubame_kfc(max(1, args.m))
+    if args.action == "save":
+        session = ScanSession(machine)
+        rng = np.random.default_rng(args.seed)
+        data = rng.integers(0, 100, (1 << args.g, 1 << args.n)).astype(np.int32)
+        session.scan(
+            data, proposal=args.proposal, W=args.w, V=args.v, M=args.m,
+            K="tune" if args.tune else None,
+        )
+        snap = session.snapshot()
+        target = snap.save(args.file)
+        counts = snap.counts
+        print(f"snapshot written to {target}")
+        print(f"  arch {snap.arch}, fingerprint {snap.fingerprint}")
+        print(f"  {counts['plans']} plans, "
+              f"{counts['autotune_entries']} autotune entries, "
+              f"{counts['session_entries']} session entries, "
+              f"{counts['pool_blocks']} warm pool blocks")
+        return 0
+
+    path = args.file or default_snapshot_path()
+    try:
+        snap = SessionSnapshot.load(path)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    counts = snap.counts
+    print(f"snapshot {path}")
+    print(f"  schema {snap.schema}, arch {snap.arch}, "
+          f"fingerprint {snap.fingerprint}")
+    if snap.topology:
+        print(f"  machine: {snap.topology.get('num_nodes')} node(s) x "
+              f"{snap.topology.get('networks_per_node')} networks x "
+              f"{snap.topology.get('gpus_per_network')} GPUs")
+    print(f"  {counts['plans']} plans, "
+          f"{counts['autotune_entries']} autotune entries, "
+          f"{counts['session_entries']} session entries, "
+          f"{counts['pool_blocks']} warm pool blocks")
+    ok, reason = snap.compatible_with(
+        machine.arch.name, cost_fingerprint(machine)
+    )
+    if ok:
+        print("  restores onto this machine: yes")
+    else:
+        print(f"  restores onto this machine: no ({reason})")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a request stream through the coalescing service."""
     from repro import obs
@@ -396,7 +490,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     machine = tsubame_kfc(max(1, args.m))
     obs.enable()
-    session = ScanSession(machine)
+    session = ScanSession(machine, snapshot=args.snapshot)
+    if args.snapshot:
+        info = session.restore_info or {}
+        if info.get("compatible"):
+            print(f"restored snapshot: {info['plans']} plans, "
+                  f"{info['tuner_entries']} tuned entries, "
+                  f"{info['entries']} session entries, "
+                  f"{info['pool_blocks']} pool blocks")
+        else:
+            print(f"snapshot not applicable "
+                  f"({info.get('reason', 'unknown')}); serving cold",
+                  file=sys.stderr)
     service = session.service(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait,
@@ -651,6 +756,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_selfcheck()
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "health":

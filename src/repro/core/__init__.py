@@ -50,6 +50,18 @@ from repro.core.segmented_device import scan_segmented_device
 from repro.core.validation import ValidationReport, verify_scan_result
 from repro.core.results import ScanResult
 from repro.core.single_gpu import ScanSP, scan_single_gpu
+from repro.core.store import (
+    PlanStore,
+    SessionSnapshot,
+    build_session_snapshot,
+    cache_dir,
+    default_autotune_path,
+    default_snapshot_path,
+    export_resolver_plans,
+    plan_key,
+    prime_resolver_plans,
+)
+from repro.core.autotune_cache import AutotuneCache, CachedTuner
 from repro.core.tuner import KCandidate, PremiseTuner, TuningOutcome, tune_k
 
 __all__ = [
@@ -101,6 +113,17 @@ __all__ = [
     "ScanResult",
     "ScanSP",
     "scan_single_gpu",
+    "PlanStore",
+    "SessionSnapshot",
+    "build_session_snapshot",
+    "cache_dir",
+    "default_autotune_path",
+    "default_snapshot_path",
+    "export_resolver_plans",
+    "plan_key",
+    "prime_resolver_plans",
+    "AutotuneCache",
+    "CachedTuner",
     "KCandidate",
     "PremiseTuner",
     "TuningOutcome",

@@ -11,7 +11,7 @@ the winner: architecture, dtype, proposal, (N, G) and (W, V, M).
 from __future__ import annotations
 
 import hashlib
-import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -21,7 +21,11 @@ from repro.errors import TuningError
 from repro.gpusim.arch import GPUArchitecture
 from repro.interconnect.topology import SystemTopology
 from repro.core.params import NodeConfig, ProblemConfig
+from repro.core.store import PlanStore, default_autotune_path
 from repro.core.tuner import PremiseTuner, TuningOutcome, VariantOutcome
+from repro.util.logging import get_logger
+
+_log = get_logger("core.autotune_cache")
 
 #: Pseudo-proposal under which the single-GPU algorithm choice (three-kernel
 #: ``sp`` vs decoupled-lookback ``sp-dlb``) is memoised. A distinct key
@@ -94,38 +98,54 @@ class CacheEntry:
 
 
 class AutotuneCache:
-    """JSON-backed memo of tuning outcomes.
+    """Store-backed memo of tuning outcomes.
 
     The cache never *replaces* the premise bounds — a hit is validated
     against the current search space, so stale entries (e.g. after a
     premise change) fall back to a fresh sweep.
+
+    Persistence sits on a :class:`~repro.core.store.PlanStore` (the
+    ``autotune`` section), which supplies the durability contract: atomic
+    tmp+rename saves, schema-version checks, and quarantine of corrupt
+    files to ``<path>.corrupt`` — a damaged cache logs a warning and the
+    session starts fresh instead of crashing. Pass ``store`` to share one
+    backend with other persistence clients (resolved plans live in the
+    same file's ``plans`` section).
     """
 
-    def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path is not None else None
+    SECTION = "autotune"
+
+    def __init__(self, path: str | Path | None = None,
+                 store: PlanStore | None = None):
+        self.store = store if store is not None else PlanStore(path)
+        self.path = self.store.path
         self._entries: dict[str, CacheEntry] = {}
         self.hits = 0
         self.misses = 0
-        if self.path is not None and self.path.exists():
-            self._load()
+        if self.store.quarantined_reason:
+            _log.warning(
+                "autotune cache %s was corrupt (%s); quarantined and "
+                "starting fresh", self.path, self.store.quarantined_reason,
+            )
+        self._load()
 
     def _load(self) -> None:
-        try:
-            raw = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise TuningError(f"unreadable autotune cache {self.path}: {exc}") from exc
-        for key, entry in raw.items():
-            self._entries[key] = CacheEntry(
-                best_k=int(entry["best_k"]),
-                best_time_s=float(entry["best_time_s"]),
-                candidates=int(entry["candidates"]),
-                variant=str(entry.get("variant", "")),
-            )
+        for key, entry in self.store.section(self.SECTION).items():
+            try:
+                self._entries[key] = CacheEntry(
+                    best_k=int(entry["best_k"]),
+                    best_time_s=float(entry["best_time_s"]),
+                    candidates=int(entry["candidates"]),
+                    variant=str(entry.get("variant", "")),
+                )
+            except (KeyError, TypeError, ValueError):
+                # One mangled record is stale tuning state, not a reason
+                # to drop the rest of the wisdom.
+                _log.warning("skipping malformed autotune entry %r", key)
 
     def save(self) -> None:
-        if self.path is None:
-            return
-        payload = {
+        """Persist through the plan store (atomic; no-op when memory-only)."""
+        self.store.sections[self.SECTION] = {
             key: {
                 "best_k": e.best_k,
                 "best_time_s": e.best_time_s,
@@ -134,13 +154,26 @@ class AutotuneCache:
             }
             for key, e in self._entries.items()
         }
-        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        self.store.save()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: str) -> CacheEntry | None:
         return self._entries.get(key)
+
+    def entries(self) -> dict[str, CacheEntry]:
+        """The live entry mapping (snapshot/restore reads it verbatim)."""
+        return self._entries
+
+    def merge(self, entries: dict[str, CacheEntry]) -> int:
+        """Adopt entries (e.g. from a snapshot) without clobbering newer ones."""
+        added = 0
+        for key, entry in entries.items():
+            if key not in self._entries:
+                self._entries[key] = entry
+                added += 1
+        return added
 
     def put(self, key: str, outcome: TuningOutcome) -> None:
         self._entries[key] = CacheEntry(
@@ -157,6 +190,19 @@ class AutotuneCache:
             candidates=len(outcome.candidates),
             variant=outcome.best_proposal,
         )
+
+
+def default_autotune_cache() -> AutotuneCache | None:
+    """The environment-selected persistent cache, or ``None`` (in-memory).
+
+    When ``REPRO_CACHE_DIR`` is set, sessions without an explicit cache
+    persist their tuning wisdom to ``$REPRO_CACHE_DIR/autotune.json`` —
+    one variable turns on persistence for the session, the service and
+    the CLI alike. Unset, behaviour is unchanged: purely in-memory.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        return AutotuneCache(default_autotune_path())
+    return None
 
 
 class CachedTuner:

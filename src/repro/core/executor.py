@@ -254,6 +254,29 @@ class PlanResolver:
         self.hits = 0
         self.misses = 0
 
+    def export(self) -> tuple[tuple[GPUArchitecture, PlanSpec, ExecutionPlan], ...]:
+        """Every cached entry as ``(arch, spec, plan)`` triples.
+
+        The persistence layer (:mod:`repro.core.store`) serialises these;
+        the resolver itself stays JSON-agnostic.
+        """
+        return tuple(
+            (arch, spec, plan) for (arch, spec), plan in self._cache.items()
+        )
+
+    def prime(self, arch: GPUArchitecture, spec: PlanSpec,
+              plan: ExecutionPlan) -> bool:
+        """Insert a restored plan without touching the hit/miss counters.
+
+        Returns ``False`` (and keeps the incumbent) when the key is
+        already resolved — a live plan always wins over a persisted one.
+        """
+        key = (arch, spec)
+        if key in self._cache:
+            return False
+        self._cache[key] = plan
+        return True
+
     def resolve(self, arch: GPUArchitecture, spec: PlanSpec) -> ExecutionPlan:
         """The memoised template-shrink + K-space resolution + grid build."""
         key = (arch, spec)

@@ -21,16 +21,27 @@ drops.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro import obs
 from repro.obs import flight
-from repro.errors import ConfigurationError, FailoverExhaustedError, TopologyError
+from repro.errors import (
+    ConfigurationError,
+    FailoverExhaustedError,
+    SnapshotError,
+    TopologyError,
+)
 from repro.obs.registry import Histogram
 from repro.gpusim.events import TransferRecord
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
-from repro.core.autotune_cache import AutotuneCache, CachedTuner
+from repro.core.autotune_cache import (
+    AutotuneCache,
+    CachedTuner,
+    cost_fingerprint,
+    default_autotune_cache,
+)
 from repro.core.executor import ScanRequest, coerce_batch, get_proposal
 from repro.core.health import (
     AttemptRecord,
@@ -98,8 +109,15 @@ class ScanSession:
         meaningful when pooling is enabled here).
     autotune_cache:
         Optional persistent :class:`~repro.core.autotune_cache.AutotuneCache`
-        so ``K="tune"`` survives process restarts; an in-memory cache is
-        used otherwise.
+        so ``K="tune"`` survives process restarts. ``None`` consults
+        ``REPRO_CACHE_DIR``: when set, the cache persists to
+        ``$REPRO_CACHE_DIR/autotune.json``; otherwise it is in-memory.
+    snapshot:
+        Optional :class:`~repro.core.store.SessionSnapshot` (or a path to
+        one) applied at construction — see :meth:`restore`. A snapshot
+        whose schema, architecture or cost fingerprint does not match
+        this machine is refused gracefully (``restore_info`` says why)
+        and the session starts cold.
 
     Cache keys cover everything that decides a plan: ``(N, G, dtype,
     operator, inclusive)`` via :class:`ProblemConfig`, ``(W, V, M)`` via
@@ -116,12 +134,15 @@ class ScanSession:
         poison: bool = False,
         autotune_cache: AutotuneCache | None = None,
         retry_policy: RetryPolicy | None = None,
+        snapshot=None,
     ):
         self.topology = topology if topology is not None else default_topology(M)
         if pooling is True:
             self.topology.enable_buffer_pooling(poison=poison)
         elif pooling is False:
             self.topology.disable_buffer_pooling()
+        if autotune_cache is None:
+            autotune_cache = default_autotune_cache()
         self.tuner = CachedTuner(self.topology, cache=autotune_cache)
         #: Failure classification + retry/replanning state (pure
         #: bookkeeping until a retryable failure actually occurs).
@@ -137,6 +158,151 @@ class ScanSession:
         #: boolean check per call.
         self.latency = Histogram("session.latency_s")
         self.sim_time = Histogram("session.sim_time_s")
+        #: How the last :meth:`apply_snapshot` went (``None`` = never tried).
+        self.restore_info: dict | None = None
+        if snapshot is not None:
+            self.apply_snapshot(snapshot)
+
+    # ---------------------------------------------------- snapshot / restore
+
+    def snapshot(self):
+        """Freeze this session's warm state to a serialisable snapshot.
+
+        Captures the resolved execution plans (the resolver entries for
+        this machine's architecture, keyed by the PR-4 cost fingerprint),
+        the tuned K / single-GPU-variant entries, the memoised session
+        entries and the buffer pools' warm size-class hints. The snapshot
+        is pure data — save it with
+        :meth:`~repro.core.store.SessionSnapshot.save` and hand it to
+        :meth:`restore` (or ``ScanService(snapshot=...)``) so a freshly
+        spawned replica serves warm from request one.
+        """
+        from repro.core.store import build_session_snapshot
+
+        return build_session_snapshot(self)
+
+    def apply_snapshot(self, snapshot) -> dict:
+        """Prime this session from a snapshot; returns ``restore_info``.
+
+        Accepts a :class:`~repro.core.store.SessionSnapshot`, a payload
+        dict, or a path to a snapshot file. Incompatibility (wrong schema
+        version, different architecture, mismatched cost fingerprint) or
+        an unreadable file never raises: the session simply stays cold
+        and ``restore_info`` records the reason — restored state is an
+        optimisation, not a correctness dependency.
+        """
+        from repro.core.store import (
+            SessionSnapshot,
+            node_from_dict,
+            prime_resolver_plans,
+            problem_from_dict,
+        )
+        from repro.core.autotune_cache import CacheEntry
+        from repro.core.executor import ScanExecutor
+
+        if isinstance(snapshot, (str, Path)):
+            try:
+                snapshot = SessionSnapshot.load(snapshot)
+            except SnapshotError as exc:
+                self.restore_info = {"compatible": False, "reason": str(exc)}
+                return self.restore_info
+        elif isinstance(snapshot, dict):
+            try:
+                snapshot = SessionSnapshot.from_payload(snapshot)
+            except SnapshotError as exc:
+                self.restore_info = {"compatible": False, "reason": str(exc)}
+                return self.restore_info
+
+        fingerprint = cost_fingerprint(self.topology)
+        ok, reason = snapshot.compatible_with(self.topology.arch.name, fingerprint)
+        if not ok:
+            self.restore_info = {"compatible": False, "reason": reason}
+            return self.restore_info
+
+        plans = prime_resolver_plans(
+            ScanExecutor.resolver, self.topology.arch, snapshot.plans,
+            fingerprint,
+        )
+
+        tuner_entries = 0
+        restored: dict[str, CacheEntry] = {}
+        for key, entry in snapshot.autotune.items():
+            try:
+                restored[key] = CacheEntry(
+                    best_k=int(entry["best_k"]),
+                    best_time_s=float(entry["best_time_s"]),
+                    candidates=int(entry["candidates"]),
+                    variant=str(entry.get("variant", "")),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+        tuner_entries = self.tuner.cache.merge(restored)
+
+        entries = 0
+        skipped = 0
+        for record in snapshot.entries:
+            try:
+                problem = problem_from_dict(record["problem"])
+                node = node_from_dict(record["node"])
+                entry_node = node_from_dict(record["entry_node"]) or node
+                proposal = str(record["proposal"])
+                k_request = record["k_request"]
+                k_value = record["k_value"]
+                executor = get_proposal(proposal).build(
+                    self.topology, entry_node, k_value
+                )
+            except Exception:  # noqa: BLE001 - a stale entry means "re-plan"
+                skipped += 1
+                continue
+            key = ScanRequest(
+                problem=problem, node=node, proposal=proposal, K=k_request,
+            ).cache_key
+            if key in self._entries:
+                continue
+            self._entries[key] = _SessionEntry(
+                executor, k_value, proposal,
+                epoch=self.health.epoch, node=entry_node,
+            )
+            entries += 1
+
+        pool_blocks = 0
+        for record in snapshot.pools:
+            try:
+                gpu = self.topology.gpus[int(record["gpu"])]
+            except (IndexError, KeyError, TypeError, ValueError):
+                continue
+            pool = getattr(gpu, "buffer_pool", None)
+            if pool is None:
+                continue
+            for class_bytes, dtype_str, count in record.get("blocks", ()):
+                pool_blocks += pool.preload(class_bytes, dtype_str, count)
+
+        self.restore_info = {
+            "compatible": True,
+            "plans": plans,
+            "tuner_entries": tuner_entries,
+            "entries": entries,
+            "skipped_entries": skipped,
+            "pool_blocks": pool_blocks,
+            "fingerprint": fingerprint,
+        }
+        if obs.is_enabled():
+            obs.counter("session.snapshot.restores").inc()
+        return self.restore_info
+
+    @classmethod
+    def restore(cls, snapshot, topology: SystemTopology | None = None,
+                **kwargs) -> "ScanSession":
+        """A session primed from ``snapshot`` — zero-warmup start.
+
+        Equivalent to ``ScanSession(topology, snapshot=snapshot, ...)``:
+        on a machine matching the snapshot's architecture and cost
+        fingerprint, the first request replays the differential suite
+        bit-identically with zero plan-resolver misses and zero tuner
+        sweeps; on anything else the session starts cold (see
+        ``restore_info``).
+        """
+        return cls(topology, snapshot=snapshot, **kwargs)
 
     # -------------------------------------------------------------- serving
 

@@ -43,6 +43,16 @@ class TuningError(ReproError):
     """The premise-driven tuner could not find a feasible parameter set."""
 
 
+class SnapshotError(ReproError):
+    """A persisted plan store or session snapshot could not be read.
+
+    Raised by :meth:`repro.core.store.SessionSnapshot.load` on an
+    unreadable or malformed snapshot file. Session restore catches it and
+    falls back to cold planning — persistence failures must never take a
+    replica down.
+    """
+
+
 class DeviceLostError(ReproError):
     """A simulated GPU went offline mid-flight (availability fault).
 

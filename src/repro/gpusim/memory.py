@@ -268,6 +268,35 @@ class BufferPool:
         self._free.clear()
         return released
 
+    def warm_hints(self) -> list[tuple[int, str, int]]:
+        """The parked free-list shape: ``(class_bytes, dtype, count)`` rows.
+
+        This is what a session snapshot records — not the block contents
+        (recycled storage is garbage by contract) but which size classes
+        a warm server keeps parked, so a restored replica can pre-populate
+        its pools and serve its first request entirely from pool hits.
+        """
+        return sorted(
+            (nbytes, dtype_str, len(stack))
+            for (nbytes, dtype_str), stack in self._free.items()
+            if stack
+        )
+
+    def preload(self, class_bytes: int, dtype, count: int) -> int:
+        """Park ``count`` fresh blocks of one warm-hint size class.
+
+        The restore-side counterpart of :meth:`warm_hints`. Backing
+        storage is uninitialised — exactly what a recycled block would
+        hold — and the hit/miss/release counters are untouched: preloaded
+        blocks are warm state, not served traffic.
+        """
+        class_bytes = int(class_bytes)
+        count = int(count)
+        stack = self._free.setdefault((class_bytes, str(dtype)), [])
+        for _ in range(count):
+            stack.append(np.empty(class_bytes, dtype=np.uint8))
+        return count
+
     def stats(self) -> dict:
         """Counter snapshot (also aggregated by ``gpusim.metrics``)."""
         return {

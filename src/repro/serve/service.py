@@ -205,6 +205,14 @@ class ScanService:
         failed and backpressure-rejected requests feed availability
         outcomes — so burn-rate alerts fire deterministically inside
         replays, at simulated timestamps.
+    snapshot:
+        Optional :class:`~repro.core.store.SessionSnapshot` (or a path
+        to one) applied to the serving session before the first request
+        — a restored replica answers request one from warm plans, tuned
+        K entries and pre-populated buffer pools. An incompatible
+        snapshot (schema, architecture or cost-fingerprint mismatch) is
+        refused gracefully and serving starts cold; see
+        ``session.restore_info``.
 
     The clock only moves when the caller moves it — via timestamped
     ``submit(..., at=...)``, :meth:`advance`, or :meth:`advance_to` —
@@ -225,12 +233,17 @@ class ScanService:
         M: int = 1,
         K: int | str | None = None,
         slo=None,
+        snapshot=None,
     ):
         from repro.core.session import ScanSession, default_session
 
         if session is None:
-            session = (ScanSession(topology) if topology is not None
-                       else default_session(M))
+            if topology is not None or snapshot is not None:
+                session = ScanSession(topology, M=M, snapshot=snapshot)
+            else:
+                session = default_session(M)
+        elif snapshot is not None:
+            session.apply_snapshot(snapshot)
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_s < 0:

@@ -53,5 +53,24 @@ def blockwise_machine() -> SystemTopology:
     return tsubame_kfc(1, engine=engine)
 
 
+@pytest.fixture
+def fresh_resolver():
+    """Swap in an empty process-wide PlanResolver, restored on teardown.
+
+    The resolver is shared via the ``ScanExecutor.resolver`` class
+    attribute; tests that count misses or export/prime plans need their
+    own, or warm state from earlier tests leaks into the counts.
+    """
+    from repro.core.executor import PlanResolver, ScanExecutor
+
+    original = ScanExecutor.resolver
+    resolver = PlanResolver()
+    ScanExecutor.resolver = resolver
+    try:
+        yield resolver
+    finally:
+        ScanExecutor.resolver = original
+
+
 def random_batch(rng, g, n, dtype=np.int32, low=0, high=100) -> np.ndarray:
     return rng.integers(low, high, (g, n)).astype(dtype)

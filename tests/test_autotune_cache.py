@@ -18,6 +18,18 @@ from repro.interconnect.topology import tsubame_kfc
 from repro.interconnect.transfer import TransferCostParams
 
 
+def _autotune_entries(path):
+    """The persisted autotune section (the store's on-disk document)."""
+    return json.loads(path.read_text())["sections"]["autotune"]
+
+
+def _mutate_autotune(path, mutate):
+    """Edit the persisted autotune entries in place (corruption tests)."""
+    doc = json.loads(path.read_text())
+    mutate(doc["sections"]["autotune"])
+    path.write_text(json.dumps(doc))
+
+
 class TestCacheKey:
     def test_distinguishes_everything(self):
         p1 = ProblemConfig.from_sizes(N=1 << 14, G=8)
@@ -116,10 +128,10 @@ class TestCachedTuner:
         tuner = CachedTuner(machine, AutotuneCache(path))
         tuner.best_k(problem, "sp")
         # Corrupt the stored K to an inadmissible value.
-        payload = json.loads(path.read_text())
-        for entry in payload.values():
-            entry["best_k"] = 1 << 20
-        path.write_text(json.dumps(payload))
+        def bump(entries):
+            for entry in entries.values():
+                entry["best_k"] = 1 << 20
+        _mutate_autotune(path, bump)
 
         fresh = CachedTuner(machine, AutotuneCache(path))
         k = fresh.best_k(problem, "sp")
@@ -136,11 +148,55 @@ class TestCachedTuner:
         tuner.best_k(problem, "sp")
         assert tuner.cache.misses == 2 and tuner.cache.hits == 0
 
-    def test_unreadable_cache_raises(self, tmp_path):
+    def test_unreadable_cache_quarantined_not_fatal(self, tmp_path):
+        """Satellite regression: a corrupt cache file used to crash session
+        construction with TuningError. It must instead be quarantined to
+        ``<path>.corrupt`` (kept for inspection) and the cache start fresh."""
         path = tmp_path / "bad.json"
         path.write_text("{not json")
-        with pytest.raises(TuningError, match="unreadable"):
-            AutotuneCache(path)
+        cache = AutotuneCache(path)
+        assert len(cache) == 0
+        assert "unreadable" in cache.store.quarantined_reason
+        quarantined = tmp_path / "bad.json.corrupt"
+        assert quarantined.read_text() == "{not json"
+        assert not path.exists()
+        # The quarantined path is reusable: a save writes a valid store.
+        cache.save()
+        assert json.loads(path.read_text())["schema"] >= 1
+
+    def test_wrong_schema_version_quarantined(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 999, "sections": {}}))
+        cache = AutotuneCache(path)
+        assert len(cache) == 0
+        assert "schema" in cache.store.quarantined_reason
+        assert (tmp_path / "future.json.corrupt").exists()
+
+    def test_save_is_atomic_document(self, machine, tmp_path):
+        """Saves go through tmp+rename and produce the versioned document
+        (no flat legacy writes, no stray tmp files left behind)."""
+        path = tmp_path / "wisdom.json"
+        tuner = CachedTuner(machine, AutotuneCache(path))
+        tuner.best_k(ProblemConfig.from_sizes(N=1 << 14, G=16), "sp")
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"schema", "sections"}
+        assert doc["sections"]["autotune"]
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_malformed_entry_skipped_rest_served(self, machine, tmp_path):
+        """One mangled record must not drop the rest of the wisdom."""
+        path = tmp_path / "wisdom.json"
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
+        writer = CachedTuner(machine, AutotuneCache(path))
+        k = writer.best_k(problem, "sp")
+
+        def mangle(entries):
+            entries["garbage-key"] = {"best_k": "not-an-int"}
+        _mutate_autotune(path, mangle)
+
+        reader = CachedTuner(machine, AutotuneCache(path))
+        assert reader.best_k(problem, "sp") == k
+        assert reader.cache.hits == 1 and reader.cache.misses == 0
 
     def test_unknown_proposal(self, machine):
         tuner = CachedTuner(machine)
@@ -187,8 +243,8 @@ class TestVariantSelection:
         problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
         first = CachedTuner(machine, AutotuneCache(path))
         choice = first.best_single_gpu_variant(problem)
-        payload = json.loads(path.read_text())
-        assert any(e.get("variant") == choice for e in payload.values())
+        assert any(e.get("variant") == choice
+                   for e in _autotune_entries(path).values())
 
         second = CachedTuner(machine, AutotuneCache(path))
         assert second.best_single_gpu_variant(problem) == choice
@@ -215,27 +271,33 @@ class TestVariantSelection:
         problem = ProblemConfig.from_sizes(N=1 << 24, G=1)
         tuner = CachedTuner(machine, AutotuneCache(path))
         tuner.best_single_gpu_variant(problem)
-        payload = json.loads(path.read_text())
-        for entry in payload.values():
-            entry["variant"] = "sp-dlb-v0"
-        path.write_text(json.dumps(payload))
+
+        def rename(entries):
+            for entry in entries.values():
+                entry["variant"] = "sp-dlb-v0"
+        _mutate_autotune(path, rename)
 
         fresh = CachedTuner(machine, AutotuneCache(path))
         assert fresh.best_single_gpu_variant(problem) in ("sp", "sp-dlb")
         assert fresh.cache.misses == 1 and fresh.cache.hits == 0
 
-    def test_legacy_cache_without_variant_field_loads(self, machine, tmp_path):
-        """Caches written before the variant field exist; they must load
-        (variant defaults empty) and keep serving their K entries."""
+    def test_legacy_flat_cache_migrates(self, machine, tmp_path):
+        """Caches written before the plan store were a flat ``{key: entry}``
+        mapping (some also predate the variant field). They must migrate
+        into the versioned document and keep serving their K entries."""
         path = tmp_path / "wisdom.json"
         problem = ProblemConfig.from_sizes(N=1 << 14, G=16)
         writer = CachedTuner(machine, AutotuneCache(path))
         k = writer.best_k(problem, "sp")
-        payload = json.loads(path.read_text())
-        for entry in payload.values():
+        legacy = _autotune_entries(path)
+        for entry in legacy.values():
             entry.pop("variant", None)
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(legacy))  # the old flat format
 
         reader = CachedTuner(machine, AutotuneCache(path))
         assert reader.best_k(problem, "sp") == k
         assert reader.cache.hits == 1
+        # Not quarantined — adopted; the next save upgrades the file.
+        assert reader.cache.store.quarantined_reason == ""
+        reader.cache.save()
+        assert json.loads(path.read_text())["schema"] >= 1

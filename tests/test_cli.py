@@ -265,3 +265,48 @@ class TestBenchCheck:
     def test_unknown_suite_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "check", "--only", "warp-drive"])
+
+    def test_restart_suite_registered(self, capsys):
+        assert main(["bench", "check", "--repo-root", self._root(),
+                     "--only", "restart"]) == 0
+        out = capsys.readouterr().out
+        assert "restart: ok" in out and "bench check: PASS" in out
+
+
+class TestSnapshotCommand:
+    def test_save_then_load(self, capsys, tmp_path):
+        path = str(tmp_path / "snap.json")
+        assert main(["snapshot", "save", path, "--n", "12", "--g", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot written to" in out and "plans" in out
+
+        assert main(["snapshot", "load", path]) == 0
+        out = capsys.readouterr().out
+        assert "restores onto this machine: yes" in out
+
+    def test_load_missing_file_fails(self, capsys, tmp_path):
+        assert main(["snapshot", "load", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_save_defaults_to_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["snapshot", "save", "--n", "12", "--g", "2"]) == 0
+        assert (tmp_path / "snapshot.json").exists()
+
+    def test_scan_with_snapshot(self, capsys, tmp_path):
+        path = str(tmp_path / "snap.json")
+        assert main(["snapshot", "save", path, "--n", "12", "--g", "2"]) == 0
+        capsys.readouterr()
+        assert main(["scan", "--n", "12", "--g", "2",
+                     "--snapshot", path]) == 0
+        captured = capsys.readouterr()
+        assert "verified against numpy reference" in captured.out
+        assert "not applicable" not in captured.err
+
+    def test_serve_with_snapshot(self, capsys, tmp_path):
+        path = str(tmp_path / "snap.json")
+        assert main(["snapshot", "save", path, "--n", "12", "--g", "2"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--requests", "8", "--sizes", "12",
+                     "--snapshot", path]) == 0
+        assert "restored snapshot:" in capsys.readouterr().out

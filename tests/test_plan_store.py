@@ -1,0 +1,294 @@
+"""Tests for the persistence layer: codecs, PlanStore, default locations."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SnapshotError
+from repro.gpusim.arch import KEPLER_K80, MAXWELL_GM200
+from repro.core.executor import PlanResolver, PlanSpec, build_executor
+from repro.core.params import KernelParams, NodeConfig, ProblemConfig
+from repro.core.store import (
+    SCHEMA_VERSION,
+    PlanStore,
+    SessionSnapshot,
+    cache_dir,
+    default_autotune_path,
+    default_snapshot_path,
+    execution_plan_from_dict,
+    execution_plan_to_dict,
+    export_resolver_plans,
+    plan_key,
+    plan_spec_from_dict,
+    plan_spec_to_dict,
+    prime_resolver_plans,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.interconnect.topology import tsubame_kfc
+
+
+class TestCodecs:
+    @given(
+        n=st.integers(min_value=8, max_value=24),
+        g=st.integers(min_value=0, max_value=6),
+        operator=st.sampled_from(["add", "mul", "max", "min", "or", "xor"]),
+        inclusive=st.booleans(),
+        dtype=st.sampled_from(["int32", "int64", "float64"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_problem_roundtrip_is_equal(self, n, g, operator, inclusive, dtype):
+        """Round-tripped configs must be *equal* (and hash-equal) — that is
+        what lets a restored resolver key hit where the original would."""
+        problem = ProblemConfig.from_sizes(
+            N=1 << n, G=1 << g, dtype=np.dtype(dtype),
+            operator=operator, inclusive=inclusive,
+        )
+        back = problem_from_dict(problem_to_dict(problem))
+        assert back == problem
+        assert hash(back) == hash(problem)
+        # JSON-serialisable all the way down.
+        json.dumps(problem_to_dict(problem))
+
+    def test_plan_spec_roundtrip_is_equal(self, machine):
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        node = NodeConfig.from_counts(W=4, V=4)
+        template = KernelParams(s=5, p=5, l=5, lx=5, ly=0, K=4)
+        spec = PlanSpec(problem=problem, parts=4, K=4, template=template,
+                        k_space="mps", node=node)
+        back = plan_spec_from_dict(plan_spec_to_dict(spec))
+        assert back == spec
+        assert hash(back) == hash(spec)
+
+    def test_execution_plan_roundtrip(self, machine, fresh_resolver):
+        # Use whatever the executors resolve — real plans, not synthetic.
+        problem = ProblemConfig.from_sizes(N=1 << 14, G=8)
+        build_executor(
+            "mps", machine, NodeConfig.from_counts(W=4, V=4)
+        ).estimate(problem)
+        build_executor(
+            "sp", machine, NodeConfig.from_counts(W=1, V=1)
+        ).estimate(problem)
+        exported = fresh_resolver.export()
+        assert exported
+        for _, _, plan in exported:
+            back = execution_plan_from_dict(execution_plan_to_dict(plan))
+            assert back == plan
+
+    def test_tampered_plan_fails_validation(self, machine, fresh_resolver):
+        build_executor(
+            "sp", machine, NodeConfig.from_counts(W=1, V=1)
+        ).estimate(ProblemConfig.from_sizes(N=1 << 14, G=8))
+        _, _, plan = fresh_resolver.export()[0]
+        d = execution_plan_to_dict(plan)
+        d["stage2"]["params"]["K"] = 2  # violates Premise 3 (K^2 == 1)
+        with pytest.raises(Exception):
+            execution_plan_from_dict(d)
+
+
+class TestPlanKey:
+    def test_fingerprint_is_embedded(self):
+        spec_dict = {"x": 1}
+        a = plan_key("K80", spec_dict, "fp-one")
+        b = plan_key("K80", spec_dict, "fp-two")
+        assert a != b
+        assert a.endswith("|fp-one") and b.endswith("|fp-two")
+
+    def test_distinguishes_arch_and_spec(self):
+        assert plan_key("K80", {"x": 1}, "f") != plan_key("M200", {"x": 1}, "f")
+        assert plan_key("K80", {"x": 1}, "f") != plan_key("K80", {"x": 2}, "f")
+
+
+class TestPlanStore:
+    def test_in_memory_store(self):
+        store = PlanStore()
+        store.section("autotune")["k"] = {"best_k": 4}
+        store.save()  # no-op, no path
+        assert store.path is None
+        assert len(store) == 1
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = PlanStore(path)
+        store.section("autotune")["k"] = {"best_k": 4}
+        store.section("plans")["p"] = {"spec": {}, "plan": {}}
+        store.save()
+
+        again = PlanStore(path)
+        assert again.section("autotune") == {"k": {"best_k": 4}}
+        assert again.section("plans") == {"p": {"spec": {}, "plan": {}}}
+        assert len(again) == 2
+
+    def test_sections_are_isolated(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = PlanStore(path)
+        store.section("autotune")["shared-key"] = {"best_k": 1}
+        store.section("plans")["shared-key"] = {"spec": 2}
+        assert store.section("autotune")["shared-key"] != \
+            store.section("plans")["shared-key"]
+
+    def test_atomic_save_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = PlanStore(path)
+        store.section("autotune")["k"] = {"best_k": 4}
+        store.save()
+        store.save()
+        assert not list(tmp_path.glob("*.tmp.*"))
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("content,reason_word", [
+        ("{truncated", "unreadable"),
+        ("[1, 2, 3]", "not a JSON object"),
+        (json.dumps({"schema": SCHEMA_VERSION + 1, "sections": {}}), "schema"),
+        (json.dumps({"schema": SCHEMA_VERSION, "sections": "oops"}), "sections"),
+        (json.dumps({"what": "even"}), "legacy"),
+    ])
+    def test_corruption_quarantined(self, tmp_path, content, reason_word):
+        path = tmp_path / "store.json"
+        path.write_text(content)
+        store = PlanStore(path)
+        assert len(store) == 0
+        assert reason_word in store.quarantined_reason
+        quarantined = tmp_path / "store.json.corrupt"
+        assert quarantined.read_text() == content
+        assert not path.exists()
+
+    def test_legacy_flat_autotune_migrates(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({
+            "K80|int32|add|sp|n14g3|W1V1M1": {
+                "best_k": 4, "best_time_s": 1e-4, "candidates": 3,
+            }
+        }))
+        store = PlanStore(path)
+        assert store.quarantined_reason == ""
+        assert len(store.section("autotune")) == 1
+        store.save()
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+
+class TestResolverBridge:
+    def test_export_prime_roundtrip(self, machine):
+        resolver = PlanResolver()
+        from repro.core.executor import ScanExecutor
+
+        original = ScanExecutor.resolver
+        try:
+            ScanExecutor.resolver = resolver
+            build_executor("mps", machine, NodeConfig.from_counts(W=4, V=4))
+            build_executor("sp", machine, NodeConfig.from_counts(W=1, V=1))
+            records = export_resolver_plans(resolver, machine.arch, "fp")
+            assert len(records) == len(resolver)
+
+            fresh = PlanResolver()
+            primed = prime_resolver_plans(fresh, machine.arch, records, "fp")
+            assert primed == len(records)
+            assert fresh.hits == 0 and fresh.misses == 0
+            # Priming again is idempotent (live entries win).
+            assert prime_resolver_plans(fresh, machine.arch, records, "fp") == 0
+        finally:
+            ScanExecutor.resolver = original
+
+    def test_mismatched_fingerprint_not_primed(self, machine):
+        from repro.core.executor import ScanExecutor
+
+        original = ScanExecutor.resolver
+        try:
+            resolver = PlanResolver()
+            ScanExecutor.resolver = resolver
+            build_executor("sp", machine, NodeConfig.from_counts(W=1, V=1))
+            records = export_resolver_plans(resolver, machine.arch, "old-fp")
+            fresh = PlanResolver()
+            assert prime_resolver_plans(
+                fresh, machine.arch, records, "new-fp"
+            ) == 0
+            assert len(fresh) == 0
+        finally:
+            ScanExecutor.resolver = original
+
+    def test_malformed_record_skipped(self, machine):
+        fresh = PlanResolver()
+        records = {"K80|deadbeef|fp": {"spec": {"broken": True}, "plan": {}}}
+        assert prime_resolver_plans(fresh, machine.arch, records, "fp") == 0
+
+
+class TestCacheDirEnv:
+    def test_env_var_moves_everything(self, tmp_path, monkeypatch):
+        """The single REPRO_CACHE_DIR satellite: one variable relocates the
+        autotune cache, the plan store default and the snapshot default."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cache_dir() == tmp_path / "cache"
+        assert default_autotune_path() == tmp_path / "cache" / "autotune.json"
+        assert default_snapshot_path() == tmp_path / "cache" / "snapshot.json"
+
+    def test_unset_falls_back_to_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert str(cache_dir()).endswith(os.path.join(".cache", "repro"))
+
+    def test_session_uses_env_cache(self, tmp_path, monkeypatch, machine):
+        from repro.core.session import ScanSession
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        session = ScanSession(machine)
+        assert session.tuner.cache.path == tmp_path / "autotune.json"
+        # A tune actually persists there.
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, (8, 1 << 12)).astype(np.int32)
+        session.scan(data, proposal="sp", K="tune")
+        assert (tmp_path / "autotune.json").exists()
+
+    def test_session_stays_in_memory_without_env(self, monkeypatch, machine):
+        from repro.core.session import ScanSession
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        session = ScanSession(machine)
+        assert session.tuner.cache.path is None
+
+    def test_service_uses_env_cache(self, tmp_path, monkeypatch, machine):
+        from repro.serve.service import ScanService
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        service = ScanService(topology=machine)
+        assert service.session.tuner.cache.path == tmp_path / "autotune.json"
+
+
+class TestSnapshotFileFormat:
+    def test_snapshot_roundtrip(self, tmp_path):
+        snap = SessionSnapshot(arch="K80", fingerprint="fp",
+                               autotune={"k": {"best_k": 2}})
+        path = snap.save(tmp_path / "snap.json")
+        back = SessionSnapshot.load(path)
+        assert back.arch == "K80" and back.fingerprint == "fp"
+        assert back.autotune == {"k": {"best_k": 2}}
+        assert back.schema == SCHEMA_VERSION
+
+    def test_unreadable_snapshot_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("###")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            SessionSnapshot.load(path)
+
+    def test_wrong_schema_loads_but_refuses_restore(self, tmp_path):
+        snap = SessionSnapshot(arch="K80", fingerprint="fp", schema=999)
+        path = snap.save(tmp_path / "snap.json")
+        back = SessionSnapshot.load(path)
+        ok, reason = back.compatible_with("K80", "fp")
+        assert not ok and "schema" in reason
+
+    def test_compatibility_gates(self):
+        snap = SessionSnapshot(arch="K80", fingerprint="fp")
+        assert snap.compatible_with("K80", "fp") == (True, "")
+        ok, reason = snap.compatible_with("M200", "fp")
+        assert not ok and "arch" in reason
+        ok, reason = snap.compatible_with("K80", "other")
+        assert not ok and "fingerprint" in reason
+
+    def test_default_snapshot_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        snap = SessionSnapshot(arch="K80", fingerprint="fp")
+        target = snap.save()
+        assert target == tmp_path / "snapshot.json"
+        assert target.exists()

@@ -1,0 +1,278 @@
+"""Tests for session snapshot/restore: zero-warmup, bit-identical serving.
+
+The acceptance contract of the persistence layer: a session restored from
+a snapshot onto a matching machine must replay the differential suite
+**bit-identically** with **zero** plan-resolver misses and **zero** tuner
+sweeps — and any mismatch (schema version, architecture, cost
+fingerprint, damaged file) must degrade to a cold start, never to a stale
+plan or a crash.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import PlanResolver, ScanExecutor
+from repro.core.session import ScanSession
+from repro.core.store import SessionSnapshot
+from repro.interconnect.topology import tsubame_kfc
+from repro.interconnect.transfer import TransferCostParams
+from repro.primitives.sequential import inclusive_scan
+
+#: Every registered proposal on a legal placement (mirrors the
+#: differential suite), served through the session.
+PROPOSALS = [
+    ("sp", {}, 1),
+    ("pp", {"W": 4}, 1),
+    ("mps", {"W": 4, "V": 4}, 1),
+    ("mppc", {"W": 8, "V": 4}, 1),
+    ("mn-mps", {"W": 4, "V": 4, "M": 2}, 2),
+    ("chained", {}, 1),
+    ("sp-dlb", {}, 1),
+    ("auto", {}, 1),
+    ("auto", {"W": 4, "V": 4}, 1),
+]
+
+
+def _pooled(nodes: int):
+    topology = tsubame_kfc(nodes)
+    topology.enable_buffer_pooling()
+    return topology
+
+
+def _serve_all(session, rng_seed=3, k="tune"):
+    """Serve every proposal/placement; returns results keyed by case."""
+    rng = np.random.default_rng(rng_seed)
+    out = {}
+    for proposal, kwargs, _ in PROPOSALS:
+        data = rng.integers(-40, 90, (4, 1 << 12)).astype(np.int32)
+        result = session.scan(data, proposal=proposal, K=k, **kwargs)
+        np.testing.assert_array_equal(
+            result.output, inclusive_scan(data, axis=-1)
+        )
+        out[(proposal, tuple(sorted(kwargs.items())))] = result
+    return out
+
+
+class TestRoundTrip:
+    def test_all_proposals_bit_identical_zero_misses(self, fresh_resolver):
+        """The headline acceptance test: restore -> replay the full
+        proposal matrix -> identical traces, 0 resolver misses, 0 sweeps."""
+        nodes = max(n for _, _, n in PROPOSALS)
+        cold = ScanSession(_pooled(nodes))
+        cold_results = _serve_all(cold)
+        snapshot = cold.snapshot()
+
+        ScanExecutor.resolver = restored_resolver = PlanResolver()
+        warm = ScanSession.restore(snapshot, _pooled(nodes))
+        info = warm.restore_info
+        assert info["compatible"], info
+        # "auto" resolves to a concrete proposal, so the two auto cases
+        # alias explicit entries — the restored count matches the cold
+        # session's de-duplicated cache exactly.
+        assert info["entries"] == cold.cached_configurations
+        warm_results = _serve_all(warm)
+
+        assert restored_resolver.misses == 0
+        assert warm.tuner.cache.misses == 0
+        assert warm.misses == 0 and warm.hits == len(PROPOSALS)
+        for key, cold_result in cold_results.items():
+            warm_result = warm_results[key]
+            assert warm_result.total_time_s == cold_result.total_time_s, key
+            assert warm_result.proposal == cold_result.proposal, key
+            np.testing.assert_array_equal(
+                warm_result.output, cold_result.output
+            )
+
+    @given(
+        n=st.integers(min_value=10, max_value=15),
+        g=st.integers(min_value=0, max_value=4),
+        case=st.integers(min_value=0, max_value=len(PROPOSALS) - 1),
+        operator=st.sampled_from(["add", "max", "mul"]),
+        tune=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_restore_is_bit_identical(self, n, g, case, operator,
+                                               tune):
+        """Property form: for any shape/operator/proposal (including
+        sp-dlb and "auto") a restored session reproduces the cold trace
+        bit-identically without re-planning or re-tuning."""
+        proposal, kwargs, nodes = PROPOSALS[case]
+        if operator == "mul":
+            data = np.random.default_rng(n + g).integers(
+                1, 3, (1 << g, 1 << n)).astype(np.int64)
+        else:
+            data = np.random.default_rng(n + g).integers(
+                -40, 90, (1 << g, 1 << n)).astype(np.int64)
+        k = "tune" if tune else None
+
+        original = ScanExecutor.resolver
+        try:
+            ScanExecutor.resolver = PlanResolver()
+            cold = ScanSession(_pooled(nodes))
+            cold_result = cold.scan(data, proposal=proposal, K=k,
+                                    operator=operator, **kwargs)
+            snapshot = cold.snapshot()
+
+            ScanExecutor.resolver = resolver = PlanResolver()
+            warm = ScanSession.restore(snapshot, _pooled(nodes))
+            assert warm.restore_info["compatible"], warm.restore_info
+            warm_result = warm.scan(data, proposal=proposal, K=k,
+                                    operator=operator, **kwargs)
+
+            assert resolver.misses == 0
+            assert warm.tuner.cache.misses == 0
+            assert warm.misses == 0 and warm.hits == 1
+            assert warm_result.total_time_s == cold_result.total_time_s
+            assert warm_result.proposal == cold_result.proposal
+            np.testing.assert_array_equal(
+                warm_result.output, cold_result.output
+            )
+        finally:
+            ScanExecutor.resolver = original
+
+    def test_snapshot_counts_cached_configurations(self, fresh_resolver):
+        session = ScanSession(_pooled(2))
+        _serve_all(session)
+        snapshot = session.snapshot()
+        assert snapshot.counts["session_entries"] == \
+            session.cached_configurations
+        warm = ScanSession.restore(snapshot, _pooled(2))
+        assert warm.cached_configurations == session.cached_configurations
+
+    def test_pool_warm_hints_restored(self, fresh_resolver):
+        session = ScanSession(_pooled(2))
+        _serve_all(session)
+        parked = [gpu.buffer_pool.warm_hints()
+                  for gpu in session.topology.gpus]
+        assert any(parked)
+
+        warm = ScanSession.restore(session.snapshot(), _pooled(2))
+        assert warm.restore_info["pool_blocks"] > 0
+        restored = [gpu.buffer_pool.warm_hints()
+                    for gpu in warm.topology.gpus]
+        assert restored == parked
+        # Preloaded blocks are warm state, not served traffic.
+        assert all(gpu.buffer_pool.hits == 0 and gpu.buffer_pool.misses == 0
+                   for gpu in warm.topology.gpus)
+
+
+class TestCompatibilityFallback:
+    def _snapshot(self, resolver):
+        session = ScanSession(_pooled(1))
+        rng = np.random.default_rng(0)
+        session.scan(rng.integers(0, 9, (4, 1 << 12)).astype(np.int32),
+                     proposal="auto", K="tune")
+        return session.snapshot()
+
+    def test_wrong_schema_falls_back_to_cold(self, fresh_resolver):
+        snapshot = self._snapshot(fresh_resolver)
+        snapshot.schema = 999
+        warm = ScanSession.restore(snapshot, _pooled(1))
+        info = warm.restore_info
+        assert not info["compatible"] and "schema" in info["reason"]
+        assert warm.cached_configurations == 0
+        # Cold serving still works.
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 9, (4, 1 << 12)).astype(np.int32)
+        result = warm.scan(data, proposal="auto", K="tune")
+        np.testing.assert_array_equal(
+            result.output, inclusive_scan(data, axis=-1)
+        )
+
+    def test_mismatched_fingerprint_falls_back_to_replanning(
+        self, fresh_resolver
+    ):
+        """The forward-compat satellite: repricing the interconnect
+        changes the PR-4 cost fingerprint, so yesterday's snapshot must
+        not prime today's machine."""
+        snapshot = self._snapshot(fresh_resolver)
+        repriced = _pooled(1)
+        repriced.transfer_params = TransferCostParams(p2p_bandwidth_gbs=25.0)
+        warm = ScanSession.restore(snapshot, repriced)
+        info = warm.restore_info
+        assert not info["compatible"] and "fingerprint" in info["reason"]
+        assert warm.cached_configurations == 0
+        assert warm.tuner.cache.hits == 0
+
+    def test_degraded_machine_refuses_healthy_snapshot(self, fresh_resolver):
+        snapshot = self._snapshot(fresh_resolver)
+        degraded = _pooled(1)
+        degraded.ensure_health()
+        degraded.mark_offline(0)
+        warm = ScanSession.restore(snapshot, degraded)
+        assert not warm.restore_info["compatible"]
+
+    def test_corrupt_snapshot_file_falls_back_to_cold(self, tmp_path,
+                                                      fresh_resolver):
+        path = tmp_path / "snap.json"
+        path.write_text("{broken")
+        session = ScanSession(_pooled(1), snapshot=path)
+        info = session.restore_info
+        assert not info["compatible"] and "unreadable" in info["reason"]
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 9, (4, 1 << 12)).astype(np.int32)
+        result = session.scan(data)
+        np.testing.assert_array_equal(
+            result.output, inclusive_scan(data, axis=-1)
+        )
+
+    def test_stale_session_entry_skipped_not_fatal(self, fresh_resolver):
+        """A snapshot entry naming a removed proposal re-plans instead of
+        failing the restore."""
+        snapshot = self._snapshot(fresh_resolver)
+        payload = snapshot.to_payload()
+        payload["entries"] = [dict(payload["entries"][0],
+                                   proposal="teleport")] + payload["entries"]
+        warm = ScanSession(_pooled(1), snapshot=payload)
+        info = warm.restore_info
+        assert info["compatible"]
+        assert info["skipped_entries"] == 1
+
+    def test_snapshot_payload_dict_accepted(self, fresh_resolver):
+        snapshot = self._snapshot(fresh_resolver)
+        payload = json.loads(json.dumps(snapshot.to_payload()))
+        warm = ScanSession(_pooled(1), snapshot=payload)
+        assert warm.restore_info["compatible"]
+
+
+class TestServiceSnapshot:
+    def test_service_accepts_snapshot(self, fresh_resolver):
+        from repro.serve import poisson_workload, replay
+        from repro.serve.service import ScanService
+
+        workload = poisson_workload(16, sizes_log2=(12,), rate=1e5, seed=5)
+        cold_session = ScanSession(_pooled(1))
+        cold_service = ScanService(session=cold_session, max_batch=8,
+                                   K="tune")
+        cold_stats = replay(cold_service, workload)
+        snapshot = cold_session.snapshot()
+
+        ScanExecutor.resolver = resolver = PlanResolver()
+        warm_service = ScanService(topology=_pooled(1), max_batch=8,
+                                   K="tune", snapshot=snapshot)
+        assert warm_service.session.restore_info["compatible"]
+        warm_stats = replay(warm_service, workload)
+
+        assert resolver.misses == 0
+        assert warm_service.session.tuner.cache.misses == 0
+        assert warm_stats["verified"] == cold_stats["verified"] == 16
+        assert [b.sim_time_s for b in warm_service.batches] == \
+            [b.sim_time_s for b in cold_service.batches]
+
+    def test_service_applies_snapshot_to_existing_session(
+        self, fresh_resolver
+    ):
+        from repro.serve.service import ScanService
+
+        cold = ScanSession(_pooled(1))
+        rng = np.random.default_rng(0)
+        cold.scan(rng.integers(0, 9, (4, 1 << 12)).astype(np.int32))
+        snapshot = cold.snapshot()
+
+        session = ScanSession(_pooled(1))
+        ScanService(session=session, snapshot=snapshot)
+        assert session.restore_info["compatible"]
+        assert session.cached_configurations == cold.cached_configurations
