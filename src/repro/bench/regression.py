@@ -35,6 +35,12 @@ Suites (each skipped silently when its baseline file is absent):
   replay is snapshotted, restored into a fresh resolver/session, and the
   restored replay must reproduce the cold batch traces bit-identically
   with zero plan-resolver misses and zero tuner sweeps.
+- ``cluster`` (``BENCH_cluster.json``): the replica-scaling sweep is
+  replayed cell by cell (latency percentiles and throughput at ratio
+  1.0, counters exactly equal), the recorded replication win is
+  re-checked against its acceptance bar, and the drain/re-admit chaos
+  scenario is re-run twice — zero lost requests, summary matching the
+  baseline, and the repeated run bit-identical to the first.
 
 Wall-clock fields (``cold_s_median`` etc.) are never compared — they are
 measurements of the host, not of the code under test.
@@ -51,7 +57,8 @@ import numpy as np
 
 __all__ = ["run_checks", "format_report", "SUITES"]
 
-SUITES = ("serving", "single_pass", "serve", "obs_overhead", "restart")
+SUITES = ("serving", "single_pass", "serve", "obs_overhead", "restart",
+          "cluster")
 
 
 class _Suite:
@@ -330,12 +337,92 @@ def _check_restart(suite: _Suite, recorded: dict) -> None:
         ScanExecutor.resolver = original_resolver
 
 
+def _check_cluster(suite: _Suite, recorded: dict) -> None:
+    from repro.cluster import ClusterRouter, cluster_replay
+    from repro.serve import poisson_workload
+
+    def _workload():
+        return poisson_workload(
+            recorded["requests"],
+            sizes_log2=tuple(recorded["sizes_log2"]),
+            rate=recorded["rate_per_s"],
+            seed=recorded["seed"],
+        )
+
+    def _router(replicas: int, **kwargs) -> ClusterRouter:
+        kwargs.setdefault("policy", recorded["policy"])
+        kwargs.setdefault("max_batch", recorded["max_batch"])
+        kwargs.setdefault("max_wait_s", recorded["max_wait_s"])
+        return ClusterRouter(replicas=replicas, **kwargs)
+
+    exact_keys = ("served", "request_failures", "rejected", "verified",
+                  "rerouted", "drains", "readmits")
+    ratio_keys = ("makespan_s", "throughput_rps", "latency_p50_s",
+                  "latency_p95_s", "latency_p99_s", "latency_mean_s",
+                  "latency_max_s")
+
+    def _compare(summary: dict, row: dict, label: str) -> None:
+        for key in exact_keys:
+            suite.expect(
+                summary[key] == row[key],
+                f"cluster {label} {key}: {summary[key]!r} != "
+                f"recorded {row[key]!r}",
+            )
+        for key in ratio_keys:
+            suite.expect_ratio(summary[key], row[key],
+                               f"cluster {label} {key}")
+
+    for n in recorded["replica_counts"]:
+        summary = cluster_replay(_router(n), _workload())
+        _compare(summary, recorded["scaling"][str(n)], f"{n} replicas")
+
+    base = recorded["scaling"][str(recorded["replica_counts"][0])]
+    wide = recorded["scaling"][str(max(recorded["replica_counts"]))]
+    p99_improvement = base["latency_p99_s"] / wide["latency_p99_s"]
+    throughput_gain = wide["throughput_rps"] / base["throughput_rps"]
+    suite.expect(
+        p99_improvement > 1.0 or throughput_gain >= 2.0,
+        f"cluster replication buys nothing in the recorded baseline: "
+        f"p99 {p99_improvement:.3f}x, throughput {throughput_gain:.3f}x",
+    )
+
+    # Chaos half, re-run live twice: drain/re-admit under traffic must
+    # lose nothing and must reproduce itself (and the baseline) exactly.
+    chaos = recorded["chaos"]
+
+    def _chaos_run():
+        router = _router(chaos["replicas"], recovery_s=chaos["recovery_s"])
+        summary = cluster_replay(
+            router, _workload(),
+            fail_replica_at=chaos["fail_replica_at_s"], fail_replica_id=0,
+        )
+        return summary, list(router.batch_log)
+
+    first, log_first = _chaos_run()
+    second, log_second = _chaos_run()
+    suite.expect(
+        first == second and log_first == log_second,
+        "cluster chaos replay is not deterministic: repeated run diverged",
+    )
+    lost = recorded["requests"] - (first["served"]
+                                   + first["request_failures"]
+                                   + first["rejected"])
+    suite.expect(lost == 0, f"cluster chaos replay lost {lost} requests")
+    _compare(first, chaos["summary"], "chaos")
+    suite.expect(
+        len(log_first) == chaos["batch_log_len"],
+        f"cluster chaos batch log has {len(log_first)} entries, "
+        f"recorded {chaos['batch_log_len']}",
+    )
+
+
 _CHECKERS = {
     "serving": ("BENCH_serving.json", _check_serving),
     "single_pass": ("BENCH_single_pass.json", _check_single_pass),
     "serve": ("BENCH_serve.json", _check_serve),
     "obs_overhead": ("BENCH_obs_overhead.json", _check_obs_overhead),
     "restart": ("BENCH_restart.json", _check_restart),
+    "cluster": ("BENCH_cluster.json", _check_cluster),
 }
 
 

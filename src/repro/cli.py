@@ -32,6 +32,7 @@ from repro.bench.runner import (
     figure14_breakdown,
     mean_speedup,
 )
+from repro.cluster.policies import policy_names as cluster_policy_names
 from repro.core.api import scan
 from repro.core.executor import proposal_names, proposal_specs
 from repro.core.occupancy_table import format_occupancy_table
@@ -214,6 +215,46 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="availability fault spec (see `repro scan`); repeatable")
     hl.add_argument("--seed", type=int, default=0)
 
+    cl = sub.add_parser(
+        "cluster",
+        help="replay a request stream through a router fronting N scan "
+        "service replicas; report tail latency, per-replica load, tenant "
+        "SLOs and (optionally) a mid-traffic drain/re-admit",
+    )
+    cl.add_argument("--replicas", type=int, default=2,
+                    help="number of service replicas behind the router")
+    cl.add_argument("--policy", default="least_depth",
+                    choices=cluster_policy_names(),
+                    help="dispatch policy")
+    cl.add_argument("--requests", type=int, default=64,
+                    help="number of requests to replay")
+    cl.add_argument("--sizes", default="12",
+                    help="comma-separated log2 request sizes the stream "
+                    "cycles through, e.g. 10,12,13")
+    cl.add_argument("--rate", type=float, default=2e5,
+                    help="arrival rate in requests per simulated second "
+                    "(0 = all arrive at t=0)")
+    cl.add_argument("--max-batch", type=int, default=8,
+                    help="per-replica flush threshold")
+    cl.add_argument("--max-wait", type=float, default=1e-4,
+                    help="per-replica max simulated queue wait")
+    cl.add_argument("--tenants", default="default",
+                    help="comma-separated tenant names to cycle requests "
+                    "through (auto-registered with the standard SLO class)")
+    cl.add_argument("--fail-replica-at", type=float, default=None,
+                    metavar="T",
+                    help="take a replica down at this simulated instant "
+                    "(drain, re-route, re-admit from the leader snapshot)")
+    cl.add_argument("--fail-replica-id", type=int, default=0)
+    cl.add_argument("--recovery", type=float, default=5e-3,
+                    help="simulated seconds a drained replica stays down")
+    cl.add_argument("--drain-after", type=int, default=2,
+                    help="consecutive exhausted failovers before a replica "
+                    "is drained")
+    cl.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    cl.add_argument("--seed", type=int, default=0)
+
     bc = sub.add_parser(
         "bench",
         help="benchmark tooling: `repro bench check` compares committed "
@@ -228,7 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(default: the repository root)")
     bc.add_argument("--only", action="append", default=[],
                     choices=["serving", "single_pass", "serve", "obs_overhead",
-                             "restart"],
+                             "restart", "cluster"],
                     help="restrict the check to one suite (repeatable)")
     bc.add_argument("--json", action="store_true",
                     help="emit the check report as JSON")
@@ -548,6 +589,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Replay a request stream through the sharded cluster router."""
+    from repro.cluster import ClusterRouter, cluster_replay
+    from repro.serve import poisson_workload
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, got {args.sizes!r}",
+              file=sys.stderr)
+        return 2
+    tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+    if not tenants:
+        print("error: --tenants must name at least one tenant", file=sys.stderr)
+        return 2
+    router = ClusterRouter(
+        replicas=args.replicas,
+        policy=args.policy,
+        drain_after=args.drain_after,
+        recovery_s=args.recovery,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait,
+    )
+    workload = poisson_workload(
+        args.requests, sizes_log2=sizes, rate=args.rate, seed=args.seed,
+    )
+    summary = cluster_replay(
+        router, workload, tenants=tenants,
+        fail_replica_at=args.fail_replica_at,
+        fail_replica_id=args.fail_replica_id,
+    )
+    stats = router.stats()
+    if args.json:
+        import json
+
+        print(json.dumps({"summary": summary, "stats": stats}, indent=2))
+        return 0
+    print(f"replayed {summary['requests']} requests across "
+          f"{summary['replicas']} replicas (policy {args.policy}, rate "
+          f"{'burst' if args.rate <= 0 else f'{args.rate:g}/s'}): "
+          f"{summary['verified']} verified against numpy, "
+          f"{summary['request_failures']} failed, "
+          f"{summary['rejected']} rejected")
+    print(f"failover: {summary['rerouted']} rerouted, "
+          f"{summary['drains']} drain(s), {summary['readmits']} readmit(s)")
+    print(f"latency (simulated): p50 {summary['latency_p50_s'] * 1e6:.1f} us  "
+          f"p95 {summary['latency_p95_s'] * 1e6:.1f} us  "
+          f"p99 {summary['latency_p99_s'] * 1e6:.1f} us  "
+          f"throughput {summary['throughput_rps'] / 1e3:.1f}k req/s")
+    for row in stats["per_replica"]:
+        print(f"  replica {row['id']}: {row['state']:>6}  "
+              f"served {row['served']:>4}  failed {row['failed']}  "
+              f"strikes {row['strikes']}")
+    for name, slo in sorted(stats["tenants"].items()):
+        worst = max(
+            (rates["short"] for rates in slo["burn_rates"].values()),
+            default=0.0,
+        )
+        print(f"  tenant {name}: worst SLO burn rate {worst:.2f}")
+    return 0
+
+
 def _cmd_health(args: argparse.Namespace) -> int:
     """Serve a few calls (under optional injected faults), report health."""
     from repro import obs
@@ -762,6 +865,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "health":
         return _cmd_health(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "bench":
         return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,38 @@
+"""repro.cluster: sharded multi-tenant serving across service replicas.
+
+The first layer where requests, health and plans span more than one
+service instance: a :class:`ClusterRouter` fronts N independent
+:class:`~repro.serve.service.ScanService` replicas (each with its own
+topology shard, session, health tracker and clock, lockstepped to one
+cluster clock), with pluggable dispatch policies, per-tenant quotas and
+SLO classes, and cluster-level failover — drain on repeated
+``FailoverExhaustedError``, re-route the drained queue, re-admit from
+the leader's session snapshot. See ``docs/cluster.md``.
+"""
+
+from repro.cluster.policies import (
+    DispatchPolicy,
+    LeastDepthPolicy,
+    ManagedPolicy,
+    RoundRobinPolicy,
+    policy_names,
+    resolve_policy,
+)
+from repro.cluster.replay import cluster_replay
+from repro.cluster.router import ClusterRouter, ClusterTicket, Replica
+from repro.cluster.tenants import DEFAULT_TENANT, TenantSpec
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterTicket",
+    "Replica",
+    "DispatchPolicy",
+    "RoundRobinPolicy",
+    "LeastDepthPolicy",
+    "ManagedPolicy",
+    "policy_names",
+    "resolve_policy",
+    "TenantSpec",
+    "DEFAULT_TENANT",
+    "cluster_replay",
+]

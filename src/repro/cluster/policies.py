@@ -1,0 +1,128 @@
+"""Dispatch policies: which replica a cluster request should try first.
+
+The split follows the MPI scan-offloading literature (Arap & Swany):
+**static** assignment — round-robin, each submitter blindly rotating
+through workers — versus **master-managed dynamic** assignment, where a
+coordinator that can see every worker's state hands each request to the
+least-loaded one. ``least_depth`` sits between them: dynamic, but it
+only looks at queue depth, not at the executor backlog that
+``serialize_exec`` makes visible.
+
+A policy returns a *preference order* over the router's active
+replicas, not a single pick: the router walks the order and the first
+replica that admits the request (no backpressure) wins, so a loaded
+replica degrades to "try the next one" instead of "reject the cluster".
+Every policy is deterministic — identical request schedules produce
+identical assignment sequences, which the cluster bench re-checks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DispatchPolicy",
+    "RoundRobinPolicy",
+    "LeastDepthPolicy",
+    "ManagedPolicy",
+    "resolve_policy",
+    "policy_names",
+]
+
+
+class DispatchPolicy:
+    """Order the active replicas by preference for one request."""
+
+    name = "abstract"
+
+    def select(self, router, size: int) -> list[int]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Static rotation, blind to load (dlp_mpi ``split/round_robin``).
+
+    Each submit advances a cursor over the active replica ids; the rest
+    of the preference order continues the rotation so backpressure
+    fallback stays deterministic.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, router, size: int) -> list[int]:
+        active = router.active_replica_ids()
+        if not active:
+            return []
+        start = self._cursor % len(active)
+        self._cursor += 1
+        return active[start:] + active[:start]
+
+
+class LeastDepthPolicy(DispatchPolicy):
+    """Dynamic, queue-depth-driven: shortest admission queue first.
+
+    Ties break on replica id, so equal-depth replicas are picked in a
+    stable order.
+    """
+
+    name = "least_depth"
+
+    def select(self, router, size: int) -> list[int]:
+        return sorted(
+            router.active_replica_ids(),
+            key=lambda rid: (router.replica(rid).service.depth, rid),
+        )
+
+
+class ManagedPolicy(DispatchPolicy):
+    """Master-managed dynamic assignment (dlp_mpi ``split/managed``).
+
+    The router acts as the master: it sees each replica's *executor
+    backlog* — how far its serial executor is booked past the cluster
+    clock (``serialize_exec``) — and prefers the replica that will
+    actually start the work soonest, falling back to queue depth and id
+    for ties. Without ``serialize_exec`` the backlog is always zero and
+    this degrades to :class:`LeastDepthPolicy`.
+    """
+
+    name = "managed"
+
+    def select(self, router, size: int) -> list[int]:
+        now = router.clock.now
+
+        def load(rid: int):
+            svc = router.replica(rid).service
+            backlog = max(svc.busy_until_s - now, 0.0)
+            return (backlog, svc.depth, rid)
+
+        return sorted(router.active_replica_ids(), key=load)
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastDepthPolicy.name: LeastDepthPolicy,
+    ManagedPolicy.name: ManagedPolicy,
+}
+
+
+def policy_names() -> list[str]:
+    """The registered policy names, stable order."""
+    return sorted(_POLICIES)
+
+
+def resolve_policy(policy) -> DispatchPolicy:
+    """A policy instance from a name or an instance (passed through)."""
+    if isinstance(policy, DispatchPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dispatch policy {policy!r}; choose from {policy_names()}"
+        ) from None

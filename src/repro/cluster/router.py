@@ -1,0 +1,618 @@
+"""The cluster router: N service replicas behind one front door.
+
+One :class:`~repro.serve.service.ScanService` saturates at its
+topology's throughput; the paper's answer to more GPUs is more nodes,
+and the serving answer is **replicas** — independent
+service+session+topology shards behind a router. This module is that
+router:
+
+- :meth:`ClusterRouter.submit` admits one request for a *tenant*,
+  checks the tenant's in-flight quota, asks the dispatch policy for a
+  replica preference order, and offers the request to each replica in
+  turn (a replica's :class:`~repro.errors.BackpressureError` means "try
+  the next", not "reject"). Only when every active replica sheds does
+  the cluster reject.
+- All replica clocks are **lockstepped** to the cluster clock:
+  :meth:`advance_to` advances every active replica, in replica-id
+  order, to the same simulated instant, firing their ``max_wait``
+  flushes on the way — so a fixed request schedule produces the same
+  batches on the same replicas every run, regardless of replica count.
+- **Cluster failover**: each :class:`~repro.errors.FailoverExhaustedError`
+  a replica reports (via the service's ``on_fail`` hook) bumps its
+  strike count; at ``drain_after`` strikes the replica is **drained** —
+  its queued requests are evicted and re-routed to surviving replicas —
+  and marked down. After ``recovery_s`` of simulated time it is
+  **re-admitted**: a brand-new session is spawned on a fresh topology
+  shard, primed from the current leader's
+  :class:`~repro.core.store.SessionSnapshot`
+  (:func:`repro.core.store.spawn_replica_session`), so it serves warm
+  from its first request.
+- Failed requests are re-routed up to ``max_reroutes`` times before the
+  failure sticks; requests that cannot be placed anywhere (every
+  replica down or shedding) are **parked** and resubmitted as soon as a
+  replica can take them — a drain never loses a request.
+
+Tenant SLOs reuse :mod:`repro.obs.slo`: each tenant gets a monitor for
+its SLO class, fed cluster-level latency (from *original* cluster
+arrival, so time spent queued on a drained replica counts) at simulated
+completion times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    QuotaExceededError,
+)
+from repro.interconnect.topology import tsubame_kfc
+from repro.obs.registry import Histogram
+from repro.serve.clock import SimClock
+from repro.serve.service import ScanService
+from repro.cluster.policies import resolve_policy
+from repro.cluster.tenants import DEFAULT_TENANT, TenantSpec
+
+__all__ = ["ClusterTicket", "Replica", "ClusterRouter"]
+
+
+class ClusterTicket:
+    """One cluster request: a stable handle across reroutes.
+
+    Wraps the replica-level :class:`~repro.serve.service.SubmitResult`
+    currently carrying the request; a drain or failure reroute swaps the
+    inner ticket, the cluster ticket stays. Latency is cluster-level:
+    measured from the *original* cluster arrival, so queueing time on a
+    replica that was later drained is not forgotten.
+    """
+
+    __slots__ = ("index", "tenant", "arrival_s", "size", "inner",
+                 "replica_id", "reroutes")
+
+    def __init__(self, index: int, tenant: str, arrival_s: float, size: int):
+        self.index = index
+        self.tenant = tenant
+        self.arrival_s = arrival_s
+        self.size = size
+        #: The replica-level ticket currently carrying this request.
+        self.inner = None
+        #: Replica currently (or finally) holding the request.
+        self.replica_id: int | None = None
+        #: How many times the request moved replicas (drain or failure).
+        self.reroutes = 0
+
+    @property
+    def status(self) -> str:
+        return self.inner.status if self.inner is not None else "queued"
+
+    @property
+    def done(self) -> bool:
+        return self.inner is not None and self.inner.done
+
+    @property
+    def failed(self) -> bool:
+        return self.inner is not None and self.inner.failed
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the request reached a final state (done or failed).
+
+        An evicted/parked inner ticket is *not* terminal — the router
+        still owes the request a replica.
+        """
+        return self.inner is not None and self.inner.status in ("done", "failed")
+
+    @property
+    def latency_s(self) -> float:
+        """Cluster-level latency: reroute delay + the final replica's own."""
+        if self.inner is None:
+            return 0.0
+        return (self.inner.arrival_s - self.arrival_s) + self.inner.latency_s
+
+    @property
+    def completion_s(self) -> float:
+        return self.inner.completion_s if self.inner is not None else 0.0
+
+    def result(self) -> np.ndarray:
+        if self.inner is None:
+            raise ConfigurationError(
+                f"cluster request {self.index} is parked (no replica can "
+                "take it yet); advance the clock past a recovery first"
+            )
+        return self.inner.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClusterTicket(#{self.index}, tenant={self.tenant}, "
+                f"{self.status}, replica={self.replica_id}, "
+                f"reroutes={self.reroutes})")
+
+
+class Replica:
+    """One service shard and its cluster-side health bookkeeping."""
+
+    __slots__ = ("id", "service", "state", "strikes", "down_since_s")
+
+    def __init__(self, rid: int, service: ScanService):
+        self.id = rid
+        self.service = service
+        #: "active" | "down"
+        self.state = "active"
+        #: Consecutive FailoverExhaustedError count (reset on success).
+        self.strikes = 0
+        self.down_since_s: float | None = None
+
+
+class ClusterRouter:
+    """Route requests across N lockstepped :class:`ScanService` replicas.
+
+    Parameters
+    ----------
+    replicas:
+        Shard count. Each replica gets its own topology (from
+        ``topology_factory``), session, health tracker and clock.
+    topology_factory:
+        ``rid -> SystemTopology`` building each replica's shard (and a
+        drained replica's replacement). Defaults to one TSUBAME-KFC
+        node per replica — **never shared**: replica isolation is the
+        point.
+    policy:
+        Dispatch policy name (``round_robin``/``least_depth``/
+        ``managed``) or a :class:`~repro.cluster.policies.DispatchPolicy`.
+    tenants:
+        Iterable of :class:`~repro.cluster.tenants.TenantSpec`. Unknown
+        tenants are auto-registered with an unlimited-quota
+        ``standard``-class spec.
+    drain_after:
+        Consecutive ``FailoverExhaustedError`` strikes before a replica
+        is drained.
+    recovery_s:
+        Simulated downtime before a drained replica is re-admitted
+        (spawned fresh from the leader's snapshot).
+    max_reroutes:
+        How many times one request may chase a new replica after
+        *failures* before the failure sticks (drain evictions also
+        count a reroute but are never capped — eviction is the
+        cluster's fault, not the request's).
+    serialize_exec:
+        Passed to every replica service; on by default here (unlike the
+        single service) so per-replica executor backlog is modelled and
+        adding replicas actually improves tail latency.
+    **service_kwargs:
+        Remaining :class:`~repro.serve.service.ScanService` knobs
+        (``max_batch``, ``max_wait_s``, ``max_queue``, placement...).
+    """
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        *,
+        topology_factory=None,
+        policy="least_depth",
+        tenants=None,
+        drain_after: int = 2,
+        recovery_s: float = 5e-3,
+        max_reroutes: int = 2,
+        serialize_exec: bool = True,
+        **service_kwargs,
+    ):
+        if replicas < 1:
+            raise ConfigurationError(f"need at least one replica, got {replicas}")
+        if drain_after < 1:
+            raise ConfigurationError(f"drain_after must be >= 1, got {drain_after}")
+        if recovery_s <= 0:
+            raise ConfigurationError(f"recovery_s must be > 0, got {recovery_s}")
+        self.topology_factory = (topology_factory if topology_factory is not None
+                                 else (lambda rid: tsubame_kfc(1)))
+        self.policy = resolve_policy(policy)
+        self.drain_after = drain_after
+        self.recovery_s = recovery_s
+        self.max_reroutes = max_reroutes
+        self.serialize_exec = bool(serialize_exec)
+        self.service_kwargs = dict(service_kwargs)
+        self.clock = SimClock()
+        self._replicas = [
+            Replica(rid, self._build_service(rid, snapshot=None))
+            for rid in range(replicas)
+        ]
+        self._service_rid = {id(r.service): r.id for r in self._replicas}
+        # Cluster tickets by their current inner ticket.
+        self._by_inner: dict[int, ClusterTicket] = {}
+        # Requests no replica can hold right now: (ticket, data, op, inc).
+        self._parked: list[tuple[ClusterTicket, np.ndarray, str, bool]] = []
+        self.tenants: dict[str, TenantSpec] = {}
+        self._tenant_slo = {}
+        self._outstanding: dict[str, list[ClusterTicket]] = {}
+        for spec in (tenants or ()):
+            self.register_tenant(spec)
+        # Cluster counters.
+        self.submitted = 0
+        self.rejected = 0
+        self.quota_rejected = 0
+        self.rerouted = 0
+        self.drains = 0
+        self.readmits = 0
+        #: Cluster-level latency distribution (terminal requests, in
+        #: terminal order across the lockstepped replicas).
+        self.latency = Histogram("cluster.latency_s")
+        #: Every dispatched batch: (replica, key, requests, flush_s,
+        #: sim_time_s) — survives respawns, pins assignment determinism.
+        self.batch_log: list[tuple[int, str, int, float, float]] = []
+
+    # ------------------------------------------------------------- replicas
+
+    def _build_service(self, rid: int, snapshot) -> ScanService:
+        from repro.core.store import spawn_replica_session
+
+        session = spawn_replica_session(snapshot, self.topology_factory(rid))
+        return ScanService(
+            session=session,
+            serialize_exec=self.serialize_exec,
+            on_scatter=self._on_scatter,
+            on_fail=self._on_fail,
+            **self.service_kwargs,
+        )
+
+    def replica(self, rid: int) -> Replica:
+        return self._replicas[rid]
+
+    @property
+    def replicas(self) -> list[Replica]:
+        return list(self._replicas)
+
+    def active_replica_ids(self) -> list[int]:
+        return [r.id for r in self._replicas if r.state == "active"]
+
+    def leader(self) -> Replica | None:
+        """The lowest-id active replica (snapshot source for re-admits)."""
+        for r in self._replicas:
+            if r.state == "active":
+                return r
+        return None
+
+    # ------------------------------------------------------------- tenants
+
+    def register_tenant(self, spec: TenantSpec) -> None:
+        self.tenants[spec.name] = spec
+        self._tenant_slo[spec.name] = spec.monitor()
+        self._outstanding.setdefault(spec.name, [])
+
+    def _tenant(self, name: str) -> TenantSpec:
+        if name not in self.tenants:
+            self.register_tenant(TenantSpec(name=name))
+        return self.tenants[name]
+
+    def tenant_slo(self, name: str):
+        """The per-tenant SLO monitor (auto-registering the tenant)."""
+        self._tenant(name)
+        return self._tenant_slo[name]
+
+    def _outstanding_count(self, name: str) -> int:
+        live = [ct for ct in self._outstanding[name] if not ct.terminal]
+        self._outstanding[name] = live
+        return len(live)
+
+    # ------------------------------------------------------------ admission
+
+    def submit(
+        self,
+        data: np.ndarray,
+        operator="add",
+        inclusive: bool = True,
+        at: float | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> ClusterTicket:
+        """Admit one request for ``tenant``; returns its cluster ticket.
+
+        Raises :class:`~repro.errors.QuotaExceededError` when the tenant
+        is over its in-flight quota and plain
+        :class:`~repro.errors.BackpressureError` when every active
+        replica sheds the request.
+        """
+        if at is not None:
+            self.advance_to(at)
+        arr = np.asarray(data)
+        spec = self._tenant(tenant)
+        if spec.max_inflight and self._outstanding_count(tenant) >= spec.max_inflight:
+            self.quota_rejected += 1
+            self._tenant_slo[tenant].observe(self.clock.now, ok=False)
+            if obs.is_enabled():
+                obs.counter("cluster.quota_rejected", tenant=tenant).inc()
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is at its in-flight quota "
+                f"({spec.max_inflight}); request shed"
+            )
+        ticket = ClusterTicket(self.submitted, tenant, self.clock.now, arr.size)
+        self.submitted += 1
+        rid = self._place(ticket, arr, operator, inclusive, self.clock.now)
+        if rid is None:
+            self.submitted -= 1
+            self.rejected += 1
+            self._tenant_slo[tenant].observe(self.clock.now, ok=False)
+            if obs.is_enabled():
+                obs.counter("cluster.rejected").inc()
+            raise BackpressureError(
+                "every active replica shed the request "
+                f"({len(self.active_replica_ids())} active)"
+            )
+        self._outstanding[tenant].append(ticket)
+        if obs.is_enabled():
+            obs.counter("cluster.submitted", tenant=tenant).inc()
+        return ticket
+
+    def _place(self, ticket: ClusterTicket, data: np.ndarray, operator,
+               inclusive: bool, at_s: float,
+               exclude: int | None = None) -> int | None:
+        """Offer ``ticket`` to replicas in policy order; None if all shed.
+
+        ``at_s`` is the submit instant; it is clamped per target to the
+        target's local clock — during a lockstepped advance the replicas
+        reach the target time one after another, so a reroute sourced
+        from a replica that is mid-advance must never drag an
+        already-advanced neighbour's clock backwards.
+        """
+        for rid in self.policy.select(self, data.size):
+            if rid == exclude:
+                continue
+            replica = self._replicas[rid]
+            try:
+                inner = replica.service.submit(
+                    data, operator=operator, inclusive=inclusive,
+                    at=max(at_s, replica.service.clock.now),
+                )
+            except BackpressureError:
+                continue
+            ticket.inner = inner
+            ticket.replica_id = rid
+            if obs.is_enabled():
+                obs.counter("cluster.routed", replica=rid).inc()
+            if inner.status == "queued":
+                self._by_inner[id(inner)] = ticket
+            elif inner.done:
+                # The submit itself tripped max_batch and flushed before
+                # the router could register the ticket; the scatter hook
+                # already fired, so settle the straggler here.
+                self._finish(ticket, inner, ok=True)
+            else:
+                # Failed inside the submit-triggered flush: same failure
+                # handling the on_fail hook gives registered tickets.
+                if ticket.reroutes < self.max_reroutes:
+                    self._reroute(ticket, inner, data,
+                                  at_s=replica.service.clock.now,
+                                  exclude=rid)
+                else:
+                    self._finish(ticket, inner, ok=False)
+            return rid
+        return None
+
+    def _finish(self, ct: ClusterTicket, inner, ok: bool) -> None:
+        """Terminal bookkeeping for one cluster request."""
+        self.latency.observe(ct.latency_s)
+        self._tenant_slo[ct.tenant].observe(
+            inner.completion_s, latency_s=ct.latency_s, ok=ok
+        )
+        if obs.is_enabled():
+            obs.histogram("cluster.latency_s").observe(ct.latency_s)
+
+    # ----------------------------------------------------------------- time
+
+    def advance(self, dt_s: float) -> float:
+        return self.advance_to(self.clock.now + dt_s)
+
+    def advance_to(self, t_s: float) -> float:
+        """Advance the cluster (and every replica, lockstepped) to ``t_s``.
+
+        Re-admits due replicas at their exact recovery instants along
+        the way, so recovery interleaves deterministically with the
+        replicas' ``max_wait`` flush deadlines.
+        """
+        if t_s < self.clock.now:
+            raise ConfigurationError(
+                f"cluster clock cannot run backwards: now={self.clock.now}, "
+                f"requested {t_s}"
+            )
+        while True:
+            due = sorted(
+                (r.down_since_s + self.recovery_s, r.id)
+                for r in self._replicas if r.state == "down"
+            )
+            if not due or due[0][0] > t_s:
+                break
+            at_s, rid = due[0]
+            at_s = max(at_s, self.clock.now)
+            self._advance_replicas(at_s)
+            self.clock.advance_to(at_s)
+            self._readmit(rid)
+        self._advance_replicas(t_s)
+        self.clock.advance_to(t_s)
+        self._retry_parked()
+        return self.clock.now
+
+    def _advance_replicas(self, t_s: float) -> None:
+        for r in self._replicas:
+            if r.state == "active":
+                r.service.advance_to(t_s)
+
+    def drain_queues(self) -> None:
+        """Flush every active replica's queues at the current time."""
+        for r in self._replicas:
+            if r.state == "active":
+                r.service.drain()
+
+    # ------------------------------------------------------------- failover
+
+    def _on_scatter(self, service, report, tickets) -> None:
+        rid = self._service_rid.get(id(service))
+        if rid is None:  # pragma: no cover - foreign service
+            return
+        self._replicas[rid].strikes = 0
+        self.batch_log.append(
+            (rid, str(report.key), report.requests, report.flush_s,
+             report.sim_time_s)
+        )
+        if obs.is_enabled():
+            obs.counter("cluster.batches", replica=rid).inc()
+        for inner in tickets:
+            ct = self._by_inner.pop(id(inner), None)
+            if ct is None:
+                # The flush fired inside the submit that created this
+                # ticket; _place settles it when the submit returns.
+                continue
+            self._finish(ct, inner, ok=True)
+
+    def _on_fail(self, service, pairs, exc) -> None:
+        rid = self._service_rid.get(id(service))
+        if rid is None:  # pragma: no cover - foreign service
+            return
+        replica = self._replicas[rid]
+        replica.strikes += 1
+        must_drain = (replica.strikes >= self.drain_after
+                      and replica.state == "active")
+        if must_drain:
+            # Down first so the reroutes below can't land back on it.
+            self._drain(rid)
+        at_s = service.clock.now
+        for inner, data in pairs:
+            ct = self._by_inner.pop(id(inner), None)
+            if ct is None:
+                continue
+            if ct.reroutes < self.max_reroutes:
+                self._reroute(ct, inner, data, at_s=at_s,
+                              exclude=None if must_drain else rid)
+            else:
+                self._finish(ct, inner, ok=False)
+
+    def _reroute(self, ct: ClusterTicket, old_inner, data, *, at_s: float,
+                 exclude: int | None, count_reroute: bool = True) -> None:
+        """Move a request to another replica (or park it)."""
+        if count_reroute:
+            ct.reroutes += 1
+        key = old_inner.key if old_inner is not None else None
+        rid = self._place(ct, data, key.operator if key else "add",
+                          key.inclusive if key else True, at_s,
+                          exclude=exclude)
+        if rid is None:
+            ct.inner = None
+            ct.replica_id = None
+            self._parked.append(
+                (ct, data, key.operator if key else "add",
+                 key.inclusive if key else True)
+            )
+            if obs.is_enabled():
+                obs.counter("cluster.parked").inc()
+            return
+        self.rerouted += 1
+        if obs.is_enabled():
+            obs.counter("cluster.rerouted").inc()
+
+    def _retry_parked(self) -> None:
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for ct, data, operator, inclusive in parked:
+            rid = self._place(ct, data, operator, inclusive, self.clock.now)
+            if rid is None:
+                self._parked.append((ct, data, operator, inclusive))
+            else:
+                self.rerouted += 1
+                if obs.is_enabled():
+                    obs.counter("cluster.rerouted").inc()
+
+    def _drain(self, rid: int) -> None:
+        """Take a replica out of rotation, rerouting its queued requests."""
+        replica = self._replicas[rid]
+        with obs.span("cluster.drain", replica=rid,
+                      queued=replica.service.depth):
+            replica.state = "down"
+            replica.down_since_s = self.clock.now
+            self.drains += 1
+            if obs.is_enabled():
+                obs.counter("cluster.drains", replica=rid).inc()
+                obs.gauge("cluster.active_replicas").set(
+                    len(self.active_replica_ids()))
+            at_s = replica.service.clock.now
+            for inner, data in replica.service.evict_pending():
+                ct = self._by_inner.pop(id(inner), None)
+                if ct is None:
+                    continue
+                # Eviction reroutes are the cluster's fault; they are
+                # not charged against the request's reroute budget.
+                self._reroute(ct, inner, data, at_s=at_s, exclude=rid,
+                              count_reroute=False)
+
+    def fail_replica(self, rid: int, at: float | None = None) -> None:
+        """Operator/chaos entry point: take one replica down *now*.
+
+        Same lifecycle as an organic drain (evict, reroute, recover
+        after ``recovery_s``) — the deterministic way benches and tests
+        exercise mid-traffic drain/re-admit.
+        """
+        if at is not None:
+            self.advance_to(at)
+        if self._replicas[rid].state != "active":
+            return
+        self._drain(rid)
+
+    def _readmit(self, rid: int) -> None:
+        """Spawn a fresh replica from the leader's snapshot; rejoin."""
+        replica = self._replicas[rid]
+        leader = self.leader()
+        snapshot = leader.service.session.snapshot() if leader is not None else None
+        with obs.span("cluster.readmit", replica=rid,
+                      leader=(leader.id if leader is not None else None)):
+            service = self._build_service(rid, snapshot=snapshot)
+            service.clock.advance_to(self.clock.now)
+            old = replica.service
+            self._service_rid.pop(id(old), None)
+            replica.service = service
+            self._service_rid[id(service)] = rid
+            replica.state = "active"
+            replica.strikes = 0
+            replica.down_since_s = None
+            self.readmits += 1
+            if obs.is_enabled():
+                obs.counter("cluster.readmits", replica=rid).inc()
+                obs.gauge("cluster.active_replicas").set(
+                    len(self.active_replica_ids()))
+        self._retry_parked()
+
+    # -------------------------------------------------------- introspection
+
+    @property
+    def parked(self) -> int:
+        """Requests currently waiting for any replica to come back."""
+        return len(self._parked)
+
+    def stats(self) -> dict:
+        """Cluster counter snapshot + per-replica/tenant breakdowns."""
+        return {
+            "replicas": len(self._replicas),
+            "active_replicas": len(self.active_replica_ids()),
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "quota_rejected": self.quota_rejected,
+            "rerouted": self.rerouted,
+            "parked": self.parked,
+            "drains": self.drains,
+            "readmits": self.readmits,
+            "served": sum(r.service.served for r in self._replicas),
+            "failed": sum(r.service.failed for r in self._replicas),
+            "batches": len(self.batch_log),
+            "latency": self.latency.summary(),
+            "per_replica": [
+                {
+                    "id": r.id,
+                    "state": r.state,
+                    "strikes": r.strikes,
+                    "served": r.service.served,
+                    "failed": r.service.failed,
+                    "depth": r.service.depth,
+                }
+                for r in self._replicas
+            ],
+            "tenants": {
+                name: self._tenant_slo[name].snapshot()
+                for name in sorted(self.tenants)
+            },
+        }

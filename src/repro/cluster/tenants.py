@@ -1,0 +1,54 @@
+"""Per-tenant quotas and SLO classes for the cluster router.
+
+A tenant is a named traffic source with two properties: an **in-flight
+quota** (how many of its requests may be outstanding across the whole
+cluster before further submits are shed with
+:class:`~repro.errors.QuotaExceededError`) and an **SLO class** (one of
+:data:`repro.obs.slo.SLO_CLASSES` — gold/standard/batch), which the
+router turns into a per-tenant :class:`~repro.obs.slo.SLOMonitor` fed
+with cluster-level latencies at simulated completion times. Quotas are
+the cluster's fairness mechanism: one tenant flooding the router burns
+its own budget, not its neighbours' tail latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import SLO_CLASSES, slo_class
+
+__all__ = ["TenantSpec", "DEFAULT_TENANT"]
+
+#: Tenant used when a submit names none.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's admission contract.
+
+    ``max_inflight`` counts *outstanding* requests — submitted but not
+    yet terminal (queued, executing, being rerouted after a drain). A
+    quota of 0 means unlimited.
+    """
+
+    name: str
+    max_inflight: int = 0
+    slo_class: str = "standard"
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: max_inflight must be >= 0, "
+                f"got {self.max_inflight}"
+            )
+        if self.slo_class not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: unknown SLO class "
+                f"{self.slo_class!r}; choose from {sorted(SLO_CLASSES)}"
+            )
+
+    def monitor(self, **monitor_kwargs):
+        """A fresh per-tenant SLO monitor for this tenant's class."""
+        return slo_class(self.slo_class, prefix=self.name, **monitor_kwargs)

@@ -62,6 +62,7 @@ __all__ = [
     "plan_spec_from_dict",
     "execution_plan_to_dict",
     "execution_plan_from_dict",
+    "spawn_replica_session",
 ]
 
 
@@ -591,3 +592,21 @@ def build_session_snapshot(session) -> SessionSnapshot:
         entries=entries,
         pools=pools,
     )
+
+
+def spawn_replica_session(snapshot, topology=None, **session_kwargs):
+    """Spawn a fresh :class:`~repro.core.session.ScanSession` replica
+    primed from a leader's snapshot.
+
+    The cluster re-admit path: a drained replica comes back by building a
+    brand-new session on its own topology shard and applying the leader's
+    :class:`SessionSnapshot`, so it answers its first request with warm
+    plans and tuned K instead of re-running every sweep mid-traffic.
+    ``snapshot`` may be ``None`` (cold spawn — e.g. no replica was
+    healthy enough to lead), a :class:`SessionSnapshot`, a payload dict
+    or a path; incompatible snapshots degrade to a cold start (see
+    ``session.restore_info``), never an error.
+    """
+    from repro.core.session import ScanSession
+
+    return ScanSession(topology, snapshot=snapshot, **session_kwargs)

@@ -89,6 +89,17 @@ class BackpressureError(ReproError):
     """
 
 
+class QuotaExceededError(BackpressureError):
+    """A tenant hit its cluster-level in-flight request quota.
+
+    Raised by :meth:`repro.cluster.ClusterRouter.submit` when admitting
+    the request would push the tenant's outstanding (non-terminal)
+    request count past its :class:`~repro.cluster.TenantSpec`
+    ``max_inflight``. A subclass of :class:`BackpressureError` so
+    generic shed-load handling catches both.
+    """
+
+
 class RequestFailedError(ReproError):
     """A coalesced service request ultimately failed (batch exhausted retries).
 

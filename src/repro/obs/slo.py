@@ -36,6 +36,8 @@ __all__ = [
     "SLOMonitor",
     "latency_objective",
     "availability_objective",
+    "SLO_CLASSES",
+    "slo_class",
 ]
 
 
@@ -83,6 +85,48 @@ def latency_objective(name: str, target: float, threshold_s: float) -> SLOObject
 
 def availability_objective(name: str, target: float) -> SLOObjective:
     return SLOObjective(name=name, kind="availability", target=target)
+
+
+#: Named SLO tiers for multi-tenant serving. Each maps to the
+#: (latency target/threshold, availability target) pair a tenant of that
+#: class is held to; thresholds are simulated seconds and sized to the
+#: serving benchmarks' sub-millisecond batch times.
+SLO_CLASSES: dict[str, dict] = {
+    "gold": {"latency_target": 0.99, "latency_threshold_s": 500e-6,
+             "availability_target": 0.999},
+    "standard": {"latency_target": 0.95, "latency_threshold_s": 2e-3,
+                 "availability_target": 0.99},
+    "batch": {"latency_target": 0.90, "latency_threshold_s": 20e-3,
+              "availability_target": 0.95},
+}
+
+
+def slo_class(name: str, prefix: str = "", **monitor_kwargs) -> SLOMonitor:
+    """An :class:`SLOMonitor` preconfigured for one named service tier.
+
+    ``name`` is one of :data:`SLO_CLASSES` (``gold``/``standard``/
+    ``batch``); ``prefix`` namespaces the objective names (e.g. a tenant
+    id) so per-tenant monitors stay distinguishable in snapshots.
+    Remaining keyword arguments pass through to :class:`SLOMonitor`
+    (windows, threshold, sink).
+    """
+    try:
+        spec = SLO_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SLO class {name!r}; choose from {sorted(SLO_CLASSES)}"
+        ) from None
+    tag = f"{prefix}/" if prefix else ""
+    return SLOMonitor(
+        [
+            latency_objective(f"{tag}{name}-latency",
+                              spec["latency_target"],
+                              spec["latency_threshold_s"]),
+            availability_objective(f"{tag}{name}-availability",
+                                   spec["availability_target"]),
+        ],
+        **monitor_kwargs,
+    )
 
 
 @dataclass(frozen=True)

@@ -30,15 +30,28 @@ module is the front door that turns one into the other:
   are marked failed.
 
 Latency accounting is in *simulated* seconds and sums exactly: each
-request's latency is its queue wait plus its **execution share** of the
-batch (batch simulated time divided by the real — unpadded — request
-count, with the division remainder assigned to the last row so the
-shares sum to the batch time bit-exactly instead of drifting). Hence,
-over any set of served requests::
+request's latency is its queue wait, plus the executor wait its batch
+spent behind earlier batches (only in ``serialize_exec`` mode — zero
+otherwise), plus its **execution share** of the batch (batch simulated
+time divided by the real — unpadded — request count, with the division
+remainder assigned to the last row so the shares sum to the batch time
+bit-exactly instead of drifting). Hence, over any set of terminal
+requests::
 
-    sum(latency) == sum(queue_wait) + sum(batch simulated time)
+    sum(latency) == sum(queue_wait) + sum(exec_wait) + sum(batch simulated time)
 
 which the test suite pins as the no-double-counting invariant.
+
+**Failed requests are charged too**: a batch that exhausts failover (and
+service-level bisection) marks its tickets failed with their queue wait
+*plus* the simulated time the failed attempts actually consumed (the
+retry backoff trail carried by
+:class:`~repro.errors.FailoverExhaustedError`), shared exactly like a
+successful batch's execution time. Failed latencies feed the same
+histograms and totals as successes, and their SLO availability outcome
+is stamped at ``flush + attempted time`` — after the backoff elapsed,
+not when the flush began — so failures are neither invisible to the
+latency distribution nor reported before they simulated-happened.
 """
 
 from __future__ import annotations
@@ -96,9 +109,9 @@ class SubmitResult:
 
     __slots__ = (
         "index", "key", "arrival_s", "size", "status", "output", "error",
-        "queue_wait_s", "exec_share_s", "batch_time_s", "latency_s",
-        "completion_s", "batch_index", "batch_requests", "batch_g",
-        "failover", "splits",
+        "queue_wait_s", "exec_wait_s", "exec_share_s", "batch_time_s",
+        "latency_s", "completion_s", "batch_index", "batch_requests",
+        "batch_g", "failover", "splits", "seq",
     )
 
     def __init__(self, index: int, key: QueueKey, arrival_s: float, size: int):
@@ -111,13 +124,16 @@ class SubmitResult:
         self.output: np.ndarray | None = None
         self.error: BaseException | None = None
         self.queue_wait_s = 0.0
+        #: Time the batch waited behind earlier batches on the (serial)
+        #: executor; always 0.0 unless the service runs serialize_exec.
+        self.exec_wait_s = 0.0
         #: This request's share of its batch's simulated execution time.
         self.exec_share_s = 0.0
         #: Full simulated time of the batch that served this request.
         self.batch_time_s = 0.0
-        #: queue_wait_s + exec_share_s (the accounting quantity).
+        #: queue_wait_s + exec_wait_s + exec_share_s (the accounting quantity).
         self.latency_s = 0.0
-        #: Simulated completion: flush time + full batch time.
+        #: Simulated completion: exec start time + full batch time.
         self.completion_s = 0.0
         self.batch_index: int | None = None
         #: Real (unpadded) request count of the serving batch.
@@ -128,6 +144,10 @@ class SubmitResult:
         self.failover: dict | None = None
         #: How many service-level bisections this request went through.
         self.splits = 0
+        #: Monotone terminal-order stamp: the order in which this service
+        #: resolved tickets (done/failed/evicted). Lets callers rebuild
+        #: the service's own observation order bit-exactly.
+        self.seq: int | None = None
 
     @property
     def done(self) -> bool:
@@ -138,11 +158,16 @@ class SubmitResult:
         return self.status == "failed"
 
     def result(self) -> np.ndarray:
-        """The scanned request, or raise if pending/failed."""
+        """The scanned request, or raise if pending/failed/evicted."""
         if self.status == "queued":
             raise ConfigurationError(
                 f"request {self.index} is still queued; advance the clock, "
                 "flush or drain the service first"
+            )
+        if self.status == "evicted":
+            raise RequestFailedError(
+                f"request {self.index} was evicted from its queue "
+                "(replica drained before its batch flushed)", cause=self.error
             )
         if self.status == "failed":
             raise RequestFailedError(
@@ -177,6 +202,8 @@ class BatchReport:
     sim_time_s: float
     queue_wait_s: float
     splits: int = 0
+    #: Time the batch waited for the serial executor (serialize_exec only).
+    exec_wait_s: float = 0.0
     result: ScanResult | None = field(default=None, repr=False)
 
 
@@ -213,6 +240,20 @@ class ScanService:
         snapshot (schema, architecture or cost-fingerprint mismatch) is
         refused gracefully and serving starts cold; see
         ``session.restore_info``.
+    serialize_exec:
+        Model the replica's executor as a *serial* resource: a batch
+        whose flush time lands while an earlier batch is still executing
+        waits for it (``exec_wait_s``), and completions stack up instead
+        of overlapping. Off by default — the classic service overlaps
+        batches freely, which keeps historical accounting bit-identical
+        — but the cluster layer turns it on so tail latency actually
+        responds to per-replica load.
+    on_scatter, on_fail:
+        Optional replica hooks for a fronting router.
+        ``on_scatter(service, report, tickets)`` fires after a batch
+        scatters; ``on_fail(service, pairs, exc)`` fires after tickets
+        are marked failed, with ``pairs`` the ``(ticket, data)`` rows so
+        the router can re-route them elsewhere.
 
     The clock only moves when the caller moves it — via timestamped
     ``submit(..., at=...)``, :meth:`advance`, or :meth:`advance_to` —
@@ -234,6 +275,9 @@ class ScanService:
         K: int | str | None = None,
         slo=None,
         snapshot=None,
+        serialize_exec: bool = False,
+        on_scatter=None,
+        on_fail=None,
     ):
         from repro.core.session import ScanSession, default_session
 
@@ -260,6 +304,9 @@ class ScanService:
         self.M = M
         self.K = K
         self.slo = slo
+        self.serialize_exec = bool(serialize_exec)
+        self.on_scatter = on_scatter
+        self.on_fail = on_fail
         self.clock = SimClock()
         self._queues: dict[QueueKey, list[_Pending]] = {}
         self.batches: list[BatchReport] = []
@@ -268,10 +315,16 @@ class ScanService:
         self.served = 0
         self.failed = 0
         self.rejected = 0
+        self.evicted = 0
         self.padded_rows = 0
         self.splits = 0
+        # Monotone terminal-order stamp (see SubmitResult.seq).
+        self._seq = 0
+        # When the last batch frees the serial executor (serialize_exec).
+        self.busy_until_s = 0.0
         # Exact accounting totals for the no-double-counting invariant.
         self.total_queue_wait_s = 0.0
+        self.total_exec_wait_s = 0.0
         self.total_exec_s = 0.0
         self.total_latency_s = 0.0
         #: Streaming distributions (mirroring the session's histograms).
@@ -421,9 +474,13 @@ class ScanService:
                 obs.gauge("serve.queue_depth").set(self.depth)
             self._dispatch(key, pending, reason, depth=0)
         # A flush can leave a (rare) over-full remainder behind when
-        # submits outpaced max_batch; keep flushing until legal.
+        # submits outpaced max_batch; keep flushing until legal. The
+        # re-flush fires because the remainder is over max_batch, not
+        # because of whatever triggered the original flush, so it gets
+        # its own reason — carrying e.g. "max_wait" through would skew
+        # the serve.flushes counter labels.
         if len(self._queues.get(key, ())) >= self.max_batch:
-            self._flush_key(key, reason=reason)
+            self._flush_key(key, reason="max_batch")
 
     # ------------------------------------------------------------- dispatch
 
@@ -479,6 +536,14 @@ class ScanService:
         """Hand each request its output row and its latency accounting."""
         requests = len(pending)
         batch_time = result.total_time_s
+        # With a serial executor, a batch flushed while an earlier batch
+        # is still running waits for it before starting.
+        if self.serialize_exec:
+            start_s = max(flush_s, self.busy_until_s)
+            self.busy_until_s = start_s + batch_time
+        else:
+            start_s = flush_s
+        exec_wait = start_s - flush_s
         # Equal execution shares, with the division remainder assigned to
         # the last request so the shares sum to batch_time *bit-exactly*
         # (requests is not always a power of two; naive D/R shares would
@@ -491,13 +556,16 @@ class ScanService:
         for i, p in enumerate(pending):
             t = p.ticket
             t.status = "done"
+            t.seq = self._seq
+            self._seq += 1
             t.output = result.output[i, : t.size].copy()
             t.queue_wait_s = flush_s - t.arrival_s
+            t.exec_wait_s = exec_wait
             t.exec_share_s = (share if i < requests - 1
                               else batch_time - share * (requests - 1))
             t.batch_time_s = batch_time
-            t.latency_s = t.queue_wait_s + t.exec_share_s
-            t.completion_s = flush_s + batch_time
+            t.latency_s = t.queue_wait_s + t.exec_wait_s + t.exec_share_s
+            t.completion_s = start_s + batch_time
             t.batch_index = batch_index
             t.batch_requests = requests
             t.batch_g = result.problem.G
@@ -512,14 +580,15 @@ class ScanService:
         self.served += requests
         self.padded_rows += result.problem.G - requests
         self.total_queue_wait_s += queue_wait_total
+        self.total_exec_wait_s += exec_wait * requests
         self.total_exec_s += batch_time
-        self.total_latency_s += queue_wait_total + batch_time
+        self.total_latency_s += queue_wait_total + exec_wait * requests + batch_time
         self.batch_size.observe(requests)
         if enabled:
             obs.histogram("serve.batch_size").observe(requests)
             obs.counter("serve.served").inc(requests)
             obs.counter("serve.padded_rows").inc(result.problem.G - requests)
-        self.batches.append(BatchReport(
+        report = BatchReport(
             index=batch_index,
             key=key,
             reason=reason,
@@ -529,25 +598,98 @@ class ScanService:
             sim_time_s=batch_time,
             queue_wait_s=queue_wait_total,
             splits=pending[0].ticket.splits,
+            exec_wait_s=exec_wait,
             result=result,
-        ))
+        )
+        self.batches.append(report)
+        if self.on_scatter is not None:
+            self.on_scatter(self, report, [p.ticket for p in pending])
 
     def _fail(self, pending: list[_Pending], exc: BaseException,
               depth: int) -> None:
-        for p in pending:
+        """Mark ``pending`` failed, charging the time the attempts burned.
+
+        Failed-request accounting: latency is queue wait plus the
+        request's share of the *attempted* execution time — the retry
+        backoff the exhausted failover actually simulated, carried by
+        ``FailoverExhaustedError.attempts`` — shared across the batch
+        exactly like a successful batch's execution time. The SLO
+        availability outcome is stamped at the simulated completion
+        (flush + attempted time), not at flush time.
+        """
+        flush_s = self.clock.now
+        requests = len(pending)
+        attempted_s = 0.0
+        if isinstance(exc, FailoverExhaustedError):
+            attempted_s = float(sum(a.backoff_s for a in exc.attempts))
+        if self.serialize_exec:
+            start_s = max(flush_s, self.busy_until_s)
+            self.busy_until_s = start_s + attempted_s
+        else:
+            start_s = flush_s
+        exec_wait = start_s - flush_s
+        share = attempted_s / requests
+        queue_wait_total = 0.0
+        enabled = obs.is_enabled()
+        for i, p in enumerate(pending):
             t = p.ticket
             t.status = "failed"
+            t.seq = self._seq
+            self._seq += 1
             t.error = exc
-            t.queue_wait_s = self.clock.now - t.arrival_s
+            t.queue_wait_s = flush_s - t.arrival_s
+            t.exec_wait_s = exec_wait
+            t.exec_share_s = (share if i < requests - 1
+                              else attempted_s - share * (requests - 1))
+            t.batch_time_s = attempted_s
+            t.latency_s = t.queue_wait_s + t.exec_wait_s + t.exec_share_s
+            t.completion_s = start_s + attempted_s
             t.splits = depth
+            queue_wait_total += t.queue_wait_s
+            self.latency.observe(t.latency_s)
             if self.slo is not None:
-                self.slo.observe(self.clock.now, ok=False)
-        self.failed += len(pending)
-        if obs.is_enabled():
-            obs.counter("serve.request_failures").inc(len(pending))
+                self.slo.observe(t.completion_s, latency_s=t.latency_s, ok=False)
+            if enabled:
+                obs.histogram("serve.latency_s").observe(t.latency_s)
+                obs.histogram("serve.queue_wait_s").observe(t.queue_wait_s)
+        self.failed += requests
+        self.total_queue_wait_s += queue_wait_total
+        self.total_exec_wait_s += exec_wait * requests
+        self.total_exec_s += attempted_s
+        self.total_latency_s += queue_wait_total + exec_wait * requests + attempted_s
+        if enabled:
+            obs.counter("serve.request_failures").inc(requests)
         if flight.is_armed():
             flight.note("requests_failed", at_s=self.clock.now,
-                        requests=len(pending), depth=depth, error=str(exc))
+                        requests=requests, depth=depth, error=str(exc))
+        if self.on_fail is not None:
+            self.on_fail(self, [(p.ticket, p.data) for p in pending], exc)
+
+    # -------------------------------------------------------------- eviction
+
+    def evict_pending(self) -> list[tuple[SubmitResult, np.ndarray]]:
+        """Remove every queued request without dispatching it.
+
+        Used by a fronting router when draining a replica: the queued
+        rows come back as ``(ticket, data)`` pairs so they can be
+        resubmitted elsewhere. Evicted tickets get ``status ==
+        "evicted"`` (their :meth:`SubmitResult.result` raises) and are
+        *not* counted as served or failed — they are accounted by
+        whichever replica finally serves them.
+        """
+        pairs: list[tuple[SubmitResult, np.ndarray]] = []
+        for key in self._ordered_keys():
+            for p in self._queues.pop(key, []):
+                t = p.ticket
+                t.status = "evicted"
+                t.seq = self._seq
+                self._seq += 1
+                pairs.append((t, p.data))
+        self.evicted += len(pairs)
+        if pairs and obs.is_enabled():
+            obs.counter("serve.evicted").inc(len(pairs))
+            obs.gauge("serve.queue_depth").set(self.depth)
+        return pairs
 
     # -------------------------------------------------------- introspection
 
@@ -559,6 +701,7 @@ class ScanService:
             "served": self.served,
             "failed": self.failed,
             "rejected": self.rejected,
+            "evicted": self.evicted,
             "queued": self.depth,
             "batches": served_batches,
             "splits": self.splits,
@@ -566,6 +709,7 @@ class ScanService:
             "mean_batch_size": (self.served / served_batches
                                 if served_batches else 0.0),
             "total_queue_wait_s": self.total_queue_wait_s,
+            "total_exec_wait_s": self.total_exec_wait_s,
             "total_exec_s": self.total_exec_s,
             "total_latency_s": self.total_latency_s,
             "latency": self.latency.summary(),

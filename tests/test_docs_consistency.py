@@ -90,5 +90,6 @@ class TestExperiments:
 
     def test_docs_directory_complete(self):
         for doc in ("architecture.md", "tuning.md", "simulator.md",
-                    "api.md", "paper_map.md", "faq.md"):
+                    "api.md", "paper_map.md", "faq.md", "serving.md",
+                    "observability.md", "cluster.md"):
             assert (ROOT / "docs" / doc).exists()

@@ -7,11 +7,14 @@ double counting, and a failing batch must degrade to per-request
 failures only after retry and bisection are exhausted.
 """
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import obs
-from repro.core.health import RetryPolicy
+from repro.core.health import AttemptRecord, RetryPolicy
 from repro.core.session import ScanSession
 from repro.errors import (
     BackpressureError,
@@ -21,8 +24,10 @@ from repro.errors import (
 )
 from repro.gpusim.faults import DeviceDown, FaultSchedule
 from repro.interconnect.topology import tsubame_kfc
+from repro.obs.slo import SLOMonitor, availability_objective
 from repro.primitives.sequential import inclusive_scan
 from repro.serve import ScanService, SimClock, poisson_workload, replay, solo_baseline
+from repro.serve.replay import Request
 
 
 @pytest.fixture
@@ -400,3 +405,309 @@ class TestReplayDriver:
         report = replay(service, workload)
         solo = solo_baseline(ScanSession(tsubame_kfc(1)), workload)
         assert solo["solo_sim_s"] / report["coalesced_sim_s"] >= 2.0
+
+
+class TestFlushReasonAccounting:
+    def test_overfull_remainder_reflushes_as_max_batch(self, machine, rng):
+        """Shrinking max_batch mid-run (the adaptive-policy pattern)
+        leaves a deadline flush with an over-full remainder; the
+        re-flushes fire *because of max_batch* and must be labelled so —
+        carrying the triggering "max_wait" through skewed the
+        serve.flushes counter."""
+        obs.enable()
+        obs.reset()
+        try:
+            service = ScanSession(machine).service(max_batch=64,
+                                                   max_wait_s=1e-3)
+            tickets = [service.submit(d, at=0.0) for d in rows(rng, 5)]
+            service.max_batch = 2
+            service.advance_to(0.01)
+            # Deadline flush takes 2, the over-full remainder (3) re-flushes
+            # 2 as max_batch, and the last singleton's own deadline fires.
+            assert [b.reason for b in service.batches] == [
+                "max_wait", "max_batch", "max_wait"
+            ]
+            snap = obs.registry().snapshot()
+            assert snap["serve.flushes"]["reason=max_wait"] == 2
+            assert snap["serve.flushes"]["reason=max_batch"] == 1
+            assert all(t.done for t in tickets)
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestFailedRequestAccounting:
+    class _ExhaustedSession(ScanSession):
+        """Always exhausts failover, with a realistic attempt trail."""
+
+        BACKOFFS = (1e-3, 2e-3, 4e-3)
+
+        def scan(self, data, **kwargs):
+            attempts = [
+                AttemptRecord(attempt=i + 1, proposal="sp", node=None,
+                              error_type="DeviceLostError",
+                              error="injected", backoff_s=b)
+                for i, b in enumerate(self.BACKOFFS)
+            ]
+            raise FailoverExhaustedError("injected exhaustion",
+                                         attempts=attempts)
+
+    def test_failed_tickets_charge_queue_wait_plus_attempted_time(
+            self, machine, rng):
+        """Failed requests are charged queue wait + their share of the
+        attempted (backoff) time — not latency 0.0 — and complete at
+        flush + attempted time."""
+        session = self._ExhaustedSession(machine)
+        session.health.policy = RetryPolicy(max_batch_splits=0)
+        service = session.service(max_batch=4)
+        tickets = [service.submit(d, at=i * 1e-4)
+                   for i, d in enumerate(rows(rng, 3))]
+        service.drain()
+        assert all(t.failed for t in tickets)
+        attempted = sum(self._ExhaustedSession.BACKOFFS)
+        flush_s = service.clock.now
+        assert sum(t.exec_share_s for t in tickets) == attempted
+        for t in tickets:
+            assert t.queue_wait_s == flush_s - t.arrival_s
+            assert t.latency_s == t.queue_wait_s + t.exec_share_s
+            assert t.latency_s > 0.0
+            assert t.completion_s == pytest.approx(flush_s + attempted)
+            assert t.batch_time_s == attempted
+        # Failed latencies land in the histogram and the totals.
+        assert service.latency.count == 3
+        assert service.total_exec_s == pytest.approx(attempted)
+        assert service.total_latency_s == pytest.approx(
+            math.fsum(t.latency_s for t in tickets))
+
+    def test_failure_slo_outcome_stamped_after_backoff(self, machine, rng):
+        """The availability outcome lands at the simulated completion
+        (flush + attempted backoff), not at flush time."""
+        monitor = SLOMonitor([availability_objective("avail", 0.99)])
+        session = self._ExhaustedSession(machine)
+        session.health.policy = RetryPolicy(max_batch_splits=0)
+        service = session.service(max_batch=2, slo=monitor)
+        service.submit(rows(rng, 1)[0], at=1e-3)
+        service.drain()
+        flush_s = service.clock.now
+        attempted = sum(self._ExhaustedSession.BACKOFFS)
+        short, _ = monitor._windows["avail"]
+        at_s, is_bad = short.events[-1]
+        assert is_bad
+        assert at_s == pytest.approx(flush_s + attempted)
+        assert at_s > flush_s
+
+    def test_invariant_holds_across_mixed_success_and_failure(
+            self, machine, rng):
+        """The no-double-counting invariant extends over failures:
+        sum(latency) == sum(queue wait) + sum(exec wait) + sum(executed
+        and attempted batch time)."""
+
+        class _Flaky(ScanSession):
+            def scan(self, data, **kwargs):
+                if data.shape[0] > 2:
+                    raise FailoverExhaustedError(
+                        "wide batches fail",
+                        attempts=[AttemptRecord(
+                            attempt=1, proposal="sp", node=None,
+                            error_type="DeviceLostError", error="injected",
+                            backoff_s=3e-3)],
+                    )
+                return super().scan(data, **kwargs)
+
+        session = _Flaky(machine)
+        session.health.policy = RetryPolicy(max_batch_splits=0)
+        service = session.service(max_batch=4)
+        tickets = [service.submit(d, at=i * 1e-4)
+                   for i, d in enumerate(rows(rng, 6))]
+        service.drain()
+        assert sum(t.failed for t in tickets) == 4  # the max_batch flush
+        assert sum(t.done for t in tickets) == 2    # the drained tail
+        total_latency = math.fsum(t.latency_s for t in tickets)
+        total_wait = math.fsum(t.queue_wait_s for t in tickets)
+        total_exec_wait = math.fsum(t.exec_wait_s for t in tickets)
+        assert total_latency == pytest.approx(
+            total_wait + total_exec_wait + service.total_exec_s,
+            rel=1e-12, abs=0)
+        assert service.total_latency_s == pytest.approx(total_latency)
+
+
+class TestSerializedExecutor:
+    def test_busy_executor_delays_next_batch(self, machine, rng):
+        """With serialize_exec, two batches flushed back-to-back stack:
+        the second's riders wait for the first to leave the executor."""
+        service = ScanSession(machine).service(max_batch=2,
+                                               serialize_exec=True)
+        first = [service.submit(d) for d in rows(rng, 2)]
+        second = [service.submit(d) for d in rows(rng, 2)]
+        b1, b2 = service.batches
+        assert b1.exec_wait_s == 0.0
+        assert b2.exec_wait_s == pytest.approx(b1.sim_time_s)
+        for t in first:
+            assert t.exec_wait_s == 0.0
+        for t in second:
+            assert t.exec_wait_s == pytest.approx(b1.sim_time_s)
+            assert t.completion_s == pytest.approx(
+                b1.sim_time_s + b2.sim_time_s)
+            assert t.latency_s == (t.queue_wait_s + t.exec_wait_s
+                                   + t.exec_share_s)
+        assert service.busy_until_s == pytest.approx(
+            b1.sim_time_s + b2.sim_time_s)
+        assert service.total_exec_wait_s == pytest.approx(
+            2 * b1.sim_time_s)
+
+    def test_default_overlapping_mode_unchanged(self, machine, rng):
+        service = ScanSession(machine).service(max_batch=2)
+        [service.submit(d) for d in rows(rng, 4)]
+        assert all(b.exec_wait_s == 0.0 for b in service.batches)
+        assert service.total_exec_wait_s == 0.0
+
+
+class TestEviction:
+    def test_evict_pending_returns_rows_and_marks_tickets(self, service, rng):
+        data = rows(rng, 3)
+        tickets = [service.submit(d) for d in data]
+        pairs = service.evict_pending()
+        assert [t for t, _ in pairs] == tickets
+        assert all(t.status == "evicted" for t in tickets)
+        for (_, row), d in zip(pairs, data):
+            np.testing.assert_array_equal(row, d)
+        assert service.depth == 0
+        assert service.evicted == 3
+        assert service.served == 0 and service.failed == 0
+        with pytest.raises(RequestFailedError, match="evicted"):
+            tickets[0].result()
+
+
+class TestDeadlineEdge:
+    def test_passed_deadline_flushes_at_now_not_backwards(self, machine, rng):
+        """Shrinking max_wait mid-run leaves a queue head whose deadline
+        already passed; the flush fires *now* (the max(deadline, now)
+        path) — the clock never runs backwards."""
+        service = ScanSession(machine).service(max_batch=64, max_wait_s=1.0)
+        ticket = service.submit(rows(rng, 1)[0], at=0.0)
+        service.advance_to(0.5)
+        assert ticket.status == "queued"
+        service.max_wait_s = 0.1  # head deadline is now 0.1 < clock 0.5
+        service.advance_to(0.6)
+        assert ticket.done
+        batch = service.batches[0]
+        assert batch.reason == "max_wait"
+        assert batch.flush_s == 0.5  # fired immediately, not at 0.1
+        assert ticket.queue_wait_s == 0.5
+        assert service.clock.now == 0.6
+
+    def test_multiple_passed_deadlines_flush_in_deadline_order(
+            self, machine, rng):
+        service = ScanSession(machine).service(max_batch=64, max_wait_s=1.0)
+        b = service.submit(rng.integers(0, 9, 1 << 10).astype(np.int32),
+                           at=0.0)
+        a = service.submit(rng.integers(0, 9, 1 << 11).astype(np.int32),
+                           at=0.2)
+        service.advance_to(0.5)
+        service.max_wait_s = 0.05  # both deadlines (0.05, 0.25) passed
+        service.advance_to(0.5)
+        assert a.done and b.done
+        first, second = service.batches
+        # b arrived first -> earlier deadline -> flushes first; both at now.
+        assert first.key.n == 1 << 10 and second.key.n == 1 << 11
+        assert first.flush_s == 0.5 and second.flush_s == 0.5
+
+    def test_partial_flush_remainder_with_passed_deadline(self, machine, rng):
+        """A partial (max_batch-shrunk) flush leaves a new queue head
+        whose deadline already elapsed; it must flush at the current
+        time, in order, without clock regression."""
+        service = ScanSession(machine).service(max_batch=64, max_wait_s=0.3)
+        tickets = [service.submit(d, at=0.01 * i)
+                   for i, d in enumerate(rows(rng, 5))]
+        service.max_batch = 2
+        # First deadline (0.3) triggers a flush of 2; remainder heads'
+        # deadlines (0.32, 0.34) are then <= now as the loop walks on.
+        service.advance_to(0.4)
+        assert all(t.done for t in tickets[:4])
+        flush_times = [b.flush_s for b in service.batches]
+        assert flush_times == sorted(flush_times)
+        assert service.clock.now == 0.4
+
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=2e-3, allow_nan=False),
+            min_size=1, max_size=12),
+        sizes_log2=st.lists(st.sampled_from([9, 10, 11]),
+                            min_size=1, max_size=12),
+        new_max_wait=st.floats(min_value=1e-5, max_value=2e-3,
+                               allow_nan=False),
+        new_max_batch=st.integers(min_value=1, max_value=4),
+        shrink_after=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_property_monotone_flushes(self, offsets, sizes_log2,
+                                                new_max_wait, new_max_batch,
+                                                shrink_after):
+        """Any schedule with a mid-run policy shrink keeps: monotone
+        flush times, a monotone clock, every ticket terminal after a
+        drain, and the accounting invariant."""
+        rng = np.random.default_rng(0)
+        service = ScanSession(tsubame_kfc(1)).service(max_batch=8,
+                                                      max_wait_s=1e-3)
+        arrivals = np.cumsum(offsets)
+        tickets = []
+        for i, (at, lg) in enumerate(zip(arrivals, sizes_log2 * 12)):
+            if i == shrink_after:
+                service.max_wait_s = new_max_wait
+                service.max_batch = new_max_batch
+            data = rng.integers(0, 50, 1 << lg).astype(np.int32)
+            tickets.append(service.submit(data, at=float(at)))
+        end = float(arrivals[-1]) + 5e-3
+        service.advance_to(end)
+        service.drain()
+        assert all(t.done for t in tickets)
+        assert service.clock.now == end
+        flush_times = [b.flush_s for b in service.batches]
+        assert flush_times == sorted(flush_times)
+        # max_wait flushes never fire before the deadline that was
+        # current when they fired... but never before their arrival.
+        for b in service.batches:
+            assert b.flush_s >= 0.0
+        total_latency = math.fsum(t.latency_s for t in tickets)
+        total_wait = math.fsum(t.queue_wait_s for t in tickets)
+        assert total_latency == pytest.approx(
+            total_wait + math.fsum(b.sim_time_s for b in service.batches),
+            rel=1e-12, abs=0)
+
+
+class TestReplayDeltas:
+    def test_second_replay_reports_per_run_deltas(self, machine):
+        """Replaying twice on one service (the restart/cluster pattern)
+        must not double-count the first run in the second summary."""
+        session = ScanSession(machine)
+        service = session.service(max_batch=8, max_wait_s=5e-4)
+        wl1 = poisson_workload(16, sizes_log2=(9, 10), rate=20000.0, seed=5)
+        r1 = replay(service, wl1)
+        shift = service.clock.now + 1e-3
+        wl2 = [Request(at_s=r.at_s + shift, data=r.data, operator=r.operator,
+                       inclusive=r.inclusive) for r in wl1]
+        r2 = replay(service, wl2)
+        for key in ("submitted", "served", "failed", "batches",
+                    "mean_batch_size", "requests", "verified"):
+            assert r2[key] == r1[key], key
+        assert r2["submitted"] == 16  # not 32
+        # Same schedule shape -> identical per-run accounting.
+        assert r2["total_queue_wait_s"] == pytest.approx(
+            r1["total_queue_wait_s"])
+        assert r2["coalesced_sim_s"] == pytest.approx(r1["coalesced_sim_s"])
+        assert r2["latency"]["count"] == 16
+        # Lifetime counters still accumulate on the service itself.
+        assert service.submitted == 32 and service.served == 32
+
+    def test_fresh_service_deltas_match_lifetime_summary(self, machine):
+        """On a fresh service the per-run summary is the lifetime
+        summary — bit-identical distributions included (pinning the
+        recorded bench baselines)."""
+        service = ScanSession(machine).service(max_batch=8, max_wait_s=5e-4)
+        wl = poisson_workload(20, sizes_log2=(9, 10), rate=30000.0, seed=6)
+        report = replay(service, wl)
+        stats = service.stats()
+        assert report["latency"] == stats["latency"]
+        assert report["batch_size"] == stats["batch_size"]
+        assert report["submitted"] == stats["submitted"]
+        assert report["total_exec_s"] == stats["total_exec_s"]
