@@ -5,11 +5,18 @@ module encodes it as data so tests (and future re-calibrations) can check
 every anchor mechanically. The *only* fitted quantities are the baseline
 library constants (anchored at the paper's Figure-12 endpoint speedups)
 and three multi-GPU overhead constants; everything else is emergent.
+
+:func:`fit_cost_constants` is the *online* half of the discipline: it
+re-derives the effective machine constants from measured execution
+traces, so a controller (:class:`repro.control.controllers
+.CalibrationController`) can detect when the machine's pricing has
+drifted away from the constants the cached plans were priced under.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.baselines import get_baseline
 from repro.interconnect.topology import SystemTopology, tsubame_kfc
@@ -95,6 +102,61 @@ def check_all_anchors(topology: SystemTopology | None = None) -> list[dict]:
         "ok": SP_VS_CUB_WINDOW[0] <= ratio <= SP_VS_CUB_WINDOW[1],
     })
     return rows
+
+
+def fit_cost_constants(traces: Iterable) -> dict:
+    """Re-fit effective machine constants from measured execution traces.
+
+    Aggregates the :class:`~repro.gpusim.events.KernelRecord` entries of
+    the given :class:`~repro.gpusim.events.Trace` objects into the
+    constants the cost model is parameterised by, as *achieved* by this
+    window of execution:
+
+    - ``achieved_bandwidth_bytes``: global bytes moved per second of
+      kernel time (the DRAM-roofline constant the kernel costs reduce
+      to at large N);
+    - ``stall_fraction``: the share of kernel time that was exposed
+      schedule-independent latency (lookback polling, descriptor arming)
+      rather than compute/memory;
+    - ``mean_kernel_s`` and ``kernels``: scale of the window, so callers
+      can judge whether the fit is statistically worth trusting.
+
+    Pure arithmetic over the records — deterministic for a fixed window,
+    JSON-friendly, and directly comparable with :func:`calibration_drift`.
+    """
+    kernels = 0
+    total_bytes = 0
+    total_time_s = 0.0
+    total_stall_s = 0.0
+    for trace in traces:
+        for rec in trace.kernel_records():
+            kernels += 1
+            total_bytes += rec.global_bytes_read + rec.global_bytes_written
+            total_time_s += rec.time_s
+            total_stall_s += rec.stall_s
+    return {
+        "kernels": kernels,
+        "achieved_bandwidth_bytes": (total_bytes / total_time_s
+                                     if total_time_s > 0 else 0.0),
+        "stall_fraction": (total_stall_s / total_time_s
+                           if total_time_s > 0 else 0.0),
+        "mean_kernel_s": total_time_s / kernels if kernels else 0.0,
+    }
+
+
+def calibration_drift(reference: dict, fitted: dict) -> float:
+    """Relative drift between two :func:`fit_cost_constants` fits.
+
+    The drift is the relative deviation of the achieved bandwidth — the
+    one constant every kernel cost scales with. ``0.0`` means the machine
+    still prices work exactly as the reference window did; ``inf`` when
+    the reference had no usable bandwidth estimate but the new fit does.
+    """
+    ref = reference["achieved_bandwidth_bytes"]
+    fit = fitted["achieved_bandwidth_bytes"]
+    if ref <= 0.0:
+        return 0.0 if fit <= 0.0 else float("inf")
+    return abs(fit - ref) / ref
 
 
 def format_anchor_report(rows: list[dict]) -> str:

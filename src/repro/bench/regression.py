@@ -41,6 +41,12 @@ Suites (each skipped silently when its baseline file is absent):
   re-checked against its acceptance bar, and the drain/re-admit chaos
   scenario is re-run twice — zero lost requests, summary matching the
   baseline, and the repeated run bit-identical to the first.
+- ``adaptive`` (``BENCH_adaptive.json``): the adaptive-vs-static A/B is
+  re-run from the parameters committed in the baseline (two repeats per
+  cell — the replay must be bit-identical, decision log included), every
+  cell's latency percentiles/counters/decision digest must match the
+  recorded values exactly, and the recorded win is re-checked against
+  the acceptance bars (p99 improvement under burst, parity on steady).
 
 Wall-clock fields (``cold_s_median`` etc.) are never compared — they are
 measurements of the host, not of the code under test.
@@ -58,7 +64,7 @@ import numpy as np
 __all__ = ["run_checks", "format_report", "SUITES"]
 
 SUITES = ("serving", "single_pass", "serve", "obs_overhead", "restart",
-          "cluster")
+          "cluster", "adaptive")
 
 
 class _Suite:
@@ -416,6 +422,52 @@ def _check_cluster(suite: _Suite, recorded: dict) -> None:
     )
 
 
+def _check_adaptive(suite: _Suite, recorded: dict) -> None:
+    from repro.control.ab import run_ab
+
+    report = run_ab(recorded["params"], repeats=2)
+    suite.expect(
+        report["deterministic"],
+        "adaptive A/B replay is not bit-identical across repeats",
+    )
+    exact_keys = ("served", "failed", "verified", "batches",
+                  "decisions", "decision_digest", "final_max_batch")
+    ratio_keys = ("mean_batch_size", "latency_p50_s", "latency_p99_s",
+                  "total_exec_s", "final_max_wait_s")
+    for workload in ("bursty", "steady"):
+        for arm in ("static", "adaptive"):
+            cell = report[workload][arm]
+            row = recorded[workload][arm]
+            label = f"adaptive {workload}/{arm}"
+            for key in exact_keys:
+                suite.expect(
+                    cell[key] == row[key],
+                    f"{label} {key}: {cell[key]!r} != recorded {row[key]!r}",
+                )
+            for key in ratio_keys:
+                suite.expect_ratio(cell[key], row[key], f"{label} {key}")
+    suite.expect_ratio(
+        report["bursty"]["p99_improvement"],
+        recorded["bursty"]["p99_improvement"],
+        "adaptive bursty p99_improvement",
+    )
+    suite.expect_ratio(
+        report["steady"]["p99_ratio"], recorded["steady"]["p99_ratio"],
+        "adaptive steady p99_ratio",
+    )
+    # The bars the baseline was accepted under must still hold.
+    suite.expect(
+        report["bursty"]["p99_improvement"] >= 1.3,
+        f"adaptive burst win {report['bursty']['p99_improvement']:.2f}x "
+        "fell below the 1.3x acceptance bar",
+    )
+    suite.expect(
+        report["steady"]["p99_ratio"] <= 1.05,
+        f"adaptive steady ratio {report['steady']['p99_ratio']:.3f}x "
+        "exceeds the 1.05x acceptance bar",
+    )
+
+
 _CHECKERS = {
     "serving": ("BENCH_serving.json", _check_serving),
     "single_pass": ("BENCH_single_pass.json", _check_single_pass),
@@ -423,6 +475,7 @@ _CHECKERS = {
     "obs_overhead": ("BENCH_obs_overhead.json", _check_obs_overhead),
     "restart": ("BENCH_restart.json", _check_restart),
     "cluster": ("BENCH_cluster.json", _check_cluster),
+    "adaptive": ("BENCH_adaptive.json", _check_adaptive),
 }
 
 

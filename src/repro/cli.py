@@ -191,6 +191,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     "before replaying (zero-warmup start)")
     sv.add_argument("--no-solo", action="store_true",
                     help="skip the one-request-at-a-time baseline")
+    sv.add_argument("--adaptive", action="store_true",
+                    help="serve with the adaptive controller stack: "
+                    "max_batch/max_wait track the observed arrival rate, "
+                    "degraded health re-tunes, calibration drift evicts "
+                    "stale plans (decisions printed, or in --json)")
     sv.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
     sv.add_argument("--seed", type=int, default=0)
@@ -269,10 +274,27 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(default: the repository root)")
     bc.add_argument("--only", action="append", default=[],
                     choices=["serving", "single_pass", "serve", "obs_overhead",
-                             "restart", "cluster"],
+                             "restart", "cluster", "adaptive"],
                     help="restrict the check to one suite (repeatable)")
     bc.add_argument("--json", action="store_true",
                     help="emit the check report as JSON")
+
+    ct = sub.add_parser(
+        "control",
+        help="A/B the adaptive controller stack against a static service: "
+        "replay a bursty + fault-injected workload (and a steady one) "
+        "through both arms and report the p99 win and the decision log",
+    )
+    ct.add_argument("--requests", type=int, default=None,
+                    help="override the committed experiment's request count")
+    ct.add_argument("--seed", type=int, default=None,
+                    help="override the committed experiment's seed")
+    ct.add_argument("--repeats", type=int, default=2,
+                    help="replays per cell; every repeat must be "
+                    "bit-identical to the first")
+    ct.add_argument("--json", action="store_true",
+                    help="emit the full report (decision logs included) "
+                    "as JSON")
 
     return parser
 
@@ -543,6 +565,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"snapshot not applicable "
                   f"({info.get('reason', 'unknown')}); serving cold",
                   file=sys.stderr)
+    controller = None
+    slo = None
+    if args.adaptive:
+        from repro.control import adaptive_controller
+        from repro.obs.slo import slo_class
+
+        controller = adaptive_controller()
+        slo = slo_class("standard")
     service = session.service(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait,
@@ -551,12 +581,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         W=args.w,
         V=args.v,
         M=args.m,
+        controller=controller,
+        slo=slo,
     )
     workload = poisson_workload(
         args.requests, sizes_log2=sizes, rate=args.rate,
         operator=args.operator, seed=args.seed,
     )
     report = replay(service, workload)
+    if controller is not None:
+        report["decisions"] = controller.decision_log()
     speedup = None
     if not args.no_solo:
         solo = solo_baseline(ScanSession(tsubame_kfc(max(1, args.m))), workload)
@@ -586,7 +620,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if speedup is not None:
         print(f"one-at-a-time baseline: {report['solo_sim_s'] * 1e3:.3f} ms "
               f"-> coalescing speedup {speedup:.2f}x")
+    if controller is not None:
+        decisions = report["decisions"]
+        print(f"adaptive: {len(decisions)} control decision(s), final "
+              f"max_batch {service.max_batch}, "
+              f"max_wait {service.max_wait_s * 1e6:g} us")
+        for d in decisions:
+            print(f"  {_format_decision(d)}")
     return 0
+
+
+def _format_decision(d: dict) -> str:
+    return (f"t={d['at_s'] * 1e3:.3f}ms {d['controller']}: {d['action']} "
+            f"({d['reason']})")
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -839,6 +885,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    """Adaptive-vs-static A/B replay (`repro control`)."""
+    from repro.control import DEFAULT_AB_PARAMS, run_ab
+    from repro.control.ab import summarize
+
+    params = dict(DEFAULT_AB_PARAMS)
+    if args.requests is not None:
+        params["requests"] = args.requests
+    if args.seed is not None:
+        params["seed"] = args.seed
+    report = run_ab(params, repeats=args.repeats)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+        return 0 if report["deterministic"] else 1
+    print(summarize(report))
+    decisions = report["bursty"]["adaptive"]["decision_log"]
+    print(f"decision log (bursty/adaptive, {len(decisions)} decisions):")
+    for d in decisions:
+        print(f"  {_format_decision(d)}")
+    return 0 if report["deterministic"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "info":
@@ -869,6 +939,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "control":
+        return _cmd_control(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

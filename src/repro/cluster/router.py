@@ -179,6 +179,22 @@ class ClusterRouter:
         Passed to every replica service; on by default here (unlike the
         single service) so per-replica executor backlog is modelled and
         adding replicas actually improves tail latency.
+    controller_factory:
+        Optional ``rid -> Controller`` building a fresh
+        :class:`~repro.control.controllers.Controller` for each replica
+        service (including a re-admitted replica's replacement). Each
+        replica adapts independently from its own metrics; decisions
+        stay deterministic because replica clocks are lockstepped.
+    replica_slo:
+        Optional SLO class name. When set, every replica service gets
+        its own :func:`~repro.obs.slo.slo_class` monitor (prefixed
+        ``replica<rid>.``) fed by the service, and :meth:`submit`
+        prefers replicas in ascending SLO-burn buckets: a replica
+        burning through its latency budget is placed *after* healthy
+        peers (a soft drain), and drops back to normal preference as
+        its burn recovers (re-admit). Placement stays deterministic —
+        burn is bucketed to an integer and the sort is stable, so
+        ties preserve the dispatch policy's order.
     **service_kwargs:
         Remaining :class:`~repro.serve.service.ScanService` knobs
         (``max_batch``, ``max_wait_s``, ``max_queue``, placement...).
@@ -195,6 +211,8 @@ class ClusterRouter:
         recovery_s: float = 5e-3,
         max_reroutes: int = 2,
         serialize_exec: bool = True,
+        controller_factory=None,
+        replica_slo: str | None = None,
         **service_kwargs,
     ):
         if replicas < 1:
@@ -210,6 +228,8 @@ class ClusterRouter:
         self.recovery_s = recovery_s
         self.max_reroutes = max_reroutes
         self.serialize_exec = bool(serialize_exec)
+        self.controller_factory = controller_factory
+        self.replica_slo = replica_slo
         self.service_kwargs = dict(service_kwargs)
         self.clock = SimClock()
         self._replicas = [
@@ -246,11 +266,19 @@ class ClusterRouter:
         from repro.core.store import spawn_replica_session
 
         session = spawn_replica_session(snapshot, self.topology_factory(rid))
+        extra = {}
+        if self.controller_factory is not None:
+            extra["controller"] = self.controller_factory(rid)
+        if self.replica_slo is not None:
+            from repro.obs.slo import slo_class
+
+            extra["slo"] = slo_class(self.replica_slo, prefix=f"replica{rid}")
         return ScanService(
             session=session,
             serialize_exec=self.serialize_exec,
             on_scatter=self._on_scatter,
             on_fail=self._on_fail,
+            **extra,
             **self.service_kwargs,
         )
 
@@ -352,7 +380,14 @@ class ClusterRouter:
         from a replica that is mid-advance must never drag an
         already-advanced neighbour's clock backwards.
         """
-        for rid in self.policy.select(self, data.size):
+        order = self.policy.select(self, data.size)
+        if self.replica_slo is not None:
+            # SLO-burn-driven preference: replicas burning their latency
+            # budget fall to the back of the line (soft drain) and come
+            # back forward as their burn recovers. Bucketed + stable so
+            # placement stays deterministic and policy order breaks ties.
+            order = sorted(order, key=self._burn_bucket)
+        for rid in order:
             if rid == exclude:
                 continue
             replica = self._replicas[rid]
@@ -385,6 +420,25 @@ class ClusterRouter:
                     self._finish(ticket, inner, ok=False)
             return rid
         return None
+
+    def _burn_bucket(self, rid: int) -> int:
+        """Integer SLO-burn bucket for one replica (0 = healthy).
+
+        Uses the worst short-window burn rate across the replica's
+        latency objectives, floored to an int and capped at 100 so
+        infinitesimal burn differences cannot reorder placement.
+        """
+        monitor = self._replicas[rid].service.slo
+        if monitor is None:
+            return 0
+        worst = 0.0
+        rates = monitor.burn_rates()
+        for objective in monitor.objectives:
+            if objective.kind != "latency":
+                continue
+            short, _long = rates[objective.name]
+            worst = max(worst, short)
+        return int(min(worst, 100.0))
 
     def _finish(self, ct: ClusterTicket, inner, ok: bool) -> None:
         """Terminal bookkeeping for one cluster request."""
@@ -608,6 +662,9 @@ class ClusterRouter:
                     "served": r.service.served,
                     "failed": r.service.failed,
                     "depth": r.service.depth,
+                    "burn_bucket": self._burn_bucket(r.id),
+                    "decisions": (len(r.service.controller.decisions)
+                                  if r.service.controller is not None else 0),
                 }
                 for r in self._replicas
             ],

@@ -1,0 +1,36 @@
+"""repro.control: deterministic feedback controllers (obs -> policy).
+
+See :mod:`repro.control.controllers` for the controller model and
+:mod:`repro.control.ab` for the adaptive-vs-static A/B replay the
+benchmarks and the drift gate share.
+"""
+
+from repro.control.ab import DEFAULT_AB_PARAMS, run_ab, run_arm
+from repro.control.controllers import (
+    CalibrationController,
+    CalibrationControllerConfig,
+    ControlDecision,
+    Controller,
+    ControllerGroup,
+    ServiceController,
+    ServiceControllerConfig,
+    TuneController,
+    TuneControllerConfig,
+    adaptive_controller,
+)
+
+__all__ = [
+    "ControlDecision",
+    "Controller",
+    "ControllerGroup",
+    "ServiceController",
+    "ServiceControllerConfig",
+    "TuneController",
+    "TuneControllerConfig",
+    "CalibrationController",
+    "CalibrationControllerConfig",
+    "adaptive_controller",
+    "DEFAULT_AB_PARAMS",
+    "run_ab",
+    "run_arm",
+]

@@ -21,7 +21,13 @@ schedule replays into identical batches, waits and latencies every run.
 """
 
 from repro.serve.clock import SimClock
-from repro.serve.replay import Request, poisson_workload, replay, solo_baseline
+from repro.serve.replay import (
+    Request,
+    bursty_workload,
+    poisson_workload,
+    replay,
+    solo_baseline,
+)
 from repro.serve.service import BatchReport, QueueKey, ScanService, SubmitResult
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "ScanService",
     "SimClock",
     "SubmitResult",
+    "bursty_workload",
     "poisson_workload",
     "replay",
     "solo_baseline",

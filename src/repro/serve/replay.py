@@ -21,7 +21,8 @@ from repro.primitives.sequential import exclusive_scan, inclusive_scan
 from repro.serve.service import ScanService, SubmitResult
 from repro.util.ints import next_power_of_two
 
-__all__ = ["Request", "poisson_workload", "replay", "solo_baseline"]
+__all__ = ["Request", "poisson_workload", "bursty_workload", "replay",
+           "solo_baseline"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,51 @@ def poisson_workload(
     for i in range(requests):
         if rate > 0:
             t += float(rng.exponential(1.0 / rate))
+        n = 1 << sizes_log2[i % len(sizes_log2)]
+        data = rng.integers(0, 100, n).astype(dtype)
+        out.append(Request(at_s=t, data=data, operator=operator,
+                           inclusive=inclusive))
+    return out
+
+
+def bursty_workload(
+    requests: int,
+    sizes_log2: tuple[int, ...] = (12,),
+    base_rate: float = 2e3,
+    burst_rate: float = 2e5,
+    burst_every: int = 48,
+    burst_len: int = 24,
+    dtype=np.int32,
+    operator: str = "add",
+    inclusive: bool = True,
+    seed: int = 0,
+) -> list[Request]:
+    """A seeded bursty schedule: calm Poisson traffic with periodic bursts.
+
+    Requests cycle through a fixed pattern of ``burst_every`` arrivals:
+    the first ``burst_len`` of each cycle arrive at ``burst_rate`` (the
+    burst), the rest at ``base_rate`` (the calm tail). Both phases are
+    Poisson (seeded exponential gaps), so the schedule stresses exactly
+    the hysteresis band an adaptive batching controller must track —
+    and, being fully seeded, replays bit-identically.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"need at least one request, got {requests}")
+    if not sizes_log2:
+        raise ConfigurationError("sizes_log2 must name at least one size")
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ConfigurationError("bursty schedules need positive rates")
+    if not 0 < burst_len <= burst_every:
+        raise ConfigurationError(
+            f"burst_len must be in (0, burst_every]; got {burst_len} "
+            f"of {burst_every}"
+        )
+    rng = np.random.default_rng(seed)
+    out: list[Request] = []
+    t = 0.0
+    for i in range(requests):
+        rate = burst_rate if (i % burst_every) < burst_len else base_rate
+        t += float(rng.exponential(1.0 / rate))
         n = 1 << sizes_log2[i % len(sizes_log2)]
         data = rng.integers(0, 100, n).astype(dtype)
         out.append(Request(at_s=t, data=data, operator=operator,

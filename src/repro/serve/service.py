@@ -254,6 +254,17 @@ class ScanService:
         scatters; ``on_fail(service, pairs, exc)`` fires after tickets
         are marked failed, with ``pairs`` the ``(ticket, data)`` rows so
         the router can re-route them elsewhere.
+    controller:
+        Optional :class:`~repro.control.Controller` (usually the
+        :func:`~repro.control.adaptive_controller` stack) closing the
+        loop from the service's own metrics back to its policy knobs.
+        The controller is ticked at deterministic points only — after
+        each admitted request, each scattered batch and each terminal
+        batch failure, all on the simulated clock — so an adaptive
+        replay is exactly as reproducible as a static one; its decision
+        log rides along in :meth:`stats` and in flight-recorder notes.
+        Controllers adjust batching and latency, never payloads: results
+        stay bit-identical to a static service's.
 
     The clock only moves when the caller moves it — via timestamped
     ``submit(..., at=...)``, :meth:`advance`, or :meth:`advance_to` —
@@ -278,6 +289,7 @@ class ScanService:
         serialize_exec: bool = False,
         on_scatter=None,
         on_fail=None,
+        controller=None,
     ):
         from repro.core.session import ScanSession, default_session
 
@@ -307,6 +319,7 @@ class ScanService:
         self.serialize_exec = bool(serialize_exec)
         self.on_scatter = on_scatter
         self.on_fail = on_fail
+        self.controller = controller
         self.clock = SimClock()
         self._queues: dict[QueueKey, list[_Pending]] = {}
         self.batches: list[BatchReport] = []
@@ -330,6 +343,8 @@ class ScanService:
         #: Streaming distributions (mirroring the session's histograms).
         self.latency = Histogram("serve.latency_s")
         self.batch_size = Histogram("serve.batch_size")
+        if controller is not None:
+            controller.bind(self)
 
     # ------------------------------------------------------------- admission
 
@@ -402,6 +417,11 @@ class ScanService:
         if obs.is_enabled():
             obs.counter("serve.submitted").inc()
             obs.gauge("serve.queue_depth").set(self.depth)
+        # The controller ticks before the max_batch check so a knob it
+        # just moved governs this very admission (deterministically: the
+        # tick is a pure function of the clock and the counters).
+        if self.controller is not None:
+            self.controller.on_submit(self)
         if len(queue) >= self.max_batch:
             self._flush_key(key, reason="max_batch")
         return ticket
@@ -602,6 +622,8 @@ class ScanService:
             result=result,
         )
         self.batches.append(report)
+        if self.controller is not None:
+            self.controller.on_batch(self, report)
         if self.on_scatter is not None:
             self.on_scatter(self, report, [p.ticket for p in pending])
 
@@ -662,6 +684,8 @@ class ScanService:
         if flight.is_armed():
             flight.note("requests_failed", at_s=self.clock.now,
                         requests=requests, depth=depth, error=str(exc))
+        if self.controller is not None:
+            self.controller.on_fail(self, exc)
         if self.on_fail is not None:
             self.on_fail(self, [(p.ticket, p.data) for p in pending], exc)
 
@@ -715,6 +739,8 @@ class ScanService:
             "latency": self.latency.summary(),
             "batch_size": self.batch_size.summary(),
             "slo": self.slo.snapshot() if self.slo is not None else None,
+            "control": (self.controller.snapshot()
+                        if self.controller is not None else None),
             "session": {
                 "calls": self.session.calls,
                 "hits": self.session.hits,

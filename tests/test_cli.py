@@ -123,6 +123,26 @@ class TestServe:
         assert self._run(["serve", "--sizes", "12,banana"]) == 2
         assert "--sizes" in capsys.readouterr().err
 
+    def test_adaptive_flag_reports_decisions(self, capsys):
+        assert self._run(["serve", "--requests", "16", "--sizes", "12",
+                          "--max-batch", "4", "--adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "16 verified against numpy" in out
+        assert "control decision(s)" in out
+        assert "final max_batch" in out
+
+    def test_adaptive_json_carries_decision_log(self, capsys):
+        import json
+
+        assert self._run(["serve", "--requests", "16", "--sizes", "12",
+                          "--max-batch", "4", "--adaptive", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verified"] == 16
+        assert isinstance(report["decisions"], list)
+        for decision in report["decisions"]:
+            assert {"at_s", "controller", "action", "reason",
+                    "before", "after"} <= set(decision)
+
 
 class TestObsCommand:
     def test_report_and_exposition(self, capsys, tmp_path):
@@ -271,6 +291,31 @@ class TestBenchCheck:
                      "--only", "restart"]) == 0
         out = capsys.readouterr().out
         assert "restart: ok" in out and "bench check: PASS" in out
+
+
+class TestControl:
+    def test_ab_report(self, capsys):
+        assert main(["control", "--requests", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive vs static (A/B replay)" in out
+        assert "burst p99 improvement" in out
+        assert "deterministic: yes" in out
+        assert "decision log (bursty/adaptive" in out
+
+    def test_json_report_is_replay_complete(self, capsys):
+        import json
+
+        assert main(["control", "--requests", "48", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["deterministic"] is True
+        for workload in ("bursty", "steady"):
+            for arm in ("static", "adaptive"):
+                cell = report[workload][arm]
+                assert cell["verified"] == cell["served"]
+                assert cell["repeat_identical"]
+        assert report["bursty"]["adaptive"]["decisions"] > 0
+        assert report["bursty"]["p99_improvement"] > 0
+        assert report["params"]["requests"] == 48
 
 
 class TestSnapshotCommand:

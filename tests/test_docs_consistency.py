@@ -91,5 +91,5 @@ class TestExperiments:
     def test_docs_directory_complete(self):
         for doc in ("architecture.md", "tuning.md", "simulator.md",
                     "api.md", "paper_map.md", "faq.md", "serving.md",
-                    "observability.md", "cluster.md"):
+                    "observability.md", "cluster.md", "control.md"):
             assert (ROOT / "docs" / doc).exists()

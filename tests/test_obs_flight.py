@@ -161,6 +161,36 @@ class TestServiceIntegration:
         trace = json.loads((bundle / "trace.json").read_text())
         assert trace["traceEvents"]
 
+    def test_postmortem_bundle_carries_the_decision_log(self, armed, rng):
+        """Every applied control decision is noted while armed, so a
+        postmortem bundle shows what the controllers did leading up to
+        the failure — here a burst that scales ``max_batch`` past the
+        admission bound until backpressure trips the dump."""
+        from repro.control import ServiceControllerConfig, adaptive_controller
+
+        controller = adaptive_controller(ServiceControllerConfig(
+            high_rate=1e5, low_rate=1e4, batch_ceiling=16,
+            wait_ceiling_s=1e-4, cooldown_s=1e-7, window=4, min_samples=2,
+        ))
+        service = ScanSession(tsubame_kfc(1)).service(
+            max_batch=2, max_wait_s=1e-4, max_queue=6, controller=controller,
+        )
+        data = rng.integers(0, 9, 1 << 9).astype(np.int64)
+        with pytest.raises(BackpressureError):
+            for i in range(32):
+                service.submit(data, at=i * 1e-7)
+        assert controller.decisions          # the burst moved the knobs
+        bundle = armed / "postmortem-000"
+        payload = json.loads((bundle / "flight.json").read_text())
+        assert payload["error"]["type"] == "BackpressureError"
+        assert payload["notes"][-1]["event"] == "backpressure"
+        control_notes = [n for n in payload["notes"]
+                         if n["event"] == "control"]
+        assert [(n["controller"], n["action"], n["before"], n["after"])
+                for n in control_notes] == \
+            [(d["controller"], d["action"], d["before"], d["after"])
+             for d in controller.decision_log()]
+
     def test_exception_identical_with_and_without_recorder(self, tmp_path,
                                                            rng):
         def reject(arm_dir):
